@@ -1,0 +1,188 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "core/bfs.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace gcgt::bench {
+namespace {
+
+// Scaled-down stand-ins for the paper's datasets (Table 1). Sizes are chosen
+// so the full benchmark suite runs in minutes on two cores while preserving
+// each dataset's structural signature: |E| ratios roughly follow the paper
+// (uk-2007 and twitter are the two large ones), uk-* are interval-rich and
+// template-heavy, twitter is hub-skewed, brain is dense and uniform.
+Graph RawByName(const std::string& name) {
+  if (name == "uk-2002") {
+    WebGraphParams p;
+    p.num_nodes = 40000;
+    p.avg_degree = 16;
+    p.mean_host_size = 48;
+    p.seed = 1002;
+    return GenerateWebGraph(p);
+  }
+  if (name == "uk-2007") {
+    WebGraphParams p;
+    p.num_nodes = 80000;
+    p.avg_degree = 38;
+    p.mean_host_size = 64;
+    p.template_fraction = 0.60;
+    p.seed = 1007;
+    return GenerateWebGraph(p);
+  }
+  if (name == "ljournal") {
+    SocialGraphParams p;
+    p.num_nodes = 25000;
+    p.avg_degree = 11;
+    p.seed = 1008;
+    return GenerateSocialGraph(p);
+  }
+  if (name == "twitter") {
+    TwitterGraphParams p;
+    p.num_nodes = 50000;
+    p.avg_degree = 30;
+    p.num_hubs = 12;
+    p.seed = 1010;
+    return GenerateTwitterGraph(p);
+  }
+  if (name == "brain") {
+    BrainGraphParams p;
+    p.num_nodes = 6000;
+    p.avg_degree = 130;
+    p.seed = 1015;
+    return GenerateBrainGraph(p);
+  }
+  std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+std::vector<std::string> DatasetNames() {
+  return {"uk-2002", "uk-2007", "ljournal", "twitter", "brain"};
+}
+
+Graph BuildRawGraph(const std::string& name) { return RawByName(name); }
+
+Dataset BuildDataset(const std::string& name, ReorderMethod reorder,
+                     bool apply_vnc) {
+  Dataset d;
+  d.name = name;
+  d.raw = RawByName(name);
+  d.raw_edges = d.raw.num_edges();
+  Graph transformed;
+  if (apply_vnc) {
+    VncResult vnc = VirtualNodeCompress(d.raw);
+    d.vnc_reduction = vnc.EdgeReduction();
+    transformed = std::move(vnc.graph);
+  } else {
+    transformed = d.raw;
+  }
+  d.graph = reorder == ReorderMethod::kOriginal
+                ? std::move(transformed)
+                : ApplyReordering(transformed, reorder);
+  return d;
+}
+
+std::vector<Dataset> BuildDatasets(ReorderMethod reorder, bool apply_vnc) {
+  std::vector<Dataset> out;
+  for (const std::string& name : DatasetNames()) {
+    out.push_back(BuildDataset(name, reorder, apply_vnc));
+  }
+  return out;
+}
+
+uint64_t DeviceBudgetBytes(const std::vector<Dataset>& datasets) {
+  // paper ratio: 12 GB / (1.46B twitter edges * 4B + offsets) ~ 2.06x CSR.
+  for (const Dataset& d : datasets) {
+    if (d.name == "twitter") {
+      uint64_t csr = 4ull * (d.graph.num_nodes() + 1) + 4ull * d.graph.num_edges();
+      return static_cast<uint64_t>(csr * 2.06);
+    }
+  }
+  return 12ull << 30;
+}
+
+std::vector<NodeId> BfsSources(const Graph& g, int count) {
+  Rng rng(20190630);
+  std::vector<NodeId> sources;
+  for (int i = 0; i < count; ++i) {
+    // Prefer sources with outgoing edges so runs are non-trivial.
+    NodeId s = 0;
+    for (int tries = 0; tries < 64; ++tries) {
+      s = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+      if (g.out_degree(s) > 0) break;
+    }
+    sources.push_back(s);
+  }
+  return sources;
+}
+
+double WallMs(const std::function<void()>& fn, int repeats) {
+  std::vector<double> times;
+  for (int i = 0; i < repeats; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+std::string Cell(double value, int width, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, value);
+  return buf;
+}
+
+std::string Cell(const std::string& s, int width) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%*s", width, s.c_str());
+  return buf;
+}
+
+double RateVsRaw(EdgeId raw_edges, uint64_t representation_bits) {
+  return representation_bits
+             ? 32.0 * static_cast<double>(raw_edges) /
+                   static_cast<double>(representation_bits)
+             : 0.0;
+}
+
+void RunCgrSweep(const std::vector<Dataset>& datasets,
+                 const std::vector<SweepVariant>& variants) {
+  std::printf("%-10s %-10s %12s %12s\n", "dataset", "variant", "bfs_ms",
+              "compr_rate");
+  for (const Dataset& d : datasets) {
+    auto sources = BfsSources(d.graph);
+    for (const SweepVariant& v : variants) {
+      auto cgr = CgrGraph::Encode(d.graph, v.options);
+      if (!cgr.ok()) {
+        std::printf("%-10s %-10s %12s %12s  (%s)\n", d.name.c_str(),
+                    v.label.c_str(), "-", "-", cgr.status().ToString().c_str());
+        continue;
+      }
+      GcgtOptions opt;
+      double total = 0;
+      int ok_runs = 0;
+      for (NodeId s : sources) {
+        auto res = GcgtBfs(cgr.value(), s, opt);
+        if (res.ok()) {
+          total += res.value().metrics.model_ms;
+          ++ok_runs;
+        }
+      }
+      double rate = RateVsRaw(d.raw_edges, cgr.value().total_bits());
+      std::printf("%-10s %-10s %12s %12s\n", d.name.c_str(), v.label.c_str(),
+                  Cell(ok_runs ? total / ok_runs : 0.0, 12, 3).c_str(),
+                  Cell(rate, 12, 2).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace gcgt::bench

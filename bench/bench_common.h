@@ -1,0 +1,92 @@
+// Shared infrastructure for the paper-figure benchmarks: the five scaled
+// synthetic datasets standing in for uk-2002 / uk-2007 / ljournal / twitter /
+// brain (see DESIGN.md "Substitutions"), the unified preprocessing pipeline
+// of §7.2 (virtual-node compression + node reordering), the paper-ratio
+// device-memory budget, and table formatting helpers.
+#ifndef GCGT_BENCH_BENCH_COMMON_H_
+#define GCGT_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cgr/cgr_graph.h"
+#include "graph/graph.h"
+#include "reorder/reorder.h"
+#include "simt/cost_model.h"
+#include "vnc/virtual_node.h"
+
+namespace gcgt::bench {
+
+struct Dataset {
+  std::string name;
+  /// Raw generated graph (before preprocessing).
+  Graph raw;
+  /// After the unified preprocessing: VNC then reordering (paper §7.2).
+  Graph graph;
+  /// Edge count of the raw graph (compression rates are charged against the
+  /// preprocessed graph the engines actually traverse, like the paper).
+  EdgeId raw_edges = 0;
+  double vnc_reduction = 1.0;
+};
+
+/// Builds all five scaled datasets with the given reordering (Table 2
+/// default: LLP). Deterministic.
+std::vector<Dataset> BuildDatasets(
+    ReorderMethod reorder = ReorderMethod::kLlp,
+    bool apply_vnc = true);
+
+/// Builds one dataset by name ("uk-2002", "uk-2007", "ljournal", "twitter",
+/// "brain").
+Dataset BuildDataset(const std::string& name,
+                     ReorderMethod reorder = ReorderMethod::kLlp,
+                     bool apply_vnc = true);
+
+/// Raw (unpreprocessed) generator output for Table 1.
+Graph BuildRawGraph(const std::string& name);
+
+std::vector<std::string> DatasetNames();
+
+/// Simulated device-memory budget: the paper's 12 GB scaled by the ratio
+/// 12 GB / (twitter CSR bytes), applied to the scaled twitter dataset, so
+/// every engine's footprint keeps the paper's capacity ratios and the OOMs
+/// land in the same places (Gunrock on uk-2007 and twitter).
+uint64_t DeviceBudgetBytes(const std::vector<Dataset>& datasets);
+
+/// BFS sources used by all figure benches (fixed for reproducibility; the
+/// paper averages 100 random sources, we average kNumSources).
+inline constexpr int kNumSources = 3;
+std::vector<NodeId> BfsSources(const Graph& g, int count = kNumSources);
+
+/// Wall-clock helper: median-of-3 milliseconds of fn().
+double WallMs(const std::function<void()>& fn, int repeats = 3);
+
+/// Formats "12.34" or "OOM" style cells right-aligned to width.
+std::string Cell(double value, int width, int precision = 2);
+std::string Cell(const std::string& s, int width);
+
+/// Result of a simulated-GPU run averaged over sources.
+struct TimedResult {
+  double ms = 0.0;
+  bool oom = false;
+};
+
+/// Compression rate against the RAW edge count: (raw_edges * 32) / bits of
+/// the representation (the paper's "32 / bits per edge" with the unified
+/// preprocessing counted as compression).
+double RateVsRaw(EdgeId raw_edges, uint64_t representation_bits);
+
+/// One point of a CGR-parameter sweep (Figs. 11, 12, 14).
+struct SweepVariant {
+  std::string label;
+  CgrOptions options;
+};
+
+/// Encodes every dataset with every variant, runs full-GCGT BFS, and prints
+/// "dataset  variant  bfs_ms  rate" rows.
+void RunCgrSweep(const std::vector<Dataset>& datasets,
+                 const std::vector<SweepVariant>& variants);
+
+}  // namespace gcgt::bench
+
+#endif  // GCGT_BENCH_BENCH_COMMON_H_

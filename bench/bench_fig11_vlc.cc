@@ -1,0 +1,20 @@
+// Paper Fig. 11 (Appendix D): effect of the VLC encoding scheme
+// (gamma, zeta2..zeta5) on BFS time and compression rate.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace gcgt;
+  std::printf("== Fig. 11: varying the VLC encoding scheme ==\n\n");
+  auto datasets = bench::BuildDatasets();
+  std::vector<bench::SweepVariant> variants;
+  for (VlcScheme s : {VlcScheme::kGamma, VlcScheme::kZeta2, VlcScheme::kZeta3,
+                      VlcScheme::kZeta4, VlcScheme::kZeta5}) {
+    CgrOptions o;
+    o.scheme = s;
+    variants.push_back({VlcSchemeName(s), o});
+  }
+  bench::RunCgrSweep(datasets, variants);
+  return 0;
+}

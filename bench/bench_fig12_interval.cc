@@ -1,0 +1,22 @@
+// Paper Fig. 12 (Appendix D): effect of the minimum interval length
+// (2, 3, 4, 5, 10, inf) on BFS time and compression rate.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace gcgt;
+  std::printf("== Fig. 12: varying the minimum interval length ==\n\n");
+  auto datasets = bench::BuildDatasets();
+  std::vector<bench::SweepVariant> variants;
+  for (int len : {2, 3, 4, 5, 10}) {
+    CgrOptions o;
+    o.min_interval_len = len;
+    variants.push_back({std::to_string(len), o});
+  }
+  CgrOptions inf;
+  inf.min_interval_len = CgrOptions::kNoIntervals;
+  variants.push_back({"inf", inf});
+  bench::RunCgrSweep(datasets, variants);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Paper Fig. 13 (Appendix D): effect of the node reordering method
+// (Original, DegSort, BFSOrder, Gorder, LLP) on BFS time and compression
+// rate. VNC preprocessing is applied once; the reordering varies.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "cgr/cgr_graph.h"
+#include "core/bfs.h"
+
+int main() {
+  using namespace gcgt;
+  std::printf("== Fig. 13: varying the node reordering method ==\n\n");
+  std::printf("%-10s %-10s %12s %12s\n", "dataset", "method", "bfs_ms",
+              "compr_rate");
+  const ReorderMethod methods[] = {ReorderMethod::kOriginal,
+                                   ReorderMethod::kDegSort,
+                                   ReorderMethod::kBfsOrder,
+                                   ReorderMethod::kGorder, ReorderMethod::kLlp};
+  for (const std::string& name : bench::DatasetNames()) {
+    for (ReorderMethod m : methods) {
+      bench::Dataset d = bench::BuildDataset(name, m);
+      auto cgr = CgrGraph::Encode(d.graph, CgrOptions{});
+      if (!cgr.ok()) continue;
+      auto sources = bench::BfsSources(d.graph);
+      GcgtOptions opt;
+      double total = 0;
+      int runs = 0;
+      for (NodeId s : sources) {
+        auto res = GcgtBfs(cgr.value(), s, opt);
+        if (res.ok()) {
+          total += res.value().metrics.model_ms;
+          ++runs;
+        }
+      }
+      std::printf("%-10s %-10s %12s %12s\n", name.c_str(),
+                  ReorderMethodName(m),
+                  bench::Cell(runs ? total / runs : 0.0, 12, 3).c_str(),
+                  bench::Cell(
+                      bench::RateVsRaw(d.raw_edges, cgr.value().total_bits()),
+                      12, 2)
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

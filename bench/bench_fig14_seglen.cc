@@ -1,0 +1,24 @@
+// Paper Fig. 14 (Appendix D): effect of the residual segment length
+// (8, 16, 32, 64, 128 bytes, inf = unsegmented) on BFS time and compression
+// rate. Smaller segments = more decode parallelism on hub nodes (twitter)
+// but more blank padding (lower compression rate).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace gcgt;
+  std::printf("== Fig. 14: varying the residual segment length (bytes) ==\n\n");
+  auto datasets = bench::BuildDatasets();
+  std::vector<bench::SweepVariant> variants;
+  for (int len : {8, 16, 32, 64, 128}) {
+    CgrOptions o;
+    o.segment_len_bytes = len;
+    variants.push_back({std::to_string(len), o});
+  }
+  CgrOptions inf;
+  inf.segment_len_bytes = 0;
+  variants.push_back({"inf", inf});
+  bench::RunCgrSweep(datasets, variants);
+  return 0;
+}

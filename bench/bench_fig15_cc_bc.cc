@@ -1,0 +1,74 @@
+// Paper Fig. 15 (Appendix E): GCGT extensions to Connected Components and
+// Betweenness Centrality vs Gunrock and GPUCSR, with the scaled device
+// memory budget (Gunrock OOMs on the two large datasets). GPUCSR CC is
+// edge-centric (Soman et al.), which the paper notes is friendlier to
+// twitter's super nodes than GCGT's node-centric frontier.
+#include <cstdio>
+
+#include "baseline/csr_gpu_engine.h"
+#include "bench/bench_common.h"
+#include "cgr/cgr_graph.h"
+#include "core/bc.h"
+#include "core/cc.h"
+
+int main() {
+  using namespace gcgt;
+  using bench::Cell;
+  std::printf("== Fig. 15: CC and BC elapsed model time (ms) ==\n\n");
+
+  auto datasets = bench::BuildDatasets();
+  uint64_t budget = bench::DeviceBudgetBytes(datasets);
+  std::printf("device memory budget (scaled 12GB): %.1f MB\n\n",
+              budget / 1048576.0);
+  std::printf("%-10s %-4s %12s %12s %12s\n", "dataset", "app", "Gunrock",
+              "GPUCSR", "GCGT");
+
+  for (const auto& d : datasets) {
+    auto cgr = CgrGraph::Encode(d.graph, CgrOptions{});
+    if (!cgr.ok()) continue;
+    NodeId bc_source = bench::BfsSources(d.graph, 1)[0];
+
+    auto fmt = [](double ms, bool oom) {
+      return oom ? Cell("OOM", 12) : Cell(ms, 12, 3);
+    };
+
+    // --- CC ---
+    {
+      CsrEngineOptions gunrock_opt;
+      gunrock_opt.gunrock = true;
+      gunrock_opt.device.memory_bytes = budget;
+      CsrEngineOptions gpucsr_opt;
+      gpucsr_opt.device.memory_bytes = budget;
+      GcgtOptions gcgt_opt;
+      gcgt_opt.device.memory_bytes = budget;
+
+      auto a = CsrCc(d.graph, gunrock_opt);
+      auto b = CsrCc(d.graph, gpucsr_opt);
+      auto c = GcgtCc(cgr.value(), gcgt_opt);
+      std::printf("%-10s %-4s %12s %12s %12s\n", d.name.c_str(), "CC",
+                  fmt(a.ok() ? a.value().metrics.model_ms : 0, !a.ok()).c_str(),
+                  fmt(b.ok() ? b.value().metrics.model_ms : 0, !b.ok()).c_str(),
+                  fmt(c.ok() ? c.value().metrics.model_ms : 0, !c.ok()).c_str());
+    }
+    // --- BC ---
+    {
+      CsrEngineOptions gunrock_opt;
+      gunrock_opt.gunrock = true;
+      gunrock_opt.device.memory_bytes = budget;
+      CsrEngineOptions gpucsr_opt;
+      gpucsr_opt.device.memory_bytes = budget;
+      GcgtOptions gcgt_opt;
+      gcgt_opt.device.memory_bytes = budget;
+
+      auto a = CsrBc(d.graph, bc_source, gunrock_opt);
+      auto b = CsrBc(d.graph, bc_source, gpucsr_opt);
+      auto c = GcgtBc(cgr.value(), bc_source, gcgt_opt);
+      std::printf("%-10s %-4s %12s %12s %12s\n", d.name.c_str(), "BC",
+                  fmt(a.ok() ? a.value().metrics.model_ms : 0, !a.ok()).c_str(),
+                  fmt(b.ok() ? b.value().metrics.model_ms : 0, !b.ok()).c_str(),
+                  fmt(c.ok() ? c.value().metrics.model_ms : 0, !c.ok()).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Paper Fig. 4 + Fig. 5: reprints the instruction-flow tables of the three
+// scheduling strategies on the paper's worked example (8-lane warp) and the
+// parallel VLC decoding example. The step counts (26 / 12 / 10 and marking
+// rounds = 3) are pinned by unit tests.
+#include <cstdio>
+
+#include "cgr/cgr_graph.h"
+#include "core/cgr_traversal.h"
+#include "core/frontier_filter.h"
+#include "core/trace.h"
+#include "core/warp_centric.h"
+#include "util/bit_stream.h"
+
+namespace gcgt {
+namespace {
+
+Graph MakeFig4Graph() {
+  EdgeList edges;
+  auto add_list = [&](NodeId u, std::vector<NodeId> list) {
+    for (NodeId v : list) edges.emplace_back(u, v);
+  };
+  add_list(0, {10, 11, 12, 13, 20, 30});
+  add_list(1, {40});
+  add_list(2, {50, 51, 52, 53, 54, 55, 56, 57, 58, 59, 60, 70, 80, 90});
+  add_list(3, {15, 25});
+  add_list(4, {33});
+  add_list(5, {100, 101, 102, 103, 104, 105, 106, 110, 115, 120, 126});
+  add_list(6, {44});
+  add_list(7, {47});
+  return Graph::FromEdges(128, edges);
+}
+
+void RunAndPrint(GcgtLevel level, const char* title) {
+  Graph g = MakeFig4Graph();
+  CgrOptions copt;
+  copt.min_interval_len = 4;
+  copt.segment_len_bytes = 0;
+  auto cgr = CgrGraph::Encode(g, copt);
+  GcgtOptions opt;
+  opt.level = level;
+  opt.lanes = 8;
+  CgrTraversalEngine engine(cgr.value(), opt);
+  BfsFilter filter(g.num_nodes());
+  std::vector<NodeId> frontier = {0, 1, 2, 3, 4, 5, 6, 7};
+  for (NodeId u : frontier) filter.SetSource(u);
+  std::vector<NodeId> out;
+  std::vector<simt::WarpStats> warps;
+  StepTrace trace;
+  engine.ProcessFrontier(frontier, filter, &out, &warps, &trace);
+  std::printf("---- %s: %zu steps ----\n%s\n", title, trace.PaperStepCount(),
+              trace.ToTable(8).c_str());
+}
+
+}  // namespace
+}  // namespace gcgt
+
+int main() {
+  using namespace gcgt;
+  std::printf("== Fig. 4: instruction flow of the scheduling strategies ==\n");
+  RunAndPrint(GcgtLevel::kIntuitive, "(b) Intuitive approach");
+  RunAndPrint(GcgtLevel::kTwoPhase, "(c) Two-Phase Traversal");
+  RunAndPrint(GcgtLevel::kTaskStealing, "(d) Task Stealing");
+
+  std::printf("== Fig. 5: parallel VLC decoding (gamma codes of 1..5) ==\n");
+  BitWriter w;
+  for (uint64_t v = 1; v <= 5; ++v) VlcEncode(VlcScheme::kGamma, v, &w);
+  w.PutBits(0b10100, 5);
+  auto bytes = w.bytes();
+  ParallelDecodeResult r = WarpCentricDecodeWindow(bytes.data(), w.num_bits(),
+                                                   0, 16, VlcScheme::kGamma, 5);
+  std::printf("valid start offsets:");
+  for (uint32_t o : r.valid_offsets) std::printf(" %u", o);
+  std::printf("\ndecoded values:");
+  for (uint64_t v : r.values) std::printf(" %llu", (unsigned long long)v);
+  std::printf("\nmarking rounds: %d (<= log2(16) = 4)\n", r.rounds);
+  return 0;
+}

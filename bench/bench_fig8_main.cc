@@ -1,0 +1,115 @@
+// Paper Fig. 8: BFS elapsed time and compression rate of six approaches on
+// the five datasets, after the unified preprocessing (VNC + LLP, Table 2
+// parameters). CPU baselines report measured wall-clock on this host; GPU
+// engines report simulator model time (see DESIGN.md); the comparison of
+// interest is the *shape*: GPU >> CPU, GCGT within a small factor of GPUCSR,
+// Gunrock OOM on the two large datasets, CGR rates 2x-18x.
+#include <cstdio>
+
+#include "baseline/byte_rle.h"
+#include "baseline/cpu_bfs.h"
+#include "baseline/csr_gpu_engine.h"
+#include "bench/bench_common.h"
+#include "cgr/cgr_graph.h"
+#include "core/bfs.h"
+
+int main() {
+  using namespace gcgt;
+  using bench::Cell;
+
+  std::printf("== Fig. 8: BFS elapsed time + compression rate ==\n");
+  std::printf(
+      "Table 2 parameters: zeta3, min interval 4, LLP reordering, 32-byte "
+      "residual segments.\nCPU rows: measured wall ms (2 threads). GPU rows: "
+      "simulator model ms.\n\n");
+
+  auto datasets = bench::BuildDatasets();
+  uint64_t budget = bench::DeviceBudgetBytes(datasets);
+  std::printf("device memory budget (scaled 12GB): %.1f MB\n\n",
+              budget / 1048576.0);
+
+  std::printf("%-10s %-12s %12s %12s\n", "dataset", "approach", "bfs_ms",
+              "compr_rate");
+  for (const auto& d : datasets) {
+    const Graph& g = d.graph;
+    auto sources = bench::BfsSources(g);
+    ThreadPool pool(2);
+    Graph rev = g.Reversed();
+    ByteRleGraph rle = ByteRleGraph::Encode(g);
+    ByteRleGraph rle_rev = ByteRleGraph::Encode(rev);
+    auto cgr = CgrGraph::Encode(g, CgrOptions{});
+    if (!cgr.ok()) {
+      std::printf("%-10s CGR encode failed: %s\n", d.name.c_str(),
+                  cgr.status().ToString().c_str());
+      continue;
+    }
+
+    double csr_rate = bench::RateVsRaw(d.raw_edges, 32ull * g.num_edges());
+    double rle_rate = bench::RateVsRaw(d.raw_edges, 8ull * rle.DataBytes());
+    double cgr_rate = bench::RateVsRaw(d.raw_edges, cgr.value().total_bits());
+
+    // CPU approaches (wall clock, median of 3).
+    double naive_ms = bench::WallMs([&] {
+      for (NodeId s : sources) SerialBfs(g, s);
+    }) / sources.size();
+    double ligra_ms = bench::WallMs([&] {
+      for (NodeId s : sources) LigraBfs(g, rev, s, pool);
+    }) / sources.size();
+    double ligrap_ms = bench::WallMs([&] {
+      for (NodeId s : sources) LigraPlusBfs(rle, rle_rev, s, pool);
+    }) / sources.size();
+
+    // GPU approaches (simulator model time, averaged over sources).
+    auto run_csr = [&](bool gunrock) -> bench::TimedResult {
+      CsrEngineOptions opt;
+      opt.gunrock = gunrock;
+      opt.device.memory_bytes = budget;
+      bench::TimedResult r;
+      for (NodeId s : sources) {
+        auto res = CsrBfs(g, s, opt);
+        if (!res.ok()) {
+          r.oom = res.status().IsOutOfMemory();
+          return r;
+        }
+        r.ms += res.value().metrics.model_ms;
+      }
+      r.ms /= sources.size();
+      return r;
+    };
+    bench::TimedResult gunrock = run_csr(true);
+    bench::TimedResult gpucsr = run_csr(false);
+    bench::TimedResult gcgt;
+    {
+      GcgtOptions opt;
+      opt.device.memory_bytes = budget;
+      for (NodeId s : sources) {
+        auto res = GcgtBfs(cgr.value(), s, opt);
+        if (!res.ok()) {
+          gcgt.oom = res.status().IsOutOfMemory();
+          break;
+        }
+        gcgt.ms += res.value().metrics.model_ms;
+      }
+      if (!gcgt.oom) gcgt.ms /= sources.size();
+    }
+
+    auto row = [&](const char* name, double ms, bool oom, double rate) {
+      std::printf("%-10s %-12s %12s %12s\n", d.name.c_str(), name,
+                  oom ? Cell("OOM", 12).c_str() : Cell(ms, 12, 3).c_str(),
+                  Cell(rate, 12, 2).c_str());
+    };
+    row("Naive", naive_ms, false, csr_rate);
+    row("Ligra", ligra_ms, false, csr_rate);
+    row("Ligra+", ligrap_ms, false, rle_rate);
+    row("Gunrock", gunrock.ms, gunrock.oom, csr_rate);
+    row("GPUCSR", gpucsr.ms, gpucsr.oom, csr_rate);
+    row("GCGT", gcgt.ms, gcgt.oom, cgr_rate);
+    if (!gcgt.oom && !gpucsr.oom) {
+      std::printf("%-10s   GCGT/GPUCSR latency ratio: %.2fx at %.2fx the "
+                  "compression\n",
+                  "", gcgt.ms / gpucsr.ms, cgr_rate / csr_rate);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Paper Fig. 9: impact of applying the GCGT optimizations incrementally
+// (Intuitive -> +TwoPhase -> +TaskStealing -> +WarpCentric ->
+// +ResidualSegmentation = full GCGT). Levels 0-3 run on the unsegmented CGR,
+// the final level on the segmented layout (that is the encoding the
+// technique introduces). Annotations are slowdowns relative to full GCGT,
+// like the paper's "3.3x .. 1.0x" labels.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cgr/cgr_graph.h"
+#include "core/bfs.h"
+
+int main() {
+  using namespace gcgt;
+  std::printf("== Fig. 9: optimization impact (BFS model ms, x = vs GCGT) ==\n\n");
+
+  auto datasets = bench::BuildDatasets();
+  const GcgtLevel levels[] = {GcgtLevel::kIntuitive, GcgtLevel::kTwoPhase,
+                              GcgtLevel::kTaskStealing, GcgtLevel::kWarpCentric,
+                              GcgtLevel::kFull};
+
+  std::printf("%-10s", "dataset");
+  for (GcgtLevel level : levels) {
+    std::printf(" %26s", GcgtLevelName(level));
+  }
+  std::printf("\n");
+
+  for (const auto& d : datasets) {
+    CgrOptions unseg;
+    unseg.segment_len_bytes = 0;
+    auto cgr_unseg = CgrGraph::Encode(d.graph, unseg);
+    auto cgr_seg = CgrGraph::Encode(d.graph, CgrOptions{});
+    if (!cgr_unseg.ok() || !cgr_seg.ok()) continue;
+    auto sources = bench::BfsSources(d.graph);
+
+    std::vector<double> ms;
+    for (GcgtLevel level : levels) {
+      GcgtOptions opt;
+      opt.level = level;
+      const CgrGraph& graph =
+          level == GcgtLevel::kFull ? cgr_seg.value() : cgr_unseg.value();
+      double total = 0;
+      for (NodeId s : sources) {
+        auto res = GcgtBfs(graph, s, opt);
+        if (res.ok()) total += res.value().metrics.model_ms;
+      }
+      ms.push_back(total / sources.size());
+    }
+    double full = ms.back();
+    std::printf("%-10s", d.name.c_str());
+    for (double m : ms) {
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.3fms (%.1fx)", m,
+                    full > 0 ? m / full : 0.0);
+      std::printf(" %26s", cell);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

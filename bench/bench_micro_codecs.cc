@@ -1,0 +1,103 @@
+// Google-benchmark microbenchmarks: VLC encode/decode throughput per scheme,
+// CGR whole-graph encode, adjacency decode, and warp-centric window decode.
+#include <benchmark/benchmark.h>
+
+#include "cgr/cgr_decoder.h"
+#include "cgr/cgr_graph.h"
+#include "cgr/vlc.h"
+#include "core/warp_centric.h"
+#include "graph/generators.h"
+#include "util/bit_stream.h"
+#include "util/random.h"
+
+namespace gcgt {
+namespace {
+
+void BM_VlcEncode(benchmark::State& state) {
+  VlcScheme scheme = static_cast<VlcScheme>(state.range(0));
+  Rng rng(1);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 4096; ++i) values.push_back(1 + rng.Uniform(1 << 20));
+  for (auto _ : state) {
+    BitWriter w;
+    for (uint64_t v : values) VlcEncode(scheme, v, &w);
+    benchmark::DoNotOptimize(w.num_bits());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_VlcEncode)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_VlcDecode(benchmark::State& state) {
+  VlcScheme scheme = static_cast<VlcScheme>(state.range(0));
+  Rng rng(2);
+  BitWriter w;
+  const int kCount = 4096;
+  for (int i = 0; i < kCount; ++i) {
+    VlcEncode(scheme, 1 + rng.Uniform(1 << 20), &w);
+  }
+  auto bytes = w.bytes();
+  for (auto _ : state) {
+    BitReader r(bytes.data(), w.num_bits());
+    uint64_t sum = 0;
+    for (int i = 0; i < kCount; ++i) sum += VlcDecode(scheme, &r);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+}
+BENCHMARK(BM_VlcDecode)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_CgrEncodeGraph(benchmark::State& state) {
+  WebGraphParams p;
+  p.num_nodes = 10000;
+  Graph g = GenerateWebGraph(p);
+  for (auto _ : state) {
+    auto cgr = CgrGraph::Encode(g, CgrOptions{});
+    benchmark::DoNotOptimize(cgr.value().total_bits());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CgrEncodeGraph)->Unit(benchmark::kMillisecond);
+
+void BM_CgrDecodeAdjacency(benchmark::State& state) {
+  WebGraphParams p;
+  p.num_nodes = 10000;
+  Graph g = GenerateWebGraph(p);
+  auto cgr = CgrGraph::Encode(g, CgrOptions{});
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      total += DecodeAdjacency(cgr.value(), u).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CgrDecodeAdjacency)->Unit(benchmark::kMillisecond);
+
+void BM_WarpCentricWindow(benchmark::State& state) {
+  Rng rng(3);
+  BitWriter w;
+  const int kCount = 8192;
+  for (int i = 0; i < kCount; ++i) {
+    VlcEncode(VlcScheme::kZeta3, 1 + rng.Uniform(64), &w);
+  }
+  auto bytes = w.bytes();
+  for (auto _ : state) {
+    uint64_t pos = 0;
+    int decoded = 0;
+    while (decoded < kCount) {
+      auto r = WarpCentricDecodeWindow(bytes.data(), w.num_bits(), pos, 32,
+                                       VlcScheme::kZeta3, kCount - decoded);
+      decoded += static_cast<int>(r.values.size());
+      pos = r.next_bit_pos;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+}
+BENCHMARK(BM_WarpCentricWindow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gcgt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+// Paper Table 3: example gamma / zeta codewords. The printed codewords are
+// pinned by unit tests (tests/vlc_test.cc) to the paper's exact bit strings.
+#include <cstdio>
+
+#include "cgr/vlc.h"
+
+int main() {
+  using namespace gcgt;
+  std::printf("== Table 3: gamma-code and zeta-code examples ==\n");
+  std::printf("%8s %16s %16s %16s\n", "integer", "gamma", "zeta2", "zeta3");
+  for (uint64_t v : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull, 12ull, 34ull}) {
+    std::printf("%8llu %16s %16s %16s\n", static_cast<unsigned long long>(v),
+                VlcToString(VlcScheme::kGamma, v).c_str(),
+                VlcToString(VlcScheme::kZeta2, v).c_str(),
+                VlcToString(VlcScheme::kZeta3, v).c_str());
+  }
+  return 0;
+}

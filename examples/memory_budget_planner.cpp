@@ -1,0 +1,58 @@
+// Memory-budget planner: the paper's motivating scenario — which graphs fit
+// on a GPU with a fixed device memory, uncompressed (CSR) vs compressed
+// (CGR)? Reports per-format footprints and the largest traversable graph
+// under several device budgets.
+//
+//   $ ./examples/memory_budget_planner
+#include <cstdio>
+
+#include "baseline/csr_gpu_engine.h"
+#include "cgr/cgr_graph.h"
+#include "core/bfs.h"
+#include "graph/generators.h"
+
+using namespace gcgt;
+
+int main() {
+  std::printf("device-memory planning: CSR vs CGR footprints\n\n");
+  std::printf("%10s %12s %12s %12s %8s\n", "|V|", "|E|", "CSR MB", "CGR MB",
+              "saving");
+
+  std::vector<Graph> graphs;
+  for (NodeId n : {5000u, 20000u, 60000u}) {
+    WebGraphParams p;
+    p.num_nodes = n;
+    p.avg_degree = 20;
+    p.seed = n;
+    graphs.push_back(GenerateWebGraph(p));
+  }
+
+  for (const Graph& g : graphs) {
+    auto cgr = CgrGraph::Encode(g, CgrOptions{});
+    double csr_mb = CsrBytes32(g) / 1048576.0;
+    double cgr_mb = cgr.value().DeviceBytes() / 1048576.0;
+    std::printf("%10u %12llu %12.2f %12.2f %7.1fx\n", g.num_nodes(),
+                (unsigned long long)g.num_edges(), csr_mb, cgr_mb,
+                csr_mb / cgr_mb);
+  }
+
+  // What actually fits: try a BFS under shrinking budgets.
+  std::printf("\nBFS feasibility of the largest graph under device budgets:\n");
+  const Graph& big = graphs.back();
+  auto cgr = CgrGraph::Encode(big, CgrOptions{});
+  for (uint64_t budget_kb : {8192u, 2048u, 1024u, 512u, 256u}) {
+    CsrEngineOptions csr_opt;
+    csr_opt.device.memory_bytes = budget_kb * 1024;
+    GcgtOptions gcgt_opt;
+    gcgt_opt.device.memory_bytes = budget_kb * 1024;
+    auto csr_res = CsrBfs(big, 0, csr_opt);
+    auto gcgt_res = GcgtBfs(cgr.value(), 0, gcgt_opt);
+    std::printf("  %6llu KB budget: GPUCSR %-14s GCGT %s\n",
+                (unsigned long long)budget_kb,
+                csr_res.ok() ? "fits" : csr_res.status().ToString().c_str(),
+                gcgt_res.ok() ? "fits" : gcgt_res.status().ToString().c_str());
+  }
+  std::printf("\nCompression keeps the graph traversable at budgets where the "
+              "uncompressed format has long since spilled.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Web-graph compression tour: the full preprocessing pipeline the paper
+// evaluates on uk-2002/uk-2007 — virtual-node compression, node reordering,
+// CGR encoding — with the compression/locality impact of every stage.
+//
+//   $ ./examples/web_compression_tour
+#include <cstdio>
+
+#include "cgr/cgr_graph.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "reorder/reorder.h"
+#include "vnc/virtual_node.h"
+
+using namespace gcgt;
+
+namespace {
+
+void Report(const char* stage, const Graph& g, EdgeId raw_edges) {
+  GraphStats s = ComputeGraphStats(g);
+  auto cgr = CgrGraph::Encode(g, CgrOptions{});
+  std::printf("%-28s |V|=%-7u |E|=%-8llu locality=%5.2f itv_cov=%5.1f%% "
+              "bits/edge=%6.2f rate(vs raw CSR)=%5.2fx\n",
+              stage, s.num_nodes, (unsigned long long)s.num_edges,
+              s.locality_score, 100 * s.interval_coverage,
+              cgr.value().BitsPerEdge(),
+              32.0 * raw_edges / cgr.value().total_bits());
+}
+
+}  // namespace
+
+int main() {
+  WebGraphParams params;
+  params.num_nodes = 20000;
+  params.avg_degree = 16;
+  Graph raw = GenerateWebGraph(params);
+  EdgeId raw_edges = raw.num_edges();
+  std::printf("stage-by-stage compression of a crawl-ordered web graph:\n\n");
+  Report("raw crawl order", raw, raw_edges);
+
+  // Stage 1: virtual-node compression (shared navigation templates).
+  VncResult vnc = VirtualNodeCompress(raw);
+  std::printf("\nVNC found %u virtual nodes, %.2fx edge reduction\n\n",
+              vnc.num_virtual_nodes(), vnc.EdgeReduction());
+  Report("after VNC", vnc.graph, raw_edges);
+
+  // Stage 2: node reordering restores the host locality the crawl shuffled.
+  std::printf("\n");
+  for (ReorderMethod m :
+       {ReorderMethod::kDegSort, ReorderMethod::kBfsOrder,
+        ReorderMethod::kGorder, ReorderMethod::kLlp}) {
+    Graph ordered = ApplyReordering(vnc.graph, m);
+    char label[64];
+    std::snprintf(label, sizeof(label), "after VNC + %s", ReorderMethodName(m));
+    Report(label, ordered, raw_edges);
+  }
+
+  std::printf("\nThe uk-2002/uk-2007 rows of bench_fig8_main use exactly this "
+              "pipeline with LLP.\n");
+  return 0;
+}

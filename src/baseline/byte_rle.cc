@@ -1,0 +1,65 @@
+#include "baseline/byte_rle.h"
+
+namespace gcgt {
+namespace {
+
+void PutVarint(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t EncodeZigzag(int64_t n) {
+  return n >= 0 ? (static_cast<uint64_t>(n) << 1)
+                : ((static_cast<uint64_t>(-(n + 1)) << 1) + 1);
+}
+
+int WidthCode(uint64_t gap) {
+  if (gap < (1ull << 8)) return 0;
+  if (gap < (1ull << 16)) return 1;
+  return 2;  // 4 bytes covers all 32-bit node ids
+}
+
+}  // namespace
+
+ByteRleGraph ByteRleGraph::Encode(const Graph& g) {
+  ByteRleGraph out;
+  out.num_edges_ = g.num_edges();
+  out.offsets_.reserve(g.num_nodes() + 1);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    out.offsets_.push_back(out.data_.size());
+    auto nbrs = g.Neighbors(u);
+    PutVarint(nbrs.size(), &out.data_);
+    if (nbrs.empty()) continue;
+    PutVarint(EncodeZigzag(static_cast<int64_t>(nbrs[0]) -
+                           static_cast<int64_t>(u)),
+              &out.data_);
+    // Group gap-1 values into runs of the same byte width (max 64 per run).
+    size_t i = 1;
+    while (i < nbrs.size()) {
+      uint64_t gap0 = nbrs[i] - nbrs[i - 1] - 1;
+      int width_code = WidthCode(gap0);
+      size_t j = i;
+      while (j < nbrs.size() && j - i < 64 &&
+             WidthCode(nbrs[j] - nbrs[j - 1] - 1) == width_code) {
+        ++j;
+      }
+      out.data_.push_back(
+          static_cast<uint8_t>((width_code << 6) | ((j - i - 1) & 0x3f)));
+      int width = 1 << width_code;
+      for (size_t k = i; k < j; ++k) {
+        uint64_t gap = nbrs[k] - nbrs[k - 1] - 1;
+        for (int b = 0; b < width; ++b) {
+          out.data_.push_back(static_cast<uint8_t>(gap >> (8 * b)));
+        }
+      }
+      i = j;
+    }
+  }
+  out.offsets_.push_back(out.data_.size());
+  return out;
+}
+
+}  // namespace gcgt

@@ -1,0 +1,90 @@
+// Byte-aligned run-length codes in the style of Ligra+ (Shun, Dhulipala,
+// Blelloch, DCC'15): per adjacency list a varint degree, a zigzag-varint
+// first neighbor, then difference-coded gaps grouped into runs that share a
+// fixed byte width (header byte = 2-bit width code + 6-bit run length).
+#ifndef GCGT_BASELINE_BYTE_RLE_H_
+#define GCGT_BASELINE_BYTE_RLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gcgt {
+
+class ByteRleGraph {
+ public:
+  static ByteRleGraph Encode(const Graph& g);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size()) - 1; }
+  EdgeId num_edges() const { return num_edges_; }
+
+  /// Invokes f(v) for every neighbor v of u, in ascending order.
+  template <typename F>
+  void ForEachNeighbor(NodeId u, F&& f) const {
+    const uint8_t* p = data_.data() + offsets_[u];
+    uint64_t deg = ReadVarint(&p);
+    if (deg == 0) return;
+    int64_t first = DecodeZigzag(ReadVarint(&p));
+    NodeId prev = static_cast<NodeId>(static_cast<int64_t>(u) + first);
+    f(prev);
+    uint64_t done = 1;
+    while (done < deg) {
+      uint8_t header = *p++;
+      int width = 1 << (header >> 6);
+      uint64_t run = (header & 0x3f) + 1;
+      for (uint64_t i = 0; i < run; ++i) {
+        uint64_t gap = 0;
+        for (int b = 0; b < width; ++b) gap |= uint64_t(*p++) << (8 * b);
+        prev = static_cast<NodeId>(prev + gap + 1);
+        f(prev);
+      }
+      done += run;
+    }
+  }
+
+  /// Degree of u (reads only the degree varint).
+  uint64_t Degree(NodeId u) const {
+    const uint8_t* p = data_.data() + offsets_[u];
+    return ReadVarint(&p);
+  }
+
+  std::vector<NodeId> DecodeAdjacency(NodeId u) const {
+    std::vector<NodeId> out;
+    ForEachNeighbor(u, [&](NodeId v) { out.push_back(v); });
+    return out;
+  }
+
+  uint64_t DataBytes() const { return data_.size(); }
+  double BitsPerEdge() const {
+    return num_edges_ ? 8.0 * static_cast<double>(data_.size()) / num_edges_ : 0;
+  }
+  double CompressionRate() const {
+    double bpe = BitsPerEdge();
+    return bpe > 0 ? 32.0 / bpe : 0.0;
+  }
+
+ private:
+  static uint64_t ReadVarint(const uint8_t** p) {
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      uint8_t b = *(*p)++;
+      v |= uint64_t(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+  static int64_t DecodeZigzag(uint64_t z) {
+    return (z & 1) ? -static_cast<int64_t>((z >> 1) + 1)
+                   : static_cast<int64_t>(z >> 1);
+  }
+
+  std::vector<uint8_t> data_;
+  std::vector<uint64_t> offsets_;  // per-node byte offset, size V+1
+  EdgeId num_edges_ = 0;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_BASELINE_BYTE_RLE_H_

@@ -1,0 +1,135 @@
+#include "baseline/cpu_bfs.h"
+
+#include <atomic>
+#include <deque>
+
+namespace gcgt {
+namespace {
+
+// Shared scheduling skeleton for Ligra / Ligra+: NeighborScan is a callable
+// (u, f) that applies f to every out-neighbor of u in `fwd`, or every
+// in-neighbor when scanning `rev`.
+template <typename ForwardScan, typename ReverseScan>
+std::vector<uint32_t> DirectionOptimizingBfs(NodeId num_nodes, EdgeId num_edges,
+                                             const std::vector<EdgeId>& out_deg,
+                                             NodeId source, ThreadPool& pool,
+                                             const LigraOptions& options,
+                                             ForwardScan&& fwd,
+                                             ReverseScan&& rev) {
+  std::vector<std::atomic<uint32_t>> depth(num_nodes);
+  for (auto& d : depth) d.store(kBfsUnreached, std::memory_order_relaxed);
+  depth[source].store(0, std::memory_order_relaxed);
+
+  std::vector<NodeId> frontier{source};
+  std::vector<uint8_t> in_frontier(num_nodes, 0);
+  uint32_t level = 0;
+  const uint64_t dense_threshold =
+      options.dense_denominator ? num_edges / options.dense_denominator : 0;
+
+  while (!frontier.empty()) {
+    uint64_t frontier_edges = 0;
+    for (NodeId u : frontier) frontier_edges += out_deg[u];
+    const bool dense = frontier_edges + frontier.size() > dense_threshold;
+
+    std::vector<std::vector<NodeId>> next_parts(pool.num_threads());
+
+    if (dense) {
+      std::fill(in_frontier.begin(), in_frontier.end(), 0);
+      for (NodeId u : frontier) in_frontier[u] = 1;
+      pool.ParallelFor(num_nodes, 4096,
+                       [&](size_t thread_idx, size_t begin, size_t end) {
+        auto& next = next_parts[thread_idx];
+        for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+          if (depth[v].load(std::memory_order_relaxed) != kBfsUnreached) {
+            continue;
+          }
+          // Pull: claim v if any in-neighbor is in the frontier.
+          bool found = false;
+          rev(v, [&](NodeId w) {
+            if (!found && in_frontier[w]) found = true;
+          });
+          if (found) {
+            depth[v].store(level + 1, std::memory_order_relaxed);
+            next.push_back(v);
+          }
+        }
+      });
+    } else {
+      pool.ParallelFor(frontier.size(), 64,
+                       [&](size_t thread_idx, size_t begin, size_t end) {
+        auto& next = next_parts[thread_idx];
+        for (size_t i = begin; i < end; ++i) {
+          NodeId u = frontier[i];
+          fwd(u, [&](NodeId v) {
+            uint32_t expected = kBfsUnreached;
+            if (depth[v].compare_exchange_strong(expected, level + 1,
+                                                 std::memory_order_relaxed)) {
+              next.push_back(v);
+            }
+          });
+        }
+      });
+    }
+
+    frontier.clear();
+    for (auto& part : next_parts) {
+      frontier.insert(frontier.end(), part.begin(), part.end());
+    }
+    ++level;
+  }
+
+  std::vector<uint32_t> out(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    out[v] = depth[v].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint32_t> SerialBfs(const Graph& g, NodeId source) {
+  std::vector<uint32_t> depth(g.num_nodes(), kBfsUnreached);
+  std::deque<NodeId> queue;
+  depth[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.Neighbors(u)) {
+      if (depth[v] == kBfsUnreached) {
+        depth[v] = depth[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<uint32_t> LigraBfs(const Graph& g, const Graph& reverse,
+                               NodeId source, ThreadPool& pool,
+                               const LigraOptions& options) {
+  std::vector<EdgeId> out_deg(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) out_deg[u] = g.out_degree(u);
+  return DirectionOptimizingBfs(
+      g.num_nodes(), g.num_edges(), out_deg, source, pool, options,
+      [&](NodeId u, auto&& f) {
+        for (NodeId v : g.Neighbors(u)) f(v);
+      },
+      [&](NodeId v, auto&& f) {
+        for (NodeId w : reverse.Neighbors(v)) f(w);
+      });
+}
+
+std::vector<uint32_t> LigraPlusBfs(const ByteRleGraph& g,
+                                   const ByteRleGraph& reverse, NodeId source,
+                                   ThreadPool& pool,
+                                   const LigraOptions& options) {
+  std::vector<EdgeId> out_deg(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) out_deg[u] = g.Degree(u);
+  return DirectionOptimizingBfs(
+      g.num_nodes(), g.num_edges(), out_deg, source, pool, options,
+      [&](NodeId u, auto&& f) { g.ForEachNeighbor(u, f); },
+      [&](NodeId v, auto&& f) { reverse.ForEachNeighbor(v, f); });
+}
+
+}  // namespace gcgt

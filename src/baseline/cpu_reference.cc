@@ -1,0 +1,87 @@
+#include "baseline/cpu_reference.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace gcgt {
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  NodeId Find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(NodeId a, NodeId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (a < b) {
+      parent_[b] = a;
+    } else {
+      parent_[a] = b;
+    }
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+std::vector<NodeId> SerialCc(const Graph& g) {
+  UnionFind uf(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) uf.Union(u, v);
+  }
+  std::vector<NodeId> out(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) out[u] = uf.Find(u);
+  return out;
+}
+
+SerialBcResult SerialBc(const Graph& g, NodeId source) {
+  const NodeId n = g.num_nodes();
+  SerialBcResult r;
+  r.depth.assign(n, static_cast<uint32_t>(-1));
+  r.sigma.assign(n, 0.0);
+  r.dependency.assign(n, 0.0);
+
+  std::vector<NodeId> order;  // BFS visit order
+  order.reserve(n);
+  std::deque<NodeId> queue;
+  r.depth[source] = 0;
+  r.sigma[source] = 1.0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (NodeId v : g.Neighbors(u)) {
+      if (r.depth[v] == static_cast<uint32_t>(-1)) {
+        r.depth[v] = r.depth[u] + 1;
+        queue.push_back(v);
+      }
+      if (r.depth[v] == r.depth[u] + 1) r.sigma[v] += r.sigma[u];
+    }
+  }
+  // Dependency accumulation in reverse BFS order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId u = *it;
+    for (NodeId v : g.Neighbors(u)) {
+      if (r.depth[v] == r.depth[u] + 1 && r.sigma[v] > 0) {
+        r.dependency[u] += r.sigma[u] / r.sigma[v] * (1.0 + r.dependency[v]);
+      }
+    }
+  }
+  r.dependency[source] = 0.0;
+  return r;
+}
+
+}  // namespace gcgt

@@ -1,0 +1,28 @@
+// Serial CPU reference implementations used as correctness oracles:
+// union-find connected components and Brandes betweenness centrality.
+#ifndef GCGT_BASELINE_CPU_REFERENCE_H_
+#define GCGT_BASELINE_CPU_REFERENCE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gcgt {
+
+/// Weakly connected components via union-find; returns the representative
+/// (smallest node id in the component) per node.
+std::vector<NodeId> SerialCc(const Graph& g);
+
+struct SerialBcResult {
+  std::vector<double> dependency;  // Brandes delta for one source
+  std::vector<uint32_t> depth;
+  std::vector<double> sigma;
+};
+
+/// Single-source Brandes dependency accumulation (the per-source term whose
+/// sum over all sources is betweenness centrality).
+SerialBcResult SerialBc(const Graph& g, NodeId source);
+
+}  // namespace gcgt
+
+#endif  // GCGT_BASELINE_CPU_REFERENCE_H_

@@ -1,0 +1,309 @@
+#include "baseline/csr_gpu_engine.h"
+
+#include <algorithm>
+
+#include "core/bc_filters.h"
+#include "core/cc_filter.h"
+#include "core/memory_layout.h"
+#include "simt/machine.h"
+#include "simt/warp.h"
+
+namespace gcgt {
+namespace {
+
+using simt::WarpContext;
+using simt::WarpStats;
+
+/// Visited-check + contraction charging shared by all CSR kernels; mirrors
+/// the GCGT AppendStep so both engines pay identical filtering costs.
+void AppendCharge(WarpContext& ctx, FrontierFilter& filter,
+                  const std::vector<std::pair<NodeId, NodeId>>& uv,
+                  std::vector<NodeId>* out) {
+  if (uv.empty()) return;
+  ctx.AppendStepOp(static_cast<int>(uv.size()));
+  std::vector<uint64_t> addrs;
+  addrs.reserve(uv.size());
+  for (const auto& [u, v] : uv) addrs.push_back(kLabelBase + 4ull * v);
+  ctx.MemAccess(addrs, 4);
+  ctx.SharedOp();
+  ctx.Atomic(1);
+  std::vector<uint64_t> write_addrs;
+  size_t tail = out->size();
+  for (const auto& [u, v] : uv) {
+    if (filter.Filter(u, v)) {
+      out->push_back(filter.AppendTarget(u, v));
+      write_addrs.push_back(kLabelBase + 4ull * v);
+    }
+  }
+  if (int extra = filter.TakeAtomics(); extra > 0) ctx.Atomic(extra);
+  if (!write_addrs.empty()) {
+    ctx.MemAccess(write_addrs, 4);
+    ctx.MemAccessRange(kQueueBase + 4ull * tail, 4ull * (out->size() - tail));
+  }
+}
+
+/// One warp of the Merrill-style gather kernel: big adjacency lists are
+/// strip-mined by the whole warp (coalesced column reads); the small
+/// leftovers are packed through a scan into full windows.
+void CsrWarp(const Graph& g, std::span<const NodeId> chunk,
+             FrontierFilter& filter, std::vector<NodeId>* out, int lanes,
+             WarpContext& ctx) {
+  ctx.Step(static_cast<int>(chunk.size()));
+  ctx.MemAccessRange(kQueueBase, 4ull * chunk.size());
+  std::vector<uint64_t> addrs;
+  for (NodeId u : chunk) addrs.push_back(kOffsetsBase + 4ull * u);
+  ctx.MemAccess(addrs, 8);  // offset + next offset
+
+  std::vector<std::pair<NodeId, NodeId>> uv;
+  // Tier 1: warp-wide strip mining of large lists.
+  std::vector<size_t> small;
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    NodeId u = chunk[i];
+    EdgeId deg = g.out_degree(u);
+    if (deg < static_cast<EdgeId>(lanes)) {
+      small.push_back(i);
+      continue;
+    }
+    auto nbrs = g.Neighbors(u);
+    EdgeId off = g.offsets()[u];
+    for (EdgeId done = 0; done < deg; done += lanes) {
+      EdgeId cnt = std::min<EdgeId>(lanes, deg - done);
+      ctx.MemAccessRange(kCsrColBase + 4ull * (off + done), 4ull * cnt);
+      uv.clear();
+      for (EdgeId k = 0; k < cnt; ++k) uv.emplace_back(u, nbrs[done + k]);
+      AppendCharge(ctx, filter, uv, out);
+    }
+  }
+  // Tier 2: fine-grained scan-based gather over the small lists.
+  if (!small.empty()) {
+    ctx.SharedOp();  // exclusiveScan of the small degrees
+    uv.clear();
+    std::vector<uint64_t> col_addrs;
+    auto flush = [&]() {
+      if (uv.empty()) return;
+      ctx.MemAccess(col_addrs, 4);
+      AppendCharge(ctx, filter, uv, out);
+      uv.clear();
+      col_addrs.clear();
+    };
+    for (size_t i : small) {
+      NodeId u = chunk[i];
+      auto nbrs = g.Neighbors(u);
+      EdgeId off = g.offsets()[u];
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        uv.emplace_back(u, nbrs[k]);
+        col_addrs.push_back(kCsrColBase + 4ull * (off + k));
+        if (uv.size() == static_cast<size_t>(lanes)) flush();
+      }
+    }
+    flush();
+  }
+}
+
+void ProcessFrontierCsr(const Graph& g, std::span<const NodeId> frontier,
+                        FrontierFilter& filter, std::vector<NodeId>* out,
+                        std::vector<WarpStats>* warp_stats,
+                        const CsrEngineOptions& o) {
+  for (size_t off = 0; off < frontier.size(); off += o.lanes) {
+    size_t n = std::min<size_t>(o.lanes, frontier.size() - off);
+    WarpContext ctx(o.lanes, o.cost.cache_line_bytes);
+    CsrWarp(g, frontier.subspan(off, n), filter, out, o.lanes, ctx);
+    warp_stats->push_back(ctx.TakeStats());
+  }
+}
+
+/// Gunrock's extra per-level filter/compaction kernel over the new frontier.
+std::vector<WarpStats> GunrockFilterKernel(size_t frontier_size,
+                                           const CsrEngineOptions& o) {
+  std::vector<WarpStats> warps;
+  for (size_t off = 0; off < frontier_size; off += o.lanes) {
+    size_t n = std::min<size_t>(o.lanes, frontier_size - off);
+    WarpContext ctx(o.lanes, o.cost.cache_line_bytes);
+    ctx.Step(static_cast<int>(n));
+    ctx.MemAccessRange(kQueueBase + 4ull * off, 4ull * n);   // read
+    ctx.SharedOp();
+    ctx.MemAccessRange(kQueueBase + 4ull * off, 4ull * n);   // compacted write
+    warps.push_back(ctx.TakeStats());
+  }
+  if (warps.empty()) warps.push_back(WarpStats{});
+  return warps;
+}
+
+}  // namespace
+
+uint64_t CsrBytes32(const Graph& g) {
+  return 4ull * (g.num_nodes() + 1) + 4ull * g.num_edges();
+}
+
+Result<GcgtBfsResult> CsrBfs(const Graph& g, NodeId source,
+                             const CsrEngineOptions& options) {
+  if (source >= g.num_nodes()) {
+    return Status::InvalidArgument("BFS source out of range");
+  }
+  const uint64_t v = g.num_nodes();
+  uint64_t device_bytes = CsrBytes32(g) + 4 * v /* labels */ + 8 * v /* queues */;
+  if (options.gunrock) {
+    device_bytes = static_cast<uint64_t>(device_bytes *
+                                         options.gunrock_memory_factor);
+  }
+  if (device_bytes > options.device.memory_bytes) {
+    return Status::OutOfMemory("CSR BFS footprint exceeds device memory");
+  }
+
+  BfsFilter filter(g.num_nodes());
+  filter.SetSource(source);
+  simt::KernelTimeline timeline(options.cost);
+
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  std::vector<WarpStats> warps;
+  while (!frontier.empty()) {
+    next.clear();
+    warps.clear();
+    ProcessFrontierCsr(g, frontier, filter, &next, &warps, options);
+    timeline.AddKernel(warps);
+    if (options.gunrock) {
+      timeline.AddKernel(GunrockFilterKernel(next.size(), options));
+    }
+    frontier.swap(next);
+  }
+
+  GcgtBfsResult result;
+  result.depth = filter.TakeDepth();
+  result.metrics.model_ms = timeline.TotalMs();
+  result.metrics.kernels = timeline.num_kernels();
+  result.metrics.device_bytes = device_bytes;
+  result.metrics.warp = timeline.aggregate();
+  return result;
+}
+
+Result<GcgtCcResult> CsrCc(const Graph& g, const CsrEngineOptions& options) {
+  const uint64_t v = g.num_nodes();
+  const uint64_t e = g.num_edges();
+  // Soman et al. is edge-centric: COO edge list + parent array.
+  uint64_t device_bytes = 8 * e + 4 * v;
+  if (options.gunrock) {
+    // Gunrock implements CC over its frontier framework on CSR.
+    device_bytes = static_cast<uint64_t>(
+        (CsrBytes32(g) + 4 * v + 8 * v) * options.gunrock_memory_factor);
+  }
+  if (device_bytes > options.device.memory_bytes) {
+    return Status::OutOfMemory("CSR CC footprint exceeds device memory");
+  }
+
+  EdgeList edges = g.ToEdges();
+  CcFilter filter(g.num_nodes());
+  simt::KernelTimeline timeline(options.cost);
+  std::vector<WarpStats> warps;
+  std::vector<NodeId> scratch;
+  int rounds = 0;
+  for (;;) {
+    ++rounds;
+    bool hooked = false;
+    warps.clear();
+    for (size_t off = 0; off < edges.size(); off += options.lanes) {
+      size_t n = std::min<size_t>(options.lanes, edges.size() - off);
+      WarpContext ctx(options.lanes, options.cost.cache_line_bytes);
+      ctx.Step(static_cast<int>(n));
+      ctx.MemAccessRange(kCsrColBase + 4ull * off, 4ull * n);          // u array
+      ctx.MemAccessRange(kCsrColBase + (4ull << 30) + 4ull * off, 4ull * n);
+      std::vector<uint64_t> addrs;
+      uint64_t max_depth = 1;
+      for (size_t i = off; i < off + n; ++i) {
+        auto [eu, ev] = edges[i];
+        uint64_t depth = 0;
+        for (NodeId r = eu; filter.parent()[r] != r; r = filter.parent()[r]) {
+          addrs.push_back(kLabelBase + 4ull * r);
+          ++depth;
+        }
+        for (NodeId r = ev; filter.parent()[r] != r; r = filter.parent()[r]) {
+          addrs.push_back(kLabelBase + 4ull * r);
+          ++depth;
+        }
+        max_depth = std::max(max_depth, depth);
+        scratch.clear();
+        if (filter.Filter(eu, ev)) hooked = true;
+      }
+      if (int a = filter.TakeAtomics(); a > 0) ctx.Atomic(a);
+      for (uint64_t d = 1; d < max_depth; ++d) ctx.Step(static_cast<int>(n));
+      ctx.MemAccess(addrs, 4);
+      warps.push_back(ctx.TakeStats());
+    }
+    timeline.AddKernel(warps);
+    timeline.AddKernel(
+        filter.PointerJump(options.lanes, options.cost.cache_line_bytes));
+    if (!hooked) break;
+  }
+
+  GcgtCcResult result;
+  result.component = filter.parent();
+  result.rounds = rounds;
+  result.metrics.model_ms = timeline.TotalMs();
+  result.metrics.kernels = timeline.num_kernels();
+  result.metrics.device_bytes = device_bytes;
+  result.metrics.warp = timeline.aggregate();
+  return result;
+}
+
+Result<GcgtBcResult> CsrBc(const Graph& g, NodeId source,
+                           const CsrEngineOptions& options) {
+  if (source >= g.num_nodes()) {
+    return Status::InvalidArgument("BC source out of range");
+  }
+  const uint64_t v = g.num_nodes();
+  // Two-pass BC (successors recomputed from depths): CSR + per-node arrays.
+  uint64_t device_bytes = CsrBytes32(g) + 4 * v + 8 * v + 8 * v + 8 * v;
+  if (options.gunrock) {
+    device_bytes = static_cast<uint64_t>(device_bytes *
+                                         options.gunrock_memory_factor);
+  }
+  if (device_bytes > options.device.memory_bytes) {
+    return Status::OutOfMemory("CSR BC footprint exceeds device memory");
+  }
+
+  GcgtBcResult result;
+  result.depth.assign(v, kBcUnvisited);
+  result.sigma.assign(v, 0.0);
+  result.dependency.assign(v, 0.0);
+  result.depth[source] = 0;
+  result.sigma[source] = 1.0;
+
+  simt::KernelTimeline timeline(options.cost);
+  std::vector<std::vector<NodeId>> levels;
+  levels.push_back({source});
+  {
+    BcForwardFilter filter(result.depth, result.sigma);
+    std::vector<WarpStats> warps;
+    while (!levels.back().empty()) {
+      std::vector<NodeId> next;
+      warps.clear();
+      ProcessFrontierCsr(g, levels.back(), filter, &next, &warps, options);
+      timeline.AddKernel(warps);
+      if (options.gunrock) {
+        timeline.AddKernel(GunrockFilterKernel(next.size(), options));
+      }
+      levels.push_back(std::move(next));
+    }
+    levels.pop_back();
+  }
+  {
+    BcBackwardFilter filter(result.depth, result.sigma, result.dependency);
+    std::vector<NodeId> unused;
+    std::vector<WarpStats> warps;
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+      if (it->empty()) continue;
+      warps.clear();
+      ProcessFrontierCsr(g, *it, filter, &unused, &warps, options);
+      timeline.AddKernel(warps);
+    }
+  }
+  result.dependency[source] = 0.0;
+
+  result.metrics.model_ms = timeline.TotalMs();
+  result.metrics.kernels = timeline.num_kernels();
+  result.metrics.device_bytes = device_bytes;
+  result.metrics.warp = timeline.aggregate();
+  return result;
+}
+
+}  // namespace gcgt

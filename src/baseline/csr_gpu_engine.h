@@ -1,0 +1,47 @@
+// Simulated GPU baselines on uncompressed CSR:
+//  - GPUCSR: Merrill-style BFS (warp gathering with degree tiers), Soman
+//    edge-centric CC, Sriram-style two-pass BC.
+//  - Gunrock: the same computation through a frontier-centric framework,
+//    modeled with an extra per-level filter kernel and the platform's
+//    device-memory overhead (this is what makes Gunrock OOM on the two
+//    largest datasets in paper Fig. 8/15).
+// Both run on the same simulated machine as GCGT (src/simt) so that the
+// comparison isolates the cost of operating on the compressed format.
+#ifndef GCGT_BASELINE_CSR_GPU_ENGINE_H_
+#define GCGT_BASELINE_CSR_GPU_ENGINE_H_
+
+#include <vector>
+
+#include "core/bc.h"
+#include "core/bfs.h"
+#include "core/cc.h"
+#include "core/frontier_filter.h"
+#include "graph/graph.h"
+#include "simt/cost_model.h"
+
+namespace gcgt {
+
+struct CsrEngineOptions {
+  int lanes = simt::kWarpSize;
+  simt::CostModel cost;
+  simt::DeviceSpec device;
+  /// Gunrock mode: extra filter kernel per level + memory overhead factor.
+  bool gunrock = false;
+  double gunrock_memory_factor = 2.6;
+};
+
+/// CSR adjacency bytes: 4-byte offsets (V+1) + 4-byte columns (the paper's
+/// "E 32-bit integers" CSR).
+uint64_t CsrBytes32(const Graph& g);
+
+Result<GcgtBfsResult> CsrBfs(const Graph& g, NodeId source,
+                             const CsrEngineOptions& options);
+
+Result<GcgtCcResult> CsrCc(const Graph& g, const CsrEngineOptions& options);
+
+Result<GcgtBcResult> CsrBc(const Graph& g, NodeId source,
+                           const CsrEngineOptions& options);
+
+}  // namespace gcgt
+
+#endif  // GCGT_BASELINE_CSR_GPU_ENGINE_H_

@@ -1,0 +1,125 @@
+#include "cgr/cgr_decoder.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/zigzag.h"
+
+namespace gcgt {
+
+NodeId ResidualStream::Next() {
+  assert(remaining_ > 0);
+  --remaining_;
+  uint64_t v = VlcDecode(scheme_, &reader_);
+  if (first_) {
+    first_ = false;
+    prev_ = static_cast<NodeId>(static_cast<int64_t>(u_) + ZigzagDecode(v - 1));
+  } else {
+    prev_ = static_cast<NodeId>(prev_ + v);
+  }
+  return prev_;
+}
+
+CgrNodeDecoder::CgrNodeDecoder(const CgrGraph& g, NodeId u)
+    : graph_(&g),
+      reader_(g.bits().data(), g.total_bits(), g.bit_start(u)),
+      scheme_(g.options().scheme),
+      u_(u),
+      segmented_(g.options().segment_len_bytes != 0),
+      prev_interval_end_(u) {}
+
+uint64_t CgrNodeDecoder::ReadDegree() {
+  assert(!segmented_);
+  return VlcDecode(scheme_, &reader_) - 1;
+}
+
+uint32_t CgrNodeDecoder::ReadIntervalCount() {
+  return static_cast<uint32_t>(VlcDecode(scheme_, &reader_) - 1);
+}
+
+CgrInterval CgrNodeDecoder::ReadNextInterval() {
+  const int min_len = graph_->options().min_interval_len == CgrOptions::kNoIntervals
+                          ? 2
+                          : graph_->options().min_interval_len;
+  uint64_t v = VlcDecode(scheme_, &reader_);
+  NodeId start;
+  if (first_interval_) {
+    first_interval_ = false;
+    start = static_cast<NodeId>(static_cast<int64_t>(u_) + ZigzagDecode(v - 1));
+  } else {
+    start = static_cast<NodeId>(prev_interval_end_ + v);
+  }
+  uint32_t len =
+      static_cast<uint32_t>(VlcDecode(scheme_, &reader_) - 1 + min_len);
+  prev_interval_end_ = start + len - 1;
+  interval_neighbors_ += len;
+  return {start, len};
+}
+
+uint32_t CgrNodeDecoder::ReadSegmentCount() {
+  assert(segmented_);
+  segment_count_ = static_cast<uint32_t>(VlcDecode(scheme_, &reader_) - 1);
+  segment_base_bits_ = (reader_.pos() + 7) / 8 * 8;  // global byte alignment
+  return segment_count_;
+}
+
+uint64_t CgrNodeDecoder::SegmentBitPos(uint32_t seg_idx) const {
+  return segment_base_bits_ +
+         static_cast<uint64_t>(seg_idx) * graph_->options().segment_len_bytes * 8;
+}
+
+ResidualStream CgrNodeDecoder::UnsegmentedResiduals(uint64_t count) {
+  assert(!segmented_);
+  return ResidualStream(*graph_, u_, count, reader_.pos());
+}
+
+ResidualStream CgrNodeDecoder::SegmentResiduals(uint32_t seg_idx) {
+  assert(segmented_ && seg_idx < segment_count_);
+  BitReader r(graph_->bits().data(), graph_->total_bits(), SegmentBitPos(seg_idx));
+  uint64_t count = VlcDecode(scheme_, &r) - 1;
+  return ResidualStream(*graph_, u_, count, r.pos());
+}
+
+std::vector<NodeId> DecodeAdjacency(const CgrGraph& g, NodeId u) {
+  std::vector<NodeId> out;
+  CgrNodeDecoder dec(g, u);
+  if (!g.options().segment_len_bytes) {
+    uint64_t deg = dec.ReadDegree();
+    if (deg == 0) return out;
+    out.reserve(deg);
+    uint32_t itv_count = dec.ReadIntervalCount();
+    for (uint32_t i = 0; i < itv_count; ++i) {
+      CgrInterval itv = dec.ReadNextInterval();
+      for (uint32_t t = 0; t < itv.len; ++t) out.push_back(itv.start + t);
+    }
+    ResidualStream rs =
+        dec.UnsegmentedResiduals(deg - dec.interval_neighbor_total());
+    while (rs.HasNext()) out.push_back(rs.Next());
+  } else {
+    uint32_t itv_count = dec.ReadIntervalCount();
+    for (uint32_t i = 0; i < itv_count; ++i) {
+      CgrInterval itv = dec.ReadNextInterval();
+      for (uint32_t t = 0; t < itv.len; ++t) out.push_back(itv.start + t);
+    }
+    uint32_t segs = dec.ReadSegmentCount();
+    for (uint32_t s = 0; s < segs; ++s) {
+      ResidualStream rs = dec.SegmentResiduals(s);
+      while (rs.HasNext()) out.push_back(rs.Next());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t DecodeDegree(const CgrGraph& g, NodeId u) {
+  CgrNodeDecoder dec(g, u);
+  if (!g.options().segment_len_bytes) return dec.ReadDegree();
+  uint64_t deg = 0;
+  uint32_t itv_count = dec.ReadIntervalCount();
+  for (uint32_t i = 0; i < itv_count; ++i) deg += dec.ReadNextInterval().len;
+  uint32_t segs = dec.ReadSegmentCount();
+  for (uint32_t s = 0; s < segs; ++s) deg += dec.SegmentResiduals(s).remaining();
+  return deg;
+}
+
+}  // namespace gcgt

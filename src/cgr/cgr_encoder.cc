@@ -1,0 +1,182 @@
+#include "cgr/cgr_encoder.h"
+
+#include <cassert>
+
+#include "util/zigzag.h"
+
+namespace gcgt {
+
+IntervalDecomposition DecomposeAdjacency(std::span<const NodeId> neighbors,
+                                         int min_interval_len) {
+  IntervalDecomposition d;
+  size_t i = 0;
+  const size_t n = neighbors.size();
+  const bool intervals_enabled = min_interval_len != CgrOptions::kNoIntervals;
+  while (i < n) {
+    size_t j = i + 1;
+    while (j < n && neighbors[j] == neighbors[j - 1] + 1) ++j;
+    size_t run = j - i;
+    if (intervals_enabled && run >= static_cast<size_t>(min_interval_len)) {
+      d.intervals.push_back({neighbors[i], static_cast<uint32_t>(run)});
+    } else {
+      for (size_t t = i; t < j; ++t) d.residuals.push_back(neighbors[t]);
+    }
+    i = j;
+  }
+  return d;
+}
+
+namespace {
+
+// Encoded length of residual r at index `idx` of a run starting at
+// `first_idx`, where the first element is coded relative to u.
+int ResidualCost(VlcScheme scheme, NodeId u, std::span<const NodeId> res,
+                 size_t idx, size_t first_idx) {
+  if (idx == first_idx) {
+    return VlcLength(scheme,
+                     ZigzagEncode(static_cast<int64_t>(res[idx]) -
+                                  static_cast<int64_t>(u)) +
+                         1);
+  }
+  return VlcLength(scheme, res[idx] - res[idx - 1]);
+}
+
+void PutResidual(VlcScheme scheme, NodeId u, std::span<const NodeId> res,
+                 size_t idx, size_t first_idx, BitWriter* w) {
+  if (idx == first_idx) {
+    VlcEncode(scheme,
+              ZigzagEncode(static_cast<int64_t>(res[idx]) -
+                           static_cast<int64_t>(u)) +
+                  1,
+              w);
+  } else {
+    VlcEncode(scheme, res[idx] - res[idx - 1], w);
+  }
+}
+
+}  // namespace
+
+void CgrEncoder::EncodeIntervals(NodeId u,
+                                 const std::vector<CgrInterval>& intervals,
+                                 BitWriter* writer) const {
+  const VlcScheme scheme = options_.scheme;
+  NodeId prev_end = u;  // "end" = last covered id of the previous interval
+  bool first = true;
+  const int min_len = options_.min_interval_len == CgrOptions::kNoIntervals
+                          ? 2
+                          : options_.min_interval_len;
+  for (const CgrInterval& itv : intervals) {
+    if (first) {
+      VlcEncode(scheme,
+                ZigzagEncode(static_cast<int64_t>(itv.start) -
+                             static_cast<int64_t>(u)) +
+                    1,
+                writer);
+      first = false;
+    } else {
+      VlcEncode(scheme, itv.start - prev_end, writer);
+    }
+    assert(itv.len >= static_cast<uint32_t>(min_len));
+    VlcEncode(scheme, itv.len - min_len + 1, writer);
+    prev_end = itv.start + itv.len - 1;
+  }
+}
+
+Status CgrEncoder::EncodeUnsegmented(NodeId u, const IntervalDecomposition& d,
+                                     BitWriter* writer) const {
+  const VlcScheme scheme = options_.scheme;
+  uint64_t degree = d.residuals.size();
+  for (const auto& itv : d.intervals) degree += itv.len;
+  VlcEncode(scheme, degree + 1, writer);
+  if (degree == 0) return Status::OK();
+  VlcEncode(scheme, d.intervals.size() + 1, writer);
+  EncodeIntervals(u, d.intervals, writer);
+  std::span<const NodeId> res(d.residuals);
+  for (size_t i = 0; i < res.size(); ++i) {
+    PutResidual(scheme, u, res, i, /*first_idx=*/0, writer);
+  }
+  return Status::OK();
+}
+
+Status CgrEncoder::EncodeSegmented(NodeId u, const IntervalDecomposition& d,
+                                   BitWriter* writer) const {
+  const VlcScheme scheme = options_.scheme;
+  VlcEncode(scheme, d.intervals.size() + 1, writer);
+  EncodeIntervals(u, d.intervals, writer);
+
+  std::span<const NodeId> res(d.residuals);
+  const size_t seg_bits = static_cast<size_t>(options_.segment_len_bytes) * 8;
+
+  // Plan segment boundaries: middle segments are greedily filled to exactly
+  // seg_bits; the remainder becomes the last (unpadded) segment once it fits
+  // in 2*seg_bits (paper Fig. 6 rule).
+  std::vector<std::pair<size_t, size_t>> segments;  // (first_idx, count)
+  size_t idx = 0;
+  while (idx < res.size()) {
+    // Bits if [idx, end) were emitted as one final segment.
+    size_t rest_bits = 0;
+    {
+      size_t count = res.size() - idx;
+      rest_bits = VlcLength(scheme, count + 1);
+      for (size_t i = idx; i < res.size(); ++i) {
+        rest_bits += ResidualCost(scheme, u, res, i, idx);
+      }
+    }
+    // Emit the remainder as the final unpadded segment once it fits in
+    // 2*seg_bits. When this is not the only segment the remainder is then
+    // guaranteed to be > seg_bits (the paper's "1-2 times segLen" rule),
+    // because the previous iteration saw rest > 2*seg_bits and a full
+    // segment removes at most seg_bits of it.
+    if (rest_bits <= 2 * seg_bits) {
+      segments.emplace_back(idx, res.size() - idx);
+      idx = res.size();
+      break;
+    }
+    // Greedy fill one fixed-size segment.
+    size_t count = 0;
+    size_t payload_bits = 0;
+    while (idx + count < res.size()) {
+      size_t cost = ResidualCost(scheme, u, res, idx + count, idx);
+      size_t header = VlcLength(scheme, count + 1 + 1);
+      if (header + payload_bits + cost > seg_bits) break;
+      payload_bits += cost;
+      ++count;
+    }
+    if (count == 0) {
+      return Status::Corruption(
+          "residual does not fit in one segment; increase segment_len_bytes");
+    }
+    segments.emplace_back(idx, count);
+    idx += count;
+  }
+
+  VlcEncode(scheme, segments.size() + 1, writer);
+  if (segments.empty()) return Status::OK();
+  writer->AlignTo(8);
+
+  for (size_t s = 0; s < segments.size(); ++s) {
+    const auto [first_idx, count] = segments[s];
+    size_t seg_start = writer->num_bits();
+    VlcEncode(scheme, count + 1, writer);
+    for (size_t i = first_idx; i < first_idx + count; ++i) {
+      PutResidual(scheme, u, res, i, first_idx, writer);
+    }
+    size_t used = writer->num_bits() - seg_start;
+    if (s + 1 < segments.size()) {
+      if (used > seg_bits) {
+        return Status::Internal("segment overflow during encoding");
+      }
+      writer->PutZeros(static_cast<int>(seg_bits - used));  // blank area
+    }
+  }
+  return Status::OK();
+}
+
+Status CgrEncoder::EncodeNode(NodeId u, std::span<const NodeId> neighbors,
+                              BitWriter* writer) const {
+  IntervalDecomposition d = DecomposeAdjacency(neighbors, options_.min_interval_len);
+  if (options_.segment_len_bytes == 0) return EncodeUnsegmented(u, d, writer);
+  return EncodeSegmented(u, d, writer);
+}
+
+}  // namespace gcgt

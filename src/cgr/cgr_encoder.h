@@ -1,0 +1,37 @@
+// CGR encoder: adjacency list -> intervals/residuals -> gap transform -> VLC.
+#ifndef GCGT_CGR_CGR_ENCODER_H_
+#define GCGT_CGR_CGR_ENCODER_H_
+
+#include <vector>
+
+#include "cgr/cgr_graph.h"
+#include "util/bit_stream.h"
+
+namespace gcgt {
+
+/// Stateless helper that encodes single adjacency lists; CgrGraph::Encode
+/// drives it over a whole graph. Exposed separately for unit tests that pin
+/// the paper's Fig. 2 example.
+class CgrEncoder {
+ public:
+  explicit CgrEncoder(const CgrOptions& options) : options_(options) {}
+
+  /// Appends the encoding of node u's adjacency list to `writer`.
+  /// `neighbors` must be sorted ascending and deduplicated.
+  Status EncodeNode(NodeId u, std::span<const NodeId> neighbors,
+                    BitWriter* writer) const;
+
+ private:
+  Status EncodeUnsegmented(NodeId u, const IntervalDecomposition& d,
+                           BitWriter* writer) const;
+  Status EncodeSegmented(NodeId u, const IntervalDecomposition& d,
+                         BitWriter* writer) const;
+  void EncodeIntervals(NodeId u, const std::vector<CgrInterval>& intervals,
+                       BitWriter* writer) const;
+
+  CgrOptions options_;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_CGR_CGR_ENCODER_H_

@@ -1,0 +1,28 @@
+#include "cgr/cgr_graph.h"
+
+#include "cgr/cgr_encoder.h"
+#include "util/bit_stream.h"
+
+namespace gcgt {
+
+Result<CgrGraph> CgrGraph::Encode(const Graph& g, const CgrOptions& options) {
+  GCGT_RETURN_NOT_OK(options.Validate());
+  CgrGraph cg;
+  cg.options_ = options;
+  cg.num_nodes_ = g.num_nodes();
+  cg.num_edges_ = g.num_edges();
+  cg.bit_start_.reserve(g.num_nodes() + 1);
+
+  CgrEncoder encoder(options);
+  BitWriter writer;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    cg.bit_start_.push_back(writer.num_bits());
+    GCGT_RETURN_NOT_OK(encoder.EncodeNode(u, g.Neighbors(u), &writer));
+  }
+  cg.bit_start_.push_back(writer.num_bits());
+  cg.total_bits_ = writer.num_bits();
+  cg.bits_ = writer.TakeBytes();
+  return cg;
+}
+
+}  // namespace gcgt

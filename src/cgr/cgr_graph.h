@@ -1,0 +1,120 @@
+// Compressed Graph Representation container (paper §3.1, Fig. 2, Fig. 6).
+//
+// Layouts (all values are VLC codewords; see DESIGN.md for the normative
+// conventions; "+1" shifts make every encoded value >= 1):
+//
+// Unsegmented (segment_len_bytes == 0):
+//   [deg+1][itvNum+1][itv...] [res gap ...]
+// Segmented (segment_len_bytes > 0):
+//   [itvNum+1][itv...][segNum+1] <pad to byte> [seg_0]..[seg_{n-1}]
+//   segments 0..n-2 are exactly segment_len_bytes long (zero padded);
+//   the last segment is unpadded. Each segment: [count+1][residuals...]
+//   with its first residual coded relative to the source node u, so a lane
+//   can decode segment i independently at seg_base + i*8*segment_len_bytes.
+//
+// Intervals: first start is zigzag(start-u)+1, later starts are
+// start-prevEnd; lengths are len-min_interval_len+1.
+// Residuals: first is zigzag(r0-u)+1 (per segment in segmented layout),
+// later are gaps r_i - r_{i-1} (>= 1 since lists are strictly increasing).
+#ifndef GCGT_CGR_CGR_GRAPH_H_
+#define GCGT_CGR_CGR_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cgr/vlc.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gcgt {
+
+/// Encoder configuration (paper Table 2 defaults).
+struct CgrOptions {
+  VlcScheme scheme = VlcScheme::kZeta3;
+
+  /// Minimum run length that becomes an interval. kNoIntervals disables
+  /// interval extraction entirely (the "inf" point of paper Fig. 12).
+  static constexpr int kNoIntervals = std::numeric_limits<int>::max();
+  int min_interval_len = 4;
+
+  /// Residual segment length in bytes; 0 = unsegmented (the "inf" point of
+  /// paper Fig. 14). Must be 0 or >= 8.
+  int segment_len_bytes = 32;
+
+  Status Validate() const {
+    if (min_interval_len < 2) {
+      return Status::InvalidArgument("min_interval_len must be >= 2");
+    }
+    if (segment_len_bytes != 0 && segment_len_bytes < 8) {
+      return Status::InvalidArgument("segment_len_bytes must be 0 or >= 8");
+    }
+    return Status::OK();
+  }
+};
+
+/// An interval of consecutive neighbor ids [start, start+len).
+struct CgrInterval {
+  NodeId start;
+  uint32_t len;
+  bool operator==(const CgrInterval&) const = default;
+};
+
+/// The intervals/residuals decomposition of one adjacency list (the
+/// intermediate representation of paper Fig. 2, before gap transform).
+struct IntervalDecomposition {
+  std::vector<CgrInterval> intervals;
+  std::vector<NodeId> residuals;
+};
+
+/// Splits a sorted, deduplicated neighbor list into maximal consecutive runs
+/// of length >= min_interval_len (intervals) and leftover residuals.
+IntervalDecomposition DecomposeAdjacency(std::span<const NodeId> neighbors,
+                                         int min_interval_len);
+
+/// A graph compressed into CGR. Immutable after Encode().
+class CgrGraph {
+ public:
+  /// Compresses `g`. Fails with InvalidArgument on bad options.
+  static Result<CgrGraph> Encode(const Graph& g, const CgrOptions& options);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeId num_edges() const { return num_edges_; }
+  const CgrOptions& options() const { return options_; }
+
+  const std::vector<uint8_t>& bits() const { return bits_; }
+  uint64_t total_bits() const { return total_bits_; }
+  /// Bit offset of node u's encoding.
+  uint64_t bit_start(NodeId u) const { return bit_start_[u]; }
+
+  /// Adjacency-data bits per edge (the paper's compression metric).
+  double BitsPerEdge() const {
+    return num_edges_ ? static_cast<double>(total_bits_) / num_edges_ : 0.0;
+  }
+  /// Paper's "compression rate" = 32 / bits-per-edge.
+  double CompressionRate() const {
+    double bpe = BitsPerEdge();
+    return bpe > 0 ? 32.0 / bpe : 0.0;
+  }
+
+  /// Device footprint: bit array + per-node offsets (the offsets are the CSR
+  /// row-offset analog and are reported separately from BitsPerEdge).
+  uint64_t DeviceBytes() const {
+    return bits_.size() + bit_start_.size() * sizeof(uint64_t);
+  }
+
+ private:
+  friend class CgrEncoder;
+
+  CgrOptions options_;
+  NodeId num_nodes_ = 0;
+  EdgeId num_edges_ = 0;
+  uint64_t total_bits_ = 0;
+  std::vector<uint8_t> bits_;
+  std::vector<uint64_t> bit_start_;  // size num_nodes + 1
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_CGR_CGR_GRAPH_H_

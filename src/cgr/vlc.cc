@@ -1,0 +1,57 @@
+#include "cgr/vlc.h"
+
+#include <bit>
+#include <cassert>
+
+namespace gcgt {
+namespace {
+
+int FloorLog2(uint64_t x) { return 63 - std::countl_zero(x); }
+
+}  // namespace
+
+void VlcEncode(VlcScheme scheme, uint64_t value, BitWriter* writer) {
+  assert(value >= 1);
+  int h = FloorLog2(value);
+  if (scheme == VlcScheme::kGamma) {
+    writer->PutZeros(h);
+    writer->PutBit(true);
+    writer->PutBits(value, h);  // low h bits; the leading one is implicit
+    return;
+  }
+  int k = VlcZetaK(scheme);
+  int j = h / k;
+  writer->PutZeros(j);
+  writer->PutBit(true);
+  writer->PutBits(value, (j + 1) * k);  // plain binary, leading zeros allowed
+}
+
+int VlcLength(VlcScheme scheme, uint64_t value) {
+  assert(value >= 1);
+  int h = FloorLog2(value);
+  if (scheme == VlcScheme::kGamma) return 2 * h + 1;
+  int k = VlcZetaK(scheme);
+  int j = h / k;
+  return (j + 1) + (j + 1) * k;
+}
+
+uint64_t VlcDecode(VlcScheme scheme, BitReader* reader) {
+  int prefix = reader->GetUnary();
+  if (reader->overflowed()) return 0;
+  if (scheme == VlcScheme::kGamma) {
+    // Guard absurd prefixes from garbage bits (speculative decoding).
+    if (prefix > 63) return 0;
+    return (uint64_t(1) << prefix) | reader->GetBits(prefix);
+  }
+  int k = VlcZetaK(scheme);
+  if ((prefix + 1) * k > 63) return 0;
+  return reader->GetBits((prefix + 1) * k);
+}
+
+std::string VlcToString(VlcScheme scheme, uint64_t value) {
+  BitWriter w;
+  VlcEncode(scheme, value, &w);
+  return w.ToBitString();
+}
+
+}  // namespace gcgt

@@ -1,0 +1,70 @@
+// Variable-length codes (paper Appendix B, Table 3).
+//
+// gamma(x):  h = floor(log2 x) zeros, a one, then the low h bits of x
+//            (leading one omitted). |gamma(x)| = 2h + 1.
+// zeta_k(x): j = floor(log2 x)/k zeros, a one, then x in (j+1)*k plain
+//            binary bits. |zeta_k(x)| = (j+1)(k+1) ... precisely j+1+(j+1)k.
+//
+// The zeta variant implemented here is the paper's Table 3 convention (plain
+// binary remainder), which differs from Boldi-Vigna's minimal-binary zeta;
+// unit tests pin the exact Table 3 codewords. All codes encode x >= 1.
+#ifndef GCGT_CGR_VLC_H_
+#define GCGT_CGR_VLC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/bit_stream.h"
+#include "util/status.h"
+
+namespace gcgt {
+
+/// Code family selector (Table 2 default: zeta3).
+enum class VlcScheme : uint8_t {
+  kGamma = 0,
+  kZeta2,
+  kZeta3,
+  kZeta4,
+  kZeta5,
+};
+
+inline const char* VlcSchemeName(VlcScheme s) {
+  switch (s) {
+    case VlcScheme::kGamma: return "gamma";
+    case VlcScheme::kZeta2: return "zeta2";
+    case VlcScheme::kZeta3: return "zeta3";
+    case VlcScheme::kZeta4: return "zeta4";
+    case VlcScheme::kZeta5: return "zeta5";
+  }
+  return "?";
+}
+
+/// zeta parameter k for the scheme; 0 for gamma.
+inline int VlcZetaK(VlcScheme s) {
+  switch (s) {
+    case VlcScheme::kGamma: return 0;
+    case VlcScheme::kZeta2: return 2;
+    case VlcScheme::kZeta3: return 3;
+    case VlcScheme::kZeta4: return 4;
+    case VlcScheme::kZeta5: return 5;
+  }
+  return 0;
+}
+
+/// Appends the codeword of `value` (must be >= 1) to `writer`.
+void VlcEncode(VlcScheme scheme, uint64_t value, BitWriter* writer);
+
+/// Codeword length in bits of `value` (must be >= 1).
+int VlcLength(VlcScheme scheme, uint64_t value);
+
+/// Decodes one codeword. On malformed input (e.g. running off the end of the
+/// buffer) the reader's overflowed() flag is set and the return value is
+/// unspecified; structured decoders check reader state.
+uint64_t VlcDecode(VlcScheme scheme, BitReader* reader);
+
+/// Codeword as a bit string, e.g. VlcToString(kZeta3, 12) == "01001100".
+std::string VlcToString(VlcScheme scheme, uint64_t value);
+
+}  // namespace gcgt
+
+#endif  // GCGT_CGR_VLC_H_

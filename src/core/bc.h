@@ -1,0 +1,30 @@
+// GCGT Betweenness Centrality: Brandes-style two-pass traversal
+// (paper §6 / Fig. 7(d), following Sriram et al.): a forward BFS computing
+// distances and shortest-path counts (sigma), and a backward sweep over the
+// BFS levels accumulating dependencies (delta).
+#ifndef GCGT_CORE_BC_H_
+#define GCGT_CORE_BC_H_
+
+#include <vector>
+
+#include "cgr/cgr_graph.h"
+#include "core/cgr_traversal.h"
+#include "core/gcgt_options.h"
+#include "util/status.h"
+
+namespace gcgt {
+
+struct GcgtBcResult {
+  /// Single-source dependency (Brandes delta) of each node w.r.t. `source`.
+  std::vector<double> dependency;
+  std::vector<uint32_t> depth;
+  std::vector<double> sigma;
+  TraversalMetrics metrics;
+};
+
+Result<GcgtBcResult> GcgtBc(const CgrGraph& graph, NodeId source,
+                            const GcgtOptions& options);
+
+}  // namespace gcgt
+
+#endif  // GCGT_CORE_BC_H_

@@ -1,0 +1,81 @@
+// Forward (sigma) and backward (delta) filters of the Brandes two-pass BC
+// (paper Fig. 7(d)), shared by the GCGT and GPUCSR/Gunrock engines.
+#ifndef GCGT_CORE_BC_FILTERS_H_
+#define GCGT_CORE_BC_FILTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frontier_filter.h"
+
+namespace gcgt {
+
+inline constexpr uint32_t kBcUnvisited = static_cast<uint32_t>(-1);
+
+/// Forward pass: first visit sets depth and appends; every edge into the
+/// next level accumulates sigma (shortest-path counts).
+class BcForwardFilter : public FrontierFilter {
+ public:
+  BcForwardFilter(std::vector<uint32_t>& depth, std::vector<double>& sigma)
+      : depth_(depth), sigma_(sigma) {}
+
+  bool Filter(NodeId u, NodeId v) override {
+    if (depth_[v] == kBcUnvisited) {
+      depth_[v] = depth_[u] + 1;
+      sigma_[v] += sigma_[u];
+      ++atomics_;  // sigma atomicAdd
+      return true;
+    }
+    if (depth_[v] == depth_[u] + 1) {
+      sigma_[v] += sigma_[u];
+      ++atomics_;
+    }
+    return false;
+  }
+
+  int TakeAtomics() override {
+    int a = atomics_;
+    atomics_ = 0;
+    return a;
+  }
+
+ private:
+  std::vector<uint32_t>& depth_;
+  std::vector<double>& sigma_;
+  int atomics_ = 0;
+};
+
+/// Backward pass: for every DAG edge (u, v) with depth[v] == depth[u]+1,
+/// accumulate u's dependency from v. Appends nothing; the backward frontiers
+/// are the recorded forward levels.
+class BcBackwardFilter : public FrontierFilter {
+ public:
+  BcBackwardFilter(const std::vector<uint32_t>& depth,
+                   const std::vector<double>& sigma, std::vector<double>& delta)
+      : depth_(depth), sigma_(sigma), delta_(delta) {}
+
+  bool Filter(NodeId u, NodeId v) override {
+    if (depth_[u] != kBcUnvisited && depth_[v] == depth_[u] + 1 &&
+        sigma_[v] > 0) {
+      delta_[u] += sigma_[u] / sigma_[v] * (1.0 + delta_[v]);
+      ++atomics_;  // delta atomicAdd
+    }
+    return false;
+  }
+
+  int TakeAtomics() override {
+    int a = atomics_;
+    atomics_ = 0;
+    return a;
+  }
+
+ private:
+  const std::vector<uint32_t>& depth_;
+  const std::vector<double>& sigma_;
+  std::vector<double>& delta_;
+  int atomics_ = 0;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_CORE_BC_FILTERS_H_

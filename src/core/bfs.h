@@ -1,0 +1,30 @@
+// GCGT BFS driver: level-synchronous traversal over a CGR graph on the
+// simulated SIMT machine (the paper's primary evaluation workload).
+#ifndef GCGT_CORE_BFS_H_
+#define GCGT_CORE_BFS_H_
+
+#include <vector>
+
+#include "cgr/cgr_graph.h"
+#include "core/cgr_traversal.h"
+#include "core/gcgt_options.h"
+#include "core/trace.h"
+#include "util/status.h"
+
+namespace gcgt {
+
+struct GcgtBfsResult {
+  /// BFS depth per node; BfsFilter::kUnvisited when unreachable.
+  std::vector<uint32_t> depth;
+  TraversalMetrics metrics;
+};
+
+/// Runs BFS from `source`. Fails with OutOfMemory when the modeled device
+/// footprint exceeds options.device.memory_bytes.
+Result<GcgtBfsResult> GcgtBfs(const CgrGraph& graph, NodeId source,
+                              const GcgtOptions& options,
+                              StepTrace* trace = nullptr);
+
+}  // namespace gcgt
+
+#endif  // GCGT_CORE_BFS_H_

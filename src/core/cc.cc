@@ -1,0 +1,51 @@
+#include "core/cc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/cc_filter.h"
+#include "simt/machine.h"
+
+namespace gcgt {
+
+Result<GcgtCcResult> GcgtCc(const CgrGraph& graph, const GcgtOptions& options) {
+  CgrTraversalEngine engine(graph, options);
+  const uint64_t v = graph.num_nodes();
+  uint64_t device_bytes = engine.BaseDeviceBytes() + 4 * v /* parents */ +
+                          2 * 4 * v /* queues */;
+  if (device_bytes > options.device.memory_bytes) {
+    return Status::OutOfMemory("GCGT CC footprint exceeds device memory");
+  }
+
+  CcFilter filter(graph.num_nodes());
+  simt::KernelTimeline timeline(options.cost);
+
+  std::vector<NodeId> frontier(graph.num_nodes());
+  std::iota(frontier.begin(), frontier.end(), 0);
+  std::vector<NodeId> next;
+  std::vector<simt::WarpStats> warps;
+  int rounds = 0;
+  while (!frontier.empty()) {
+    ++rounds;
+    next.clear();
+    warps.clear();
+    engine.ProcessFrontier(frontier, filter, &next, &warps);
+    timeline.AddKernel(warps);
+    timeline.AddKernel(
+        filter.PointerJump(options.lanes, options.cost.cache_line_bytes));
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier.swap(next);
+  }
+
+  GcgtCcResult result;
+  result.component = filter.parent();
+  result.rounds = rounds;
+  result.metrics.model_ms = timeline.TotalMs();
+  result.metrics.kernels = timeline.num_kernels();
+  result.metrics.device_bytes = device_bytes;
+  result.metrics.warp = timeline.aggregate();
+  return result;
+}
+
+}  // namespace gcgt

@@ -1,0 +1,28 @@
+// GCGT Connected Components: node-centric hooking + pointer jumping
+// (paper §6 / Fig. 7(c), following Soman et al.) executed through the CGR
+// traversal engine. Edge directions are ignored (weak connectivity).
+#ifndef GCGT_CORE_CC_H_
+#define GCGT_CORE_CC_H_
+
+#include <vector>
+
+#include "cgr/cgr_graph.h"
+#include "core/cgr_traversal.h"
+#include "core/gcgt_options.h"
+#include "util/status.h"
+
+namespace gcgt {
+
+struct GcgtCcResult {
+  /// Component representative per node (smallest node id in the component
+  /// tree's root position after convergence).
+  std::vector<NodeId> component;
+  int rounds = 0;
+  TraversalMetrics metrics;
+};
+
+Result<GcgtCcResult> GcgtCc(const CgrGraph& graph, const GcgtOptions& options);
+
+}  // namespace gcgt
+
+#endif  // GCGT_CORE_CC_H_

@@ -1,0 +1,88 @@
+// Hooking filter + pointer-jumping kernel model shared by the GCGT (CGR,
+// node-centric) and GPUCSR/Gunrock (COO, edge-centric) CC implementations.
+#ifndef GCGT_CORE_CC_FILTER_H_
+#define GCGT_CORE_CC_FILTER_H_
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/frontier_filter.h"
+#include "core/memory_layout.h"
+#include "simt/warp.h"
+
+namespace gcgt {
+
+/// Links the component-tree roots of u and v when they differ (min-id root
+/// wins, making results deterministic) and keeps u in the re-scan frontier.
+class CcFilter : public FrontierFilter {
+ public:
+  explicit CcFilter(NodeId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  NodeId Find(NodeId x) const {
+    while (parent_[x] != x) x = parent_[x];
+    return x;
+  }
+
+  bool Filter(NodeId u, NodeId v) override {
+    NodeId ru = Find(u);
+    NodeId rv = Find(v);
+    if (ru == rv) return false;
+    if (ru < rv) {
+      parent_[rv] = ru;
+    } else {
+      parent_[ru] = rv;
+    }
+    ++atomics_;  // the hooking CAS
+    return true;
+  }
+
+  NodeId AppendTarget(NodeId u, NodeId /*v*/) override { return u; }
+  int TakeAtomics() override {
+    int a = atomics_;
+    atomics_ = 0;
+    return a;
+  }
+
+  /// Pointer-jumping kernel: flattens every node to its root; returns
+  /// per-warp stats modeling the chase depth and parent-array traffic.
+  std::vector<simt::WarpStats> PointerJump(int lanes, int line_bytes) {
+    std::vector<simt::WarpStats> warps;
+    const NodeId n = static_cast<NodeId>(parent_.size());
+    for (NodeId begin = 0; begin < n; begin += lanes) {
+      NodeId end = std::min<NodeId>(n, begin + lanes);
+      simt::WarpContext ctx(lanes, line_bytes);
+      uint64_t max_depth = 0;
+      std::vector<uint64_t> addrs;
+      for (NodeId x = begin; x < end; ++x) {
+        uint64_t depth = 0;
+        NodeId r = x;
+        while (parent_[r] != r) {
+          addrs.push_back(kLabelBase + 4ull * r);
+          r = parent_[r];
+          ++depth;
+        }
+        max_depth = std::max(max_depth, depth);
+      }
+      ctx.Step(end - begin);
+      for (uint64_t d = 1; d < max_depth; ++d) ctx.Step(end - begin);
+      ctx.MemAccess(addrs, 4);
+      for (NodeId x = begin; x < end; ++x) parent_[x] = Find(x);
+      ctx.MemAccessRange(kLabelBase + 4ull * begin, 4ull * (end - begin));
+      warps.push_back(ctx.TakeStats());
+    }
+    return warps;
+  }
+
+  const std::vector<NodeId>& parent() const { return parent_; }
+
+ private:
+  std::vector<NodeId> parent_;
+  int atomics_ = 0;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_CORE_CC_FILTER_H_

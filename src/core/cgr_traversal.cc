@@ -1,0 +1,898 @@
+#include "core/cgr_traversal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <optional>
+
+#include "core/memory_layout.h"
+#include "core/warp_centric.h"
+#include "util/zigzag.h"
+
+namespace gcgt {
+namespace {
+
+using simt::WarpContext;
+using simt::WarpStats;
+
+using BitRange = std::pair<uint64_t, uint64_t>;  // inclusive byte range
+
+BitRange ByteRangeOf(uint64_t bit_before, uint64_t bit_after) {
+  uint64_t lo = kBitsBase + bit_before / 8;
+  uint64_t hi = kBitsBase + (bit_after > bit_before ? (bit_after - 1) / 8
+                                                    : bit_before / 8);
+  return {lo, hi};
+}
+
+/// A neighbor awaiting its visited-check/append slot, plus the bookkeeping
+/// that produces the Fig. 4 trace labels.
+struct AppendItem {
+  int exec_lane = 0;
+  NodeId u = 0;
+  NodeId v = 0;
+  TraceOp origin = TraceOp::kAppend;
+  int src_lane = 0;
+  int idx1 = 0;   // interval index / residual index
+  int idx2 = -1;  // neighbor index within the interval
+};
+
+std::string ItemLabel(const AppendItem& it) {
+  char buf[48];
+  if (it.origin == TraceOp::kDecodeInterval) {
+    std::snprintf(buf, sizeof(buf), "t%d:i%d:%d", it.src_lane, it.idx1, it.idx2);
+  } else {
+    std::snprintf(buf, sizeof(buf), "t%d:res%d", it.src_lane, it.idx1);
+  }
+  return buf;
+}
+
+/// Per-lane traversal state.
+struct Lane {
+  bool valid = false;
+  NodeId u = 0;
+  std::optional<CgrNodeDecoder> dec;
+  uint64_t deg = 0;        // unsegmented degree header
+  uint32_t itv_total = 0;  // intervals announced by the header
+  uint32_t itv_read = 0;   // intervals decoded so far
+  // Interval currently pending expansion.
+  NodeId itv_ptr = 0;
+  uint32_t itv_len = 0;
+  int itv_idx = -1;
+  uint32_t itv_consumed = 0;
+  // Residuals.
+  ResidualStream rs;
+  bool rs_ready = false;
+  int res_idx = 0;
+  bool res_pending = false;
+  NodeId res_val = 0;
+  // Segmented layout.
+  bool segs_read = false;
+  uint32_t seg_count = 0;
+  uint32_t seg_next = 0;
+};
+
+class WarpSim {
+ public:
+  WarpSim(const CgrGraph& g, const GcgtOptions& o, FrontierFilter& filter,
+          std::vector<NodeId>* out, StepTrace* trace)
+      : g_(g),
+        o_(o),
+        filter_(filter),
+        out_(out),
+        trace_(trace),
+        ctx_(o.lanes, o.cost.cache_line_bytes) {}
+
+  WarpStats Run(std::span<const NodeId> chunk);
+
+ private:
+  bool segmented() const { return g_.options().segment_len_bytes != 0; }
+  uint64_t ResidualsRemaining(const Lane& ln) const {
+    if (ln.rs_ready) return ln.rs.remaining();
+    if (segmented()) return 0;  // unknown before segment headers
+    return ln.deg - ln.dec->interval_neighbor_total();
+  }
+
+  void HeaderPhase(std::span<const NodeId> chunk);
+  void RunIntuitive();
+  void IntervalPhase();
+  void SetupUnsegmentedResiduals();
+  void ResidualPhaseTwoPhase();
+  void ResidualPhaseStealing();
+  void StealWindows(const std::vector<int>& work_lanes, bool handoff);
+  void WarpCentricStream(int lane_idx);
+  void SegmentedResidualPhase();
+  void SegmentedSerialResiduals();
+
+  // Charges one decode instruction slot touching `ranges` of the bit array.
+  void ChargeDecode(size_t active, std::span<const BitRange> ranges) {
+    ctx_.DecodeStep(static_cast<int>(active));
+    ctx_.MemAccessRanges(ranges);
+  }
+  void AppendStep(std::vector<AppendItem>& items);
+
+  const CgrGraph& g_;
+  const GcgtOptions& o_;
+  FrontierFilter& filter_;
+  std::vector<NodeId>* out_;
+  StepTrace* trace_;
+  WarpContext ctx_;
+  std::vector<Lane> lanes_;
+};
+
+void WarpSim::AppendStep(std::vector<AppendItem>& items) {
+  if (items.empty()) return;
+  assert(items.size() <= static_cast<size_t>(o_.lanes));
+  ctx_.AppendStepOp(static_cast<int>(items.size()));
+  if (trace_ != nullptr) {
+    trace_->BeginStep(TraceOp::kAppend);
+    for (const auto& it : items) trace_->Lane(it.exec_lane, ItemLabel(it));
+  }
+  // Visited/label gather for the filtering check.
+  std::vector<uint64_t> addrs;
+  addrs.reserve(items.size());
+  for (const auto& it : items) addrs.push_back(kLabelBase + 4ull * it.v);
+  ctx_.MemAccess(addrs, 4);
+  ctx_.SharedOp();  // exclusiveScan for the contraction offsets
+  ctx_.Atomic(1);   // single queue-tail atomic per warp (Alg. 1 line 30)
+  std::vector<uint64_t> write_addrs;
+  size_t tail = out_->size();
+  for (const auto& it : items) {
+    if (filter_.Filter(it.u, it.v)) {
+      out_->push_back(filter_.AppendTarget(it.u, it.v));
+      write_addrs.push_back(kLabelBase + 4ull * it.v);
+    }
+  }
+  if (int extra = filter_.TakeAtomics(); extra > 0) ctx_.Atomic(extra);
+  if (!write_addrs.empty()) {
+    ctx_.MemAccess(write_addrs, 4);  // label updates
+    ctx_.MemAccessRange(kQueueBase + 4ull * tail, 4ull * (out_->size() - tail));
+  }
+  items.clear();
+}
+
+void WarpSim::HeaderPhase(std::span<const NodeId> chunk) {
+  lanes_.assign(o_.lanes, Lane{});
+  // Coalesced frontier load + bitStart offset gather.
+  ctx_.Step(static_cast<int>(chunk.size()));
+  ctx_.MemAccessRange(kQueueBase, 4ull * chunk.size());
+  std::vector<uint64_t> addrs;
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    Lane& ln = lanes_[i];
+    ln.valid = true;
+    ln.u = chunk[i];
+    ln.dec.emplace(g_, ln.u);
+    addrs.push_back(kOffsetsBase + 8ull * ln.u);
+  }
+  ctx_.MemAccess(addrs, 8);
+
+  std::vector<BitRange> ranges;
+  if (!segmented()) {
+    // Degree header.
+    size_t active = 0;
+    for (Lane& ln : lanes_) {
+      if (!ln.valid) continue;
+      uint64_t before = ln.dec->bit_pos();
+      ln.deg = ln.dec->ReadDegree();
+      ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+      ++active;
+    }
+    if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
+    ChargeDecode(active, ranges);
+    // Interval-count header (only encoded when deg > 0).
+    ranges.clear();
+    active = 0;
+    for (Lane& ln : lanes_) {
+      if (!ln.valid || ln.deg == 0) continue;
+      uint64_t before = ln.dec->bit_pos();
+      ln.itv_total = ln.dec->ReadIntervalCount();
+      ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+      ++active;
+    }
+    if (active > 0) {
+      if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
+      ChargeDecode(active, ranges);
+    }
+  } else {
+    size_t active = 0;
+    for (Lane& ln : lanes_) {
+      if (!ln.valid) continue;
+      uint64_t before = ln.dec->bit_pos();
+      ln.itv_total = ln.dec->ReadIntervalCount();
+      ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+      ++active;
+    }
+    if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
+    ChargeDecode(active, ranges);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Intuitive strategy (Alg. 1): every lane decodes its own list serially; the
+// warp serializes the divergent branch targets with the fixed priority
+// DecodeInterval > DecodeResidual > Append, reproducing Fig. 4(b).
+// ---------------------------------------------------------------------------
+void WarpSim::RunIntuitive() {
+  enum class Op { kNone, kDecItv, kDecRes, kOpenSeg, kAppend };
+  auto next_op = [&](Lane& ln) -> Op {
+    if (!ln.valid) return Op::kNone;
+    if (ln.itv_len > 0 || ln.res_pending) return Op::kAppend;
+    if (ln.itv_read < ln.itv_total) return Op::kDecItv;
+    if (ln.rs_ready && ln.rs.HasNext()) return Op::kDecRes;
+    if (!segmented()) {
+      if (!ln.rs_ready && ResidualsRemaining(ln) > 0) return Op::kDecRes;
+      return Op::kNone;
+    }
+    if (!ln.segs_read) return Op::kOpenSeg;
+    if (ln.seg_next < ln.seg_count) return Op::kOpenSeg;
+    return Op::kNone;
+  };
+
+  std::vector<Op> ops(o_.lanes);
+  std::vector<BitRange> ranges;
+  std::vector<AppendItem> items;
+  for (;;) {
+    bool any = false;
+    bool has_itv = false, has_res = false, has_seg = false;
+    for (int l = 0; l < o_.lanes; ++l) {
+      ops[l] = next_op(lanes_[l]);
+      if (ops[l] == Op::kNone) continue;
+      any = true;
+      has_itv |= ops[l] == Op::kDecItv;
+      has_seg |= ops[l] == Op::kOpenSeg;
+      has_res |= ops[l] == Op::kDecRes;
+    }
+    if (!any) break;
+
+    if (has_itv) {
+      ranges.clear();
+      size_t active = 0;
+      if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeInterval);
+      for (int l = 0; l < o_.lanes; ++l) {
+        if (ops[l] != Op::kDecItv) continue;
+        Lane& ln = lanes_[l];
+        uint64_t before = ln.dec->bit_pos();
+        CgrInterval itv = ln.dec->ReadNextInterval();
+        ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+        ++ln.itv_read;
+        ++ln.itv_idx;
+        ln.itv_ptr = itv.start;
+        ln.itv_len = itv.len;
+        ln.itv_consumed = 0;
+        ++active;
+        if (trace_ != nullptr) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "t%d:i%d", l, ln.itv_idx);
+          trace_->Lane(l, buf);
+        }
+      }
+      ChargeDecode(active, ranges);
+      continue;
+    }
+    if (has_seg) {
+      // Segment headers (segmented layout under the intuitive strategy).
+      ranges.clear();
+      size_t active = 0;
+      if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
+      for (int l = 0; l < o_.lanes; ++l) {
+        if (ops[l] != Op::kOpenSeg) continue;
+        Lane& ln = lanes_[l];
+        uint64_t before = ln.dec->bit_pos();
+        if (!ln.segs_read) {
+          ln.seg_count = ln.dec->ReadSegmentCount();
+          ln.segs_read = true;
+          ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+        } else {
+          ln.rs = ln.dec->SegmentResiduals(ln.seg_next);
+          uint64_t base = ln.dec->SegmentBitPos(ln.seg_next);
+          ranges.push_back(ByteRangeOf(base, ln.rs.bit_pos()));
+          ++ln.seg_next;
+          ln.rs_ready = true;
+        }
+        ++active;
+      }
+      ChargeDecode(active, ranges);
+      continue;
+    }
+    if (has_res) {
+      ranges.clear();
+      size_t active = 0;
+      if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
+      for (int l = 0; l < o_.lanes; ++l) {
+        if (ops[l] != Op::kDecRes) continue;
+        Lane& ln = lanes_[l];
+        if (!ln.rs_ready) {
+          ln.rs = ln.dec->UnsegmentedResiduals(ResidualsRemaining(ln));
+          ln.rs_ready = true;
+        }
+        uint64_t before = ln.rs.bit_pos();
+        ln.res_val = ln.rs.Next();
+        ln.res_pending = true;
+        ranges.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+        ++active;
+        if (trace_ != nullptr) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "t%d:res%d", l, ln.res_idx);
+          trace_->Lane(l, buf);
+        }
+      }
+      ChargeDecode(active, ranges);
+      continue;
+    }
+    // Append step: every lane with a pending neighbor handles it.
+    items.clear();
+    for (int l = 0; l < o_.lanes; ++l) {
+      if (ops[l] != Op::kAppend) continue;
+      Lane& ln = lanes_[l];
+      AppendItem it;
+      it.exec_lane = l;
+      it.src_lane = l;
+      it.u = ln.u;
+      if (ln.itv_len > 0) {
+        it.origin = TraceOp::kDecodeInterval;
+        it.v = ln.itv_ptr;
+        it.idx1 = ln.itv_idx;
+        it.idx2 = static_cast<int>(ln.itv_consumed);
+        ++ln.itv_ptr;
+        --ln.itv_len;
+        ++ln.itv_consumed;
+      } else {
+        it.origin = TraceOp::kDecodeResidual;
+        it.v = ln.res_val;
+        it.idx1 = ln.res_idx++;
+        ln.res_pending = false;
+      }
+      items.push_back(it);
+    }
+    AppendStep(items);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Two-Phase interval phase (Alg. 2): decode rounds followed by collaborative
+// expansion; long intervals are expanded by the whole warp (stage 1), the
+// leftovers are packed through the shared-memory buffer (stage 2).
+// ---------------------------------------------------------------------------
+void WarpSim::IntervalPhase() {
+  std::vector<BitRange> ranges;
+  std::vector<AppendItem> items;
+  std::vector<uint8_t> pred(o_.lanes);
+  for (;;) {
+    // Decode round.
+    ranges.clear();
+    size_t active = 0;
+    if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeInterval);
+    for (int l = 0; l < o_.lanes; ++l) {
+      Lane& ln = lanes_[l];
+      if (!ln.valid || ln.itv_read >= ln.itv_total) continue;
+      uint64_t before = ln.dec->bit_pos();
+      CgrInterval itv = ln.dec->ReadNextInterval();
+      ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+      ++ln.itv_read;
+      ++ln.itv_idx;
+      ln.itv_ptr = itv.start;
+      ln.itv_len = itv.len;
+      ln.itv_consumed = 0;
+      ++active;
+      if (trace_ != nullptr) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "t%d:i%d", l, ln.itv_idx);
+        trace_->Lane(l, buf);
+      }
+    }
+    if (active == 0) break;
+    ChargeDecode(active, ranges);
+
+    // Stage 1: warp-wide expansion of long intervals.
+    for (;;) {
+      for (int l = 0; l < o_.lanes; ++l) {
+        pred[l] = lanes_[l].itv_len >= static_cast<uint32_t>(o_.lanes) ? 1 : 0;
+      }
+      if (!ctx_.Any(pred)) break;  // syncAny
+      int winner = -1;
+      for (int l = 0; l < o_.lanes; ++l) {
+        if (pred[l]) {
+          winner = l;
+          break;
+        }
+      }
+      ctx_.SharedOp();  // shfl broadcast of the winner's interval
+      Lane& w = lanes_[winner];
+      items.clear();
+      for (int l = 0; l < o_.lanes; ++l) {
+        AppendItem it;
+        it.exec_lane = l;
+        it.src_lane = winner;
+        it.u = w.u;
+        it.v = w.itv_ptr + static_cast<NodeId>(l);
+        it.origin = TraceOp::kDecodeInterval;
+        it.idx1 = w.itv_idx;
+        it.idx2 = static_cast<int>(w.itv_consumed) + l;
+        items.push_back(it);
+      }
+      w.itv_ptr += o_.lanes;
+      w.itv_len -= o_.lanes;
+      w.itv_consumed += o_.lanes;
+      AppendStep(items);
+    }
+
+    // Stage 2: collaborative expansion of the remaining short intervals.
+    uint64_t total = 0;
+    for (const Lane& ln : lanes_) total += ln.itv_len;
+    if (total > 0) ctx_.SharedOp();  // exclusiveScan of remaining lengths
+    while (total > 0) {
+      items.clear();
+      int filled = 0;
+      for (int l = 0; l < o_.lanes && filled < o_.lanes; ++l) {
+        Lane& ln = lanes_[l];
+        while (ln.itv_len > 0 && filled < o_.lanes) {
+          AppendItem it;
+          it.exec_lane = filled;
+          it.src_lane = l;
+          it.u = ln.u;
+          it.v = ln.itv_ptr;
+          it.origin = TraceOp::kDecodeInterval;
+          it.idx1 = ln.itv_idx;
+          it.idx2 = static_cast<int>(ln.itv_consumed);
+          ++ln.itv_ptr;
+          --ln.itv_len;
+          ++ln.itv_consumed;
+          items.push_back(it);
+          ++filled;
+        }
+      }
+      ctx_.SharedOp();  // shared buffer fill
+      AppendStep(items);
+      total -= filled;
+    }
+  }
+}
+
+void WarpSim::SetupUnsegmentedResiduals() {
+  for (Lane& ln : lanes_) {
+    if (!ln.valid || ln.deg == 0) continue;
+    ln.rs = ln.dec->UnsegmentedResiduals(ln.deg - ln.dec->interval_neighbor_total());
+    ln.rs_ready = true;
+  }
+}
+
+// Residual phase of Alg. 2: lockstep decode+append rounds, no stealing.
+void WarpSim::ResidualPhaseTwoPhase() {
+  std::vector<BitRange> ranges;
+  std::vector<AppendItem> items;
+  for (;;) {
+    ranges.clear();
+    items.clear();
+    size_t active = 0;
+    if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
+    for (int l = 0; l < o_.lanes; ++l) {
+      Lane& ln = lanes_[l];
+      if (!ln.valid || !ln.rs_ready || !ln.rs.HasNext()) continue;
+      uint64_t before = ln.rs.bit_pos();
+      NodeId v = ln.rs.Next();
+      ranges.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+      ++active;
+      if (trace_ != nullptr) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "t%d:res%d", l, ln.res_idx);
+        trace_->Lane(l, buf);
+      }
+      AppendItem it;
+      it.exec_lane = l;
+      it.src_lane = l;
+      it.u = ln.u;
+      it.v = v;
+      it.origin = TraceOp::kDecodeResidual;
+      it.idx1 = ln.res_idx++;
+      items.push_back(it);
+    }
+    if (active == 0) break;
+    ChargeDecode(active, ranges);
+    AppendStep(items);
+  }
+}
+
+// Residual phase of Alg. 3 (+ warp-centric of Alg. 4 at level >= 3).
+void WarpSim::ResidualPhaseStealing() {
+  std::vector<BitRange> ranges;
+  std::vector<AppendItem> items;
+  std::vector<uint8_t> pred(o_.lanes);
+
+  // Stage 1: all lanes busy -> plain lockstep rounds (syncAll loop).
+  for (;;) {
+    for (int l = 0; l < o_.lanes; ++l) {
+      Lane& ln = lanes_[l];
+      pred[l] = (ln.valid && ln.rs_ready && ln.rs.HasNext()) ? 1 : 0;
+    }
+    if (!ctx_.All(pred)) break;  // syncAll
+    ranges.clear();
+    items.clear();
+    if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
+    for (int l = 0; l < o_.lanes; ++l) {
+      Lane& ln = lanes_[l];
+      uint64_t before = ln.rs.bit_pos();
+      NodeId v = ln.rs.Next();
+      ranges.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+      if (trace_ != nullptr) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "t%d:res%d", l, ln.res_idx);
+        trace_->Lane(l, buf);
+      }
+      AppendItem it;
+      it.exec_lane = l;
+      it.src_lane = l;
+      it.u = ln.u;
+      it.v = v;
+      it.origin = TraceOp::kDecodeResidual;
+      it.idx1 = ln.res_idx++;
+      items.push_back(it);
+    }
+    ChargeDecode(o_.lanes, ranges);
+    AppendStep(items);
+  }
+
+  // Stage 2: stealing rounds while several lanes still hold residuals. Once
+  // the warp is nearly drained (paper Â§5.1: warp-centric decoding "falls
+  // back on idle threads"), a long leftover stream is decoded by the whole
+  // warp speculatively instead of by its single owner lane.
+  std::vector<int> work;
+  for (;;) {
+    work.clear();
+    for (int l = 0; l < o_.lanes; ++l) {
+      Lane& ln = lanes_[l];
+      if (ln.valid && ln.rs_ready && ln.rs.HasNext()) work.push_back(l);
+    }
+    if (work.empty()) return;
+    if (o_.level >= GcgtLevel::kWarpCentric && work.size() <= 2) {
+      bool any_heavy = false;
+      for (int l : work) {
+        if (lanes_[l].rs.remaining() >=
+            static_cast<uint64_t>(o_.warp_centric_min_residuals)) {
+          any_heavy = true;
+        }
+      }
+      if (any_heavy) {
+        for (int l : work) WarpCentricStream(l);
+        return;
+      }
+    }
+    StealWindows(work, /*handoff=*/o_.level >= GcgtLevel::kWarpCentric);
+    if (o_.level < GcgtLevel::kWarpCentric) return;  // StealWindows drained all
+  }
+}
+
+// Stealing stage 2: the lanes still holding residuals decode concurrently
+// (one decode slot per round, each active lane contributes one value to the
+// shared buffer); idle lanes steal the buffered values so appends run as
+// full warp-wide slots (one per `lanes` values). This keeps Alg. 3's 32:1
+// append batching while letting the per-lane serial streams advance in
+// parallel, and reproduces the step table of Fig. 4(d) exactly.
+void WarpSim::StealWindows(const std::vector<int>& work_lanes, bool handoff) {
+  if (work_lanes.empty()) return;
+  std::vector<BitRange> ranges;
+  std::vector<AppendItem> buffer;
+
+  // exclusiveScan over the remaining counts to compute buffer offsets.
+  ctx_.SharedOp();
+
+  auto flush = [&](bool final_flush) {
+    std::vector<AppendItem> round;
+    while (buffer.size() >= static_cast<size_t>(o_.lanes) ||
+           (final_flush && !buffer.empty())) {
+      size_t take = std::min<size_t>(buffer.size(), o_.lanes);
+      round.assign(buffer.begin(), buffer.begin() + take);
+      for (size_t i = 0; i < round.size(); ++i) {
+        round[i].exec_lane = static_cast<int>(i);
+      }
+      buffer.erase(buffer.begin(), buffer.begin() + take);
+      AppendStep(round);
+    }
+  };
+
+  for (;;) {
+    if (handoff) {
+      // Hand long leftover streams to warp-centric decoding once at most two
+      // lanes still hold work (the rest of the warp is idle).
+      int busy = 0;
+      bool any_heavy = false;
+      for (int l : work_lanes) {
+        if (lanes_[l].rs.HasNext()) {
+          ++busy;
+          if (lanes_[l].rs.remaining() >=
+              static_cast<uint64_t>(o_.warp_centric_min_residuals)) {
+            any_heavy = true;
+          }
+        }
+      }
+      if (busy > 0 && busy <= 2 && any_heavy) break;
+    }
+    ranges.clear();
+    size_t active = 0;
+    if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
+    for (int l : work_lanes) {
+      Lane& ln = lanes_[l];
+      if (!ln.rs.HasNext()) continue;
+      uint64_t before = ln.rs.bit_pos();
+      NodeId v = ln.rs.Next();
+      ranges.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+      ++active;
+      if (trace_ != nullptr) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "t%d:res%d", l, ln.res_idx);
+        trace_->Lane(l, buf);
+      }
+      AppendItem it;
+      it.src_lane = l;
+      it.u = ln.u;
+      it.v = v;
+      it.origin = TraceOp::kDecodeResidual;
+      it.idx1 = ln.res_idx++;
+      buffer.push_back(it);
+    }
+    if (active == 0) break;
+    ChargeDecode(active, ranges);
+    ctx_.SharedOp();  // buffer write
+    flush(false);
+  }
+  flush(true);
+}
+
+void WarpSim::WarpCentricStream(int lane_idx) {
+  Lane& ln = lanes_[lane_idx];
+  std::vector<AppendItem> items;
+  while (ln.rs.HasNext()) {
+    uint64_t base = ln.rs.bit_pos();
+    ParallelDecodeResult r =
+        WarpCentricDecodeWindow(g_.bits().data(), g_.total_bits(), base,
+                                o_.lanes, g_.options().scheme, ln.rs.remaining());
+    if (r.values.empty()) break;  // corrupted stream; bail out defensively
+    // Speculative decode: every lane decodes from its candidate bit; the
+    // whole warp reads one small contiguous window (coalesced).
+    if (trace_ != nullptr) {
+      trace_->BeginStep(TraceOp::kDecodeResidual);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "t%d:wc", lane_idx);
+      trace_->Lane(lane_idx, buf);
+    }
+    ctx_.DecodeStep(o_.lanes);
+    ctx_.MemAccessRange(kBitsBase + base / 8, o_.lanes / 8 + 10);
+    // Pointer-jumping identification rounds (Lemma 5.2).
+    for (int i = 0; i < r.rounds; ++i) {
+      ctx_.Step(o_.lanes);
+      ctx_.SharedOp();
+    }
+    // Materialize neighbor ids from the raw gap codewords.
+    NodeId prev = ln.rs.prev();
+    bool first = ln.rs.at_first();
+    items.clear();
+    for (size_t i = 0; i < r.values.size(); ++i) {
+      NodeId node;
+      if (first) {
+        node = static_cast<NodeId>(static_cast<int64_t>(ln.rs.source()) +
+                                   ZigzagDecode(r.values[i] - 1));
+        first = false;
+      } else {
+        node = static_cast<NodeId>(prev + r.values[i]);
+      }
+      prev = node;
+      AppendItem it;
+      it.exec_lane = static_cast<int>(i);
+      it.src_lane = lane_idx;
+      it.u = ln.u;
+      it.v = node;
+      it.origin = TraceOp::kDecodeResidual;
+      it.idx1 = ln.res_idx++;
+      items.push_back(it);
+    }
+    ln.rs.ExternalAdvance(r.next_bit_pos, prev, r.values.size());
+    AppendStep(items);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Residual segmentation scheduling (paper §5.2): every lane reads its node's
+// segment count; all (node, segment) tasks are distributed round-robin over
+// the lanes, which decode them independently thanks to the fixed segment
+// stride and per-segment relative encoding.
+// ---------------------------------------------------------------------------
+void WarpSim::SegmentedResidualPhase() {
+  std::vector<BitRange> ranges;
+  // Segment-count headers.
+  size_t active = 0;
+  for (Lane& ln : lanes_) {
+    if (!ln.valid) continue;
+    uint64_t before = ln.dec->bit_pos();
+    ln.seg_count = ln.dec->ReadSegmentCount();
+    ln.segs_read = true;
+    ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+    ++active;
+  }
+  if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
+  ChargeDecode(active, ranges);
+
+  struct Task {
+    int src_lane;
+    uint32_t seg;
+  };
+  std::vector<Task> tasks;
+  for (int l = 0; l < o_.lanes; ++l) {
+    const Lane& ln = lanes_[l];
+    if (!ln.valid) continue;
+    for (uint32_t s = 0; s < ln.seg_count; ++s) tasks.push_back({l, s});
+  }
+  if (tasks.empty()) return;
+  ctx_.SharedOp();  // task distribution via scan
+
+  // Round-robin assignment of tasks to executing lanes.
+  struct ExecState {
+    std::vector<Task> queue;
+    size_t next_task = 0;
+    ResidualStream stream;
+    bool open = false;
+  };
+  std::vector<ExecState> exec(o_.lanes);
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    exec[t % o_.lanes].queue.push_back(tasks[t]);
+  }
+
+  std::vector<AppendItem> buffer;
+  auto flush = [&](bool final_flush) {
+    std::vector<AppendItem> round;
+    while (buffer.size() >= static_cast<size_t>(o_.lanes) ||
+           (final_flush && !buffer.empty())) {
+      size_t take = std::min<size_t>(buffer.size(), o_.lanes);
+      round.assign(buffer.begin(), buffer.begin() + take);
+      for (size_t i = 0; i < round.size(); ++i) {
+        round[i].exec_lane = static_cast<int>(i);
+      }
+      buffer.erase(buffer.begin(), buffer.begin() + take);
+      ctx_.SharedOp();
+      AppendStep(round);
+    }
+  };
+
+  for (;;) {
+    ranges.clear();
+    size_t decoding = 0;
+    if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
+    for (int e = 0; e < o_.lanes; ++e) {
+      ExecState& st = exec[e];
+      if (st.open && !st.stream.HasNext()) st.open = false;
+      if (!st.open) {
+        if (st.next_task >= st.queue.size()) continue;
+        const Task t = st.queue[st.next_task++];
+        Lane& owner = lanes_[t.src_lane];
+        uint64_t base = owner.dec->SegmentBitPos(t.seg);
+        st.stream = owner.dec->SegmentResiduals(t.seg);
+        st.open = st.stream.HasNext();
+        ranges.push_back(ByteRangeOf(base, st.stream.bit_pos()));
+        ++decoding;  // the header read consumes this lane's slot this round
+        continue;
+      }
+      uint64_t before = st.stream.bit_pos();
+      NodeId v = st.stream.Next();
+      ranges.push_back(ByteRangeOf(before, st.stream.bit_pos()));
+      ++decoding;
+      AppendItem it;
+      it.src_lane = e;
+      it.u = lanes_[st.queue[st.next_task - 1].src_lane].u;
+      it.v = v;
+      it.origin = TraceOp::kDecodeResidual;
+      it.idx1 = lanes_[st.queue[st.next_task - 1].src_lane].res_idx++;
+      buffer.push_back(it);
+    }
+    if (decoding == 0) break;
+    ChargeDecode(decoding, ranges);
+    flush(false);
+  }
+  flush(true);
+}
+
+// Segmented layout under levels < kFull: each lane walks its own segments
+// serially (no cross-lane distribution). Only exercised by non-default
+// configurations; kept for completeness.
+void WarpSim::SegmentedSerialResiduals() {
+  std::vector<BitRange> ranges;
+  // Segment-count headers.
+  size_t active = 0;
+  for (Lane& ln : lanes_) {
+    if (!ln.valid) continue;
+    uint64_t before = ln.dec->bit_pos();
+    ln.seg_count = ln.dec->ReadSegmentCount();
+    ln.segs_read = true;
+    ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+    ++active;
+  }
+  if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
+  ChargeDecode(active, ranges);
+
+  std::vector<AppendItem> items;
+  for (;;) {
+    // Open next segment for lanes whose stream is exhausted.
+    ranges.clear();
+    size_t opening = 0;
+    for (Lane& ln : lanes_) {
+      if (!ln.valid) continue;
+      if (ln.rs_ready && ln.rs.HasNext()) continue;
+      if (ln.seg_next >= ln.seg_count) {
+        ln.rs_ready = false;
+        continue;
+      }
+      uint64_t base = ln.dec->SegmentBitPos(ln.seg_next);
+      ln.rs = ln.dec->SegmentResiduals(ln.seg_next);
+      ++ln.seg_next;
+      ln.rs_ready = true;
+      ranges.push_back(ByteRangeOf(base, ln.rs.bit_pos()));
+      ++opening;
+    }
+    if (opening > 0) {
+      if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
+      ChargeDecode(opening, ranges);
+    }
+    // One decode + append round.
+    ranges.clear();
+    items.clear();
+    size_t decoding = 0;
+    if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
+    for (int l = 0; l < o_.lanes; ++l) {
+      Lane& ln = lanes_[l];
+      if (!ln.valid || !ln.rs_ready || !ln.rs.HasNext()) continue;
+      uint64_t before = ln.rs.bit_pos();
+      NodeId v = ln.rs.Next();
+      ranges.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+      ++decoding;
+      AppendItem it;
+      it.exec_lane = l;
+      it.src_lane = l;
+      it.u = ln.u;
+      it.v = v;
+      it.origin = TraceOp::kDecodeResidual;
+      it.idx1 = ln.res_idx++;
+      items.push_back(it);
+    }
+    if (decoding == 0 && opening == 0) break;
+    if (decoding > 0) {
+      ChargeDecode(decoding, ranges);
+      AppendStep(items);
+    }
+  }
+}
+
+WarpStats WarpSim::Run(std::span<const NodeId> chunk) {
+  HeaderPhase(chunk);
+  if (o_.level == GcgtLevel::kIntuitive) {
+    RunIntuitive();
+  } else {
+    IntervalPhase();
+    if (segmented()) {
+      if (o_.level >= GcgtLevel::kFull) {
+        SegmentedResidualPhase();
+      } else {
+        SegmentedSerialResiduals();
+      }
+    } else {
+      SetupUnsegmentedResiduals();
+      if (o_.level == GcgtLevel::kTwoPhase) {
+        ResidualPhaseTwoPhase();
+      } else {
+        ResidualPhaseStealing();
+      }
+    }
+  }
+  return ctx_.TakeStats();
+}
+
+}  // namespace
+
+void CgrTraversalEngine::ProcessFrontier(std::span<const NodeId> frontier,
+                                         FrontierFilter& filter,
+                                         std::vector<NodeId>* out_frontier,
+                                         std::vector<simt::WarpStats>* warp_stats,
+                                         StepTrace* trace) const {
+  for (size_t off = 0; off < frontier.size(); off += options_.lanes) {
+    size_t n = std::min<size_t>(options_.lanes, frontier.size() - off);
+    WarpSim sim(graph_, options_, filter, out_frontier, trace);
+    warp_stats->push_back(sim.Run(frontier.subspan(off, n)));
+  }
+}
+
+}  // namespace gcgt

@@ -1,0 +1,59 @@
+// The GCGT traversal engine: expands one frontier out of a CGR-compressed
+// graph on the simulated SIMT machine, with the paper's scheduling
+// strategies (Algorithms 1-4 + residual segmentation) selected by
+// GcgtOptions::level. One instance is reusable across frontiers/queries.
+#ifndef GCGT_CORE_CGR_TRAVERSAL_H_
+#define GCGT_CORE_CGR_TRAVERSAL_H_
+
+#include <span>
+#include <vector>
+
+#include "cgr/cgr_decoder.h"
+#include "cgr/cgr_graph.h"
+#include "core/frontier_filter.h"
+#include "core/gcgt_options.h"
+#include "core/trace.h"
+#include "simt/machine.h"
+#include "simt/warp.h"
+
+namespace gcgt {
+
+/// Aggregated result metrics shared by the BFS/CC/BC drivers.
+struct TraversalMetrics {
+  double model_ms = 0.0;       ///< simulated elapsed time
+  int kernels = 0;             ///< kernel launches (BFS: one per level)
+  uint64_t device_bytes = 0;   ///< modeled device footprint
+  simt::WarpStats warp;        ///< aggregate warp statistics
+};
+
+class CgrTraversalEngine {
+ public:
+  CgrTraversalEngine(const CgrGraph& graph, const GcgtOptions& options)
+      : graph_(graph), options_(options) {}
+
+  /// Expands `frontier`, passing every (frontier, neighbor) pair to `filter`
+  /// and collecting accepted nodes into `out_frontier`. Appends one WarpStats
+  /// per simulated warp to `warp_stats`. `trace` (optional) records the
+  /// per-step tables of paper Fig. 4.
+  void ProcessFrontier(std::span<const NodeId> frontier, FrontierFilter& filter,
+                       std::vector<NodeId>* out_frontier,
+                       std::vector<simt::WarpStats>* warp_stats,
+                       StepTrace* trace = nullptr) const;
+
+  /// Device bytes of the compressed adjacency data + bitStart offsets.
+  uint64_t BaseDeviceBytes() const {
+    return graph_.bits().size() +
+           (static_cast<uint64_t>(graph_.num_nodes()) + 1) * sizeof(uint64_t);
+  }
+
+  const CgrGraph& graph() const { return graph_; }
+  const GcgtOptions& options() const { return options_; }
+
+ private:
+  const CgrGraph& graph_;
+  GcgtOptions options_;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_CORE_CGR_TRAVERSAL_H_

@@ -1,0 +1,56 @@
+// The "filtering" step of the expansion - filtering - contraction pipeline
+// (paper §6, Fig. 7). The traversal engine expands neighbors out of CGR and
+// hands each (frontier, neighbor) pair to a filter, which updates the
+// application state and decides whether a node enters the next frontier.
+// BFS, Connected Component and Betweenness Centrality are all filters.
+#ifndef GCGT_CORE_FRONTIER_FILTER_H_
+#define GCGT_CORE_FRONTIER_FILTER_H_
+
+#include "graph/graph.h"
+
+namespace gcgt {
+
+class FrontierFilter {
+ public:
+  virtual ~FrontierFilter() = default;
+
+  /// Called once per expanded edge (u, v); returns true when a node should
+  /// be appended to the out-frontier.
+  virtual bool Filter(NodeId u, NodeId v) = 0;
+
+  /// Which node is appended when Filter returned true (v for BFS/BC,
+  /// u for the node-centric CC re-scan set).
+  virtual NodeId AppendTarget(NodeId /*u*/, NodeId v) { return v; }
+
+  /// Global atomics the filter actually issued since the last drain (e.g.
+  /// hooking CAS, sigma atomicAdd). The engine drains this after every
+  /// append slot and charges the simulator accordingly.
+  virtual int TakeAtomics() { return 0; }
+};
+
+/// BFS visited-check filter: unvisited neighbors get depth u+1 and enter the
+/// next frontier.
+class BfsFilter : public FrontierFilter {
+ public:
+  static constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
+
+  explicit BfsFilter(NodeId num_nodes) : depth_(num_nodes, kUnvisited) {}
+
+  void SetSource(NodeId s) { depth_[s] = 0; }
+
+  bool Filter(NodeId u, NodeId v) override {
+    if (depth_[v] != kUnvisited) return false;
+    depth_[v] = depth_[u] + 1;
+    return true;
+  }
+
+  const std::vector<uint32_t>& depth() const { return depth_; }
+  std::vector<uint32_t> TakeDepth() { return std::move(depth_); }
+
+ private:
+  std::vector<uint32_t> depth_;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_CORE_FRONTIER_FILTER_H_

@@ -1,0 +1,43 @@
+// Configuration of the GCGT traversal engine.
+#ifndef GCGT_CORE_GCGT_OPTIONS_H_
+#define GCGT_CORE_GCGT_OPTIONS_H_
+
+#include "simt/cost_model.h"
+
+namespace gcgt {
+
+/// Cumulative optimization levels, exactly as paper Fig. 9 applies them.
+/// Each level includes everything below it.
+enum class GcgtLevel : int {
+  kIntuitive = 0,     ///< Alg. 1: one lane decodes one list serially
+  kTwoPhase = 1,      ///< + Alg. 2: separate interval / residual phases
+  kTaskStealing = 2,  ///< + Alg. 3: idle lanes steal residual appends
+  kWarpCentric = 3,   ///< + Alg. 4: speculative parallel VLC decoding
+  kFull = 4,          ///< + residual segmentation scheduling (= GCGT)
+};
+
+inline const char* GcgtLevelName(GcgtLevel level) {
+  switch (level) {
+    case GcgtLevel::kIntuitive: return "Intuitive";
+    case GcgtLevel::kTwoPhase: return "TwoPhaseTraversal";
+    case GcgtLevel::kTaskStealing: return "TaskStealing";
+    case GcgtLevel::kWarpCentric: return "Warp-centric";
+    case GcgtLevel::kFull: return "ResidualSegmentation (GCGT)";
+  }
+  return "?";
+}
+
+struct GcgtOptions {
+  GcgtLevel level = GcgtLevel::kFull;
+  /// Lanes per warp; 32 in production, 8/16 in the paper's worked examples.
+  int lanes = simt::kWarpSize;
+  /// A lane's residual list is handed to warp-centric decoding when at least
+  /// this many residuals remain after the stealing stage.
+  int warp_centric_min_residuals = 32;
+  simt::CostModel cost;
+  simt::DeviceSpec device;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_CORE_GCGT_OPTIONS_H_

@@ -1,0 +1,27 @@
+#include "core/trace.h"
+
+#include <cstdio>
+
+namespace gcgt {
+
+std::string StepTrace::ToTable(int num_lanes) const {
+  std::string out = "step";
+  for (int l = 0; l < num_lanes; ++l) {
+    out += "\tt" + std::to_string(l);
+  }
+  out += "\n";
+  size_t paper_step = 0;
+  for (const auto& s : steps_) {
+    if (s.op == TraceOp::kHeader || s.lanes.empty()) continue;
+    std::vector<std::string> row(num_lanes);
+    for (const auto& [lane, label] : s.lanes) {
+      if (lane < num_lanes) row[lane] = label;
+    }
+    out += std::to_string(paper_step++);
+    for (const auto& cell : row) out += "\t" + cell;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gcgt

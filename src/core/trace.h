@@ -1,0 +1,58 @@
+// Step-trace recorder reproducing the instruction-flow tables of paper
+// Fig. 4. Engines emit one trace step per issued warp-wide slot with a label
+// per active lane (e.g. "t2:i0:4" = lane 2 handling neighbor 4 of its first
+// interval). Header decodes are recorded with kind kHeader and excluded from
+// PaperStepCount(), matching the figure's simplification.
+#ifndef GCGT_CORE_TRACE_H_
+#define GCGT_CORE_TRACE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gcgt {
+
+enum class TraceOp {
+  kHeader,           // degNum / itvNum / segNum decodes (not counted in Fig. 4)
+  kDecodeInterval,   // "tX:iY"
+  kDecodeResidual,   // "tX:resY"
+  kAppend,           // handling/visited-checking a neighbor
+};
+
+class StepTrace {
+ public:
+  /// Starts a new step of the given kind. Subsequent Lane() calls attach to it.
+  void BeginStep(TraceOp op) { steps_.push_back({op, {}}); }
+
+  void Lane(int lane, std::string label) {
+    steps_.back().lanes.emplace_back(lane, std::move(label));
+  }
+
+  /// Steps counted the way Fig. 4 counts them (headers and empty steps —
+  /// begun but with no active lane — excluded).
+  size_t PaperStepCount() const {
+    size_t n = 0;
+    for (const auto& s : steps_) {
+      if (s.op != TraceOp::kHeader && !s.lanes.empty()) ++n;
+    }
+    return n;
+  }
+
+  size_t TotalStepCount() const { return steps_.size(); }
+
+  /// Renders the Fig. 4 style table ("step | t0 | t1 | ...").
+  std::string ToTable(int num_lanes) const;
+
+  struct Step {
+    TraceOp op;
+    std::vector<std::pair<int, std::string>> lanes;
+  };
+  const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_CORE_TRACE_H_

@@ -1,0 +1,81 @@
+#include "core/warp_centric.h"
+
+#include <algorithm>
+
+#include "util/bit_stream.h"
+
+namespace gcgt {
+
+ParallelDecodeResult WarpCentricDecodeWindow(const uint8_t* bits,
+                                             size_t total_bits, uint64_t base,
+                                             int lanes, VlcScheme scheme,
+                                             uint64_t max_values) {
+  ParallelDecodeResult out;
+  if (max_values == 0 || base >= total_bits) {
+    out.next_bit_pos = base;
+    return out;
+  }
+
+  // Speculative phase: every lane decodes one codeword from its candidate
+  // start (paper Alg. 4 lines 5-8).
+  std::vector<uint64_t> vals(lanes, 0);
+  std::vector<uint64_t> poss(lanes, 0);  // end position, relative to base
+  for (int lane = 0; lane < lanes; ++lane) {
+    uint64_t start = base + static_cast<uint64_t>(lane);
+    if (start >= total_bits) {
+      poss[lane] = static_cast<uint64_t>(lanes);  // past-window sentinel
+      continue;
+    }
+    BitReader r(bits, total_bits, start);
+    vals[lane] = VlcDecode(scheme, &r);
+    poss[lane] = r.pos() - base;
+  }
+
+  // Marking phase: pointer jumping from lane 0 (always a valid start).
+  // flags[l] = candidate l is a valid codeword start. Each round, every
+  // marked lane with an in-window pos marks poss[l]; EVERY lane (marked or
+  // not, Alg. 4 line 15) jumps its pos to poss[poss[l]], so after round n a
+  // marked lane's pos points 2^n codewords ahead and the marked count
+  // doubles per round (Lemma 5.2, Fig. 5).
+  std::vector<uint8_t> flags(lanes, 0);
+  std::vector<uint64_t> jump = poss;
+  flags[0] = 1;
+  int rounds = 0;
+  for (;;) {
+    bool any_active = false;
+    for (int l = 0; l < lanes; ++l) {
+      if (flags[l] && jump[l] < static_cast<uint64_t>(lanes)) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active) break;
+    ++rounds;
+    std::vector<uint8_t> new_flags = flags;
+    std::vector<uint64_t> new_jump = jump;
+    for (int l = 0; l < lanes; ++l) {
+      uint64_t p = jump[l];
+      if (p >= static_cast<uint64_t>(lanes)) continue;
+      if (flags[l]) new_flags[p] = 1;
+      new_jump[l] = jump[p];
+    }
+    flags = std::move(new_flags);
+    jump = std::move(new_jump);
+  }
+  out.rounds = rounds;
+
+  // Collect valid decodings in stream order, capped at max_values; track the
+  // continuation position by walking the chain.
+  uint64_t pos = 0;  // window-relative; 0 is valid by precondition
+  while (pos < static_cast<uint64_t>(lanes) &&
+         out.values.size() < max_values) {
+    int lane = static_cast<int>(pos);
+    out.values.push_back(vals[lane]);
+    out.valid_offsets.push_back(static_cast<uint32_t>(pos));
+    pos = poss[lane];
+  }
+  out.next_bit_pos = base + pos;
+  return out;
+}
+
+}  // namespace gcgt

@@ -1,0 +1,42 @@
+// Warp-centric speculative VLC decoding (paper Alg. 4, Fig. 5, Lemma 5.2).
+//
+// A warp of K lanes decodes a VLC stream in parallel: lane i speculatively
+// decodes a codeword starting at bit (base + i); the valid decodings are the
+// ones reachable by chaining end-positions from lane 0, identified with
+// pointer jumping in O(log2 K) rounds. Each window yields roughly
+// K / avg_codeword_bits values, so the technique pays off exactly when the
+// encoding is dense (paper §7.3: larger gains at fewer bits/edge).
+#ifndef GCGT_CORE_WARP_CENTRIC_H_
+#define GCGT_CORE_WARP_CENTRIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cgr/vlc.h"
+
+namespace gcgt {
+
+struct ParallelDecodeResult {
+  /// Valid decoded values, in stream order.
+  std::vector<uint64_t> values;
+  /// Window-relative bit offsets of the valid codeword starts.
+  std::vector<uint32_t> valid_offsets;
+  /// Absolute bit position of the first codeword after the window
+  /// (continuation point for the next window).
+  uint64_t next_bit_pos = 0;
+  /// Pointer-jumping rounds the parallel marking needed (Lemma 5.2: the
+  /// number of marked decodings doubles per round).
+  int rounds = 0;
+};
+
+/// Decodes at most `max_values` codewords whose starts lie in the K-bit
+/// window [base, base+lanes). `base` must be a codeword start. Simulates the
+/// parallel marking faithfully (round count is the real doubling count).
+ParallelDecodeResult WarpCentricDecodeWindow(const uint8_t* bits,
+                                             size_t total_bits, uint64_t base,
+                                             int lanes, VlcScheme scheme,
+                                             uint64_t max_values);
+
+}  // namespace gcgt
+
+#endif  // GCGT_CORE_WARP_CENTRIC_H_

@@ -1,0 +1,307 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace gcgt {
+namespace {
+
+// Geometric host size with the given mean (>= 1).
+NodeId SampleHostSize(Rng& rng, double mean) {
+  double p = 1.0 / std::max(1.0, mean);
+  NodeId size = 1;
+  while (!rng.Bernoulli(p) && size < 4096) ++size;
+  return size;
+}
+
+}  // namespace
+
+Graph GenerateWebGraph(const WebGraphParams& p) {
+  Rng rng(p.seed);
+  // Partition node ids into contiguous hosts.
+  std::vector<NodeId> host_begin;  // host h spans [host_begin[h], host_begin[h+1])
+  host_begin.push_back(0);
+  while (host_begin.back() < p.num_nodes) {
+    NodeId size = SampleHostSize(rng, p.mean_host_size);
+    host_begin.push_back(std::min<NodeId>(p.num_nodes, host_begin.back() + size));
+  }
+  size_t num_hosts = host_begin.size() - 1;
+  // A few "popular" hosts attract most cross-host links (hubs of the web).
+  size_t num_popular = std::max<size_t>(1, num_hosts / 50);
+
+  EdgeList edges;
+  edges.reserve(static_cast<size_t>(p.num_nodes * p.avg_degree));
+  for (size_t h = 0; h < num_hosts; ++h) {
+    NodeId begin = host_begin[h];
+    NodeId end = host_begin[h + 1];
+    NodeId host_size = end - begin;
+
+    // Host-shared template: the navigation boilerplate every page of the
+    // host links to. A consecutive run of "menu" pages at the host start
+    // (compresses into intervals) plus a few popular-host entry pages.
+    std::vector<NodeId> tmpl;
+    int menu = 3 + static_cast<int>(rng.Uniform(10));
+    for (int i = 0; i < menu && static_cast<NodeId>(i) < host_size; ++i) {
+      tmpl.push_back(begin + static_cast<NodeId>(i));
+    }
+    int external = 1 + static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < external; ++i) {
+      size_t oh = rng.Uniform(num_popular);
+      tmpl.push_back(host_begin[oh]);
+    }
+
+    for (NodeId u = begin; u < end; ++u) {
+      int degree = 1 + static_cast<int>(rng.Zipf(256, 1.6) * p.avg_degree / 8.0);
+      int num_template = static_cast<int>(degree * p.template_fraction);
+      int num_window = std::max(1, static_cast<int>(degree * p.window_fraction));
+      int num_random = degree - num_template - num_window;
+
+      for (int i = 0; i < num_template && i < static_cast<int>(tmpl.size()); ++i) {
+        edges.emplace_back(u, tmpl[i]);
+      }
+      // Consecutive in-host window starting right after u: long intervals
+      // and strong similarity between consecutive pages.
+      if (host_size > 1) {
+        NodeId start = u + 1 < end ? u + 1 : begin;
+        for (int i = 0; i < num_window; ++i) {
+          NodeId v = start + static_cast<NodeId>(i);
+          if (v >= end) break;
+          edges.emplace_back(u, v);
+        }
+      }
+      for (int i = 0; i < num_random; ++i) {
+        if (rng.Bernoulli(0.9) && host_size > 1) {
+          // In-host link with a small zipf-distributed forward gap.
+          NodeId off = static_cast<NodeId>(rng.Zipf(host_size, 1.6));
+          edges.emplace_back(u, begin + (u - begin + off) % host_size);
+        } else if (rng.Bernoulli(0.7)) {
+          size_t oh = rng.Uniform(num_popular);  // popular host entry page
+          edges.emplace_back(u, host_begin[oh]);
+        } else {
+          edges.emplace_back(u, static_cast<NodeId>(rng.Uniform(p.num_nodes)));
+        }
+      }
+    }
+  }
+
+  if (p.crawl_interleave && num_hosts > 1) {
+    // Crawl-order relabeling: take 4-16 page blocks from randomly chosen
+    // hosts, preserving each host's internal page order.
+    std::vector<NodeId> cursor(host_begin.begin(), host_begin.end() - 1);
+    std::vector<size_t> live;
+    for (size_t h = 0; h < num_hosts; ++h) {
+      if (cursor[h] < host_begin[h + 1]) live.push_back(h);
+    }
+    std::vector<NodeId> perm(p.num_nodes);
+    NodeId next_id = 0;
+    while (!live.empty()) {
+      size_t pick = rng.Uniform(live.size());
+      size_t h = live[pick];
+      NodeId block = 4 + static_cast<NodeId>(rng.Uniform(13));
+      while (block-- > 0 && cursor[h] < host_begin[h + 1]) {
+        perm[cursor[h]++] = next_id++;
+      }
+      if (cursor[h] >= host_begin[h + 1]) {
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+    for (auto& [u, v] : edges) {
+      u = perm[u];
+      v = perm[v];
+    }
+  }
+  return Graph::FromEdges(p.num_nodes, edges);
+}
+
+Graph GenerateSocialGraph(const SocialGraphParams& p) {
+  Rng rng(p.seed);
+  EdgeId target_edges = static_cast<EdgeId>(p.num_nodes * p.avg_degree);
+  EdgeList edges;
+  edges.reserve(target_edges);
+
+  // Preferential attachment over an endpoint pool (Barabasi-Albert flavor)
+  // with Zipf out-degrees.
+  std::vector<NodeId> pool;
+  pool.reserve(2 * target_edges / 16);
+  for (NodeId u = 0; u < std::min<NodeId>(8, p.num_nodes); ++u) pool.push_back(u);
+
+  for (NodeId u = 0; u < p.num_nodes; ++u) {
+    int degree = static_cast<int>(rng.Zipf(10000, p.degree_alpha) *
+                                  p.avg_degree / 3.0);
+    degree = std::max(1, std::min(degree, static_cast<int>(p.num_nodes) / 2));
+    for (int i = 0; i < degree; ++i) {
+      NodeId v;
+      if (!pool.empty() && rng.Bernoulli(0.75)) {
+        v = pool[rng.Uniform(pool.size())];
+      } else {
+        v = static_cast<NodeId>(rng.Uniform(p.num_nodes));
+      }
+      if (v == u) continue;
+      edges.emplace_back(u, v);
+      if (pool.size() < 4 * target_edges / 16) {
+        pool.push_back(v);
+        pool.push_back(u);
+      }
+    }
+  }
+
+  if (p.shuffle_labels) {
+    std::vector<NodeId> perm(p.num_nodes);
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.Shuffle(perm);
+    for (auto& [u, v] : edges) {
+      u = perm[u];
+      v = perm[v];
+    }
+  }
+  return Graph::FromEdges(p.num_nodes, edges);
+}
+
+Graph GenerateTwitterGraph(const TwitterGraphParams& p) {
+  Rng rng(p.seed);
+  EdgeId target_edges = static_cast<EdgeId>(p.num_nodes * p.avg_degree);
+  EdgeList edges;
+  edges.reserve(target_edges);
+
+  // Super-hubs: both massive in-degree (celebrities) and, for a couple of
+  // them, massive out-degree (aggregators) -> extremely long residual lists.
+  std::vector<NodeId> hubs;
+  for (int i = 0; i < p.num_hubs; ++i) {
+    hubs.push_back(static_cast<NodeId>(rng.Uniform(p.num_nodes)));
+  }
+  EdgeId hub_edges = static_cast<EdgeId>(target_edges * p.hub_edge_fraction);
+  for (EdgeId e = 0; e < hub_edges; ++e) {
+    NodeId hub = hubs[rng.Uniform(hubs.size())];
+    NodeId other = static_cast<NodeId>(rng.Uniform(p.num_nodes));
+    if (other == hub) continue;
+    if (rng.Bernoulli(0.4)) {
+      edges.emplace_back(hub, other);  // aggregator follows many
+    } else {
+      edges.emplace_back(other, hub);  // many follow the celebrity
+    }
+  }
+  // Long-tail users.
+  while (edges.size() < target_edges) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(p.num_nodes));
+    int degree = static_cast<int>(rng.Zipf(3000, p.degree_alpha));
+    for (int i = 0; i < degree && edges.size() < target_edges; ++i) {
+      NodeId v = static_cast<NodeId>(rng.Uniform(p.num_nodes));
+      if (v != u) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::FromEdges(p.num_nodes, edges);
+}
+
+Graph GenerateBrainGraph(const BrainGraphParams& p) {
+  Rng rng(p.seed);
+  const EdgeId target_edges =
+      static_cast<EdgeId>(p.num_nodes * p.avg_degree);  // directed count
+  NodeId community_size =
+      std::max<NodeId>(2, p.num_nodes / std::max(1, p.num_communities));
+  EdgeList edges;
+  Graph g;
+  // Duplicate samples inside dense communities are removed by FromEdges, so
+  // top up the sample pool until the unique-edge target is met.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EdgeId have = g.num_edges();
+    if (have >= target_edges * 95 / 100) break;
+    EdgeId draw = (target_edges - have) * 6 / 10 + 1024;
+    for (EdgeId e = 0; e < draw; ++e) {
+      NodeId u = static_cast<NodeId>(rng.Uniform(p.num_nodes));
+      NodeId v;
+      if (rng.Bernoulli(p.intra_fraction)) {
+        NodeId c_begin = (u / community_size) * community_size;
+        NodeId c_size = std::min<NodeId>(community_size, p.num_nodes - c_begin);
+        v = c_begin + static_cast<NodeId>(rng.Uniform(c_size));
+      } else {
+        v = static_cast<NodeId>(rng.Uniform(p.num_nodes));
+      }
+      if (u != v) edges.emplace_back(u, v);
+    }
+    g = Graph::FromEdges(p.num_nodes, edges, /*symmetrize=*/true);
+  }
+  return g;
+}
+
+Graph GenerateErdosRenyi(NodeId num_nodes, EdgeId num_edges, uint64_t seed) {
+  Rng rng(seed);
+  EdgeList edges;
+  edges.reserve(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.Uniform(num_nodes));
+    edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(num_nodes, edges);
+}
+
+Graph GenerateRmat(NodeId num_nodes_pow2, EdgeId num_edges, uint64_t seed,
+                   double a, double b, double c) {
+  int scale = 0;
+  while ((NodeId(1) << scale) < num_nodes_pow2) ++scale;
+  NodeId n = NodeId(1) << scale;
+  Rng rng(seed);
+  EdgeList edges;
+  edges.reserve(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    NodeId u = 0, v = 0;
+    for (int level = 0; level < scale; ++level) {
+      double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph MakePath(NodeId n, bool undirected) {
+  EdgeList edges;
+  for (NodeId u = 0; u + 1 < n; ++u) edges.emplace_back(u, u + 1);
+  return Graph::FromEdges(n, edges, undirected);
+}
+
+Graph MakeCycle(NodeId n) {
+  EdgeList edges;
+  for (NodeId u = 0; u < n; ++u) edges.emplace_back(u, (u + 1) % n);
+  return Graph::FromEdges(n, edges);
+}
+
+Graph MakeStar(NodeId leaves, bool undirected) {
+  EdgeList edges;
+  for (NodeId i = 1; i <= leaves; ++i) edges.emplace_back(0, i);
+  return Graph::FromEdges(leaves + 1, edges, undirected);
+}
+
+Graph MakeComplete(NodeId n) {
+  EdgeList edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph MakePaperFigure1Graph() {
+  // Edge list of paper Fig. 1(b).
+  EdgeList edges = {{0, 1}, {0, 3}, {0, 4}, {1, 2}, {1, 4},
+                    {1, 5}, {2, 5}, {5, 6}, {5, 7}, {6, 7}};
+  return Graph::FromEdges(8, edges);
+}
+
+}  // namespace gcgt

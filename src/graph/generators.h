@@ -1,0 +1,99 @@
+// Synthetic graph generators.
+//
+// The five paper datasets (uk-2002, uk-2007, ljournal, twitter, brain) are
+// not redistributable at laptop scale, so each is replaced by a generator
+// calibrated to reproduce the structural property the paper's evaluation
+// attributes to it (see DESIGN.md "Substitutions"):
+//   - web graphs: strong index locality (interval-rich adjacency) plus
+//     template-shared out-links across pages of one host (VNC-friendly);
+//   - social graphs: power-law degrees with shuffled labels (poor locality);
+//   - twitter: a handful of extreme hubs dominating the edge count;
+//   - brain: dense community structure with near-uniform, large degrees.
+#ifndef GCGT_GRAPH_GENERATORS_H_
+#define GCGT_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace gcgt {
+
+struct WebGraphParams {
+  NodeId num_nodes = 40000;
+  double avg_degree = 16.0;
+  /// Mean pages per host; host sizes are geometric.
+  double mean_host_size = 48.0;
+  /// Fraction of a page's links drawn from the host-shared template list
+  /// (identical across pages of one host => virtual-node compressible).
+  double template_fraction = 0.55;
+  /// Fraction of links forming a consecutive in-host window (intervals).
+  double window_fraction = 0.35;
+  /// Relabel pages in crawl order: blocks of consecutive pages from
+  /// different hosts interleave (per-host block order preserved), as a BFS
+  /// crawler would discover them. This is what locality-restoring
+  /// reorderings (LLP/Gorder, paper Fig. 13) later undo.
+  bool crawl_interleave = true;
+  uint64_t seed = 1;
+};
+
+struct SocialGraphParams {
+  NodeId num_nodes = 30000;
+  double avg_degree = 15.0;
+  /// Zipf exponent of the out-degree distribution.
+  double degree_alpha = 1.9;
+  /// Shuffle node labels to destroy locality (mimics crawl order).
+  bool shuffle_labels = true;
+  uint64_t seed = 2;
+};
+
+struct TwitterGraphParams {
+  NodeId num_nodes = 50000;
+  double avg_degree = 30.0;
+  /// Number of super-hubs; each receives hub_degree_fraction of all edges.
+  int num_hubs = 12;
+  double hub_edge_fraction = 0.35;
+  double degree_alpha = 2.0;
+  uint64_t seed = 3;
+};
+
+struct BrainGraphParams {
+  NodeId num_nodes = 6000;
+  double avg_degree = 130.0;  // scaled stand-in for the paper's 683
+  int num_communities = 40;
+  /// Probability an edge endpoint stays inside the community.
+  double intra_fraction = 0.85;
+  uint64_t seed = 4;
+};
+
+/// uk-2002 / uk-2007 style web graph.
+Graph GenerateWebGraph(const WebGraphParams& p);
+
+/// ljournal style social network.
+Graph GenerateSocialGraph(const SocialGraphParams& p);
+
+/// twitter style follower network with super-hubs.
+Graph GenerateTwitterGraph(const TwitterGraphParams& p);
+
+/// brain style dense undirected community graph.
+Graph GenerateBrainGraph(const BrainGraphParams& p);
+
+/// G(n, m) Erdos-Renyi (directed, m sampled edges before dedupe).
+Graph GenerateErdosRenyi(NodeId num_nodes, EdgeId num_edges, uint64_t seed);
+
+/// R-MAT recursive matrix graph (a=0.57,b=0.19,c=0.19 Graph500 defaults).
+Graph GenerateRmat(NodeId num_nodes_pow2, EdgeId num_edges, uint64_t seed,
+                   double a = 0.57, double b = 0.19, double c = 0.19);
+
+// Deterministic toy graphs for unit tests.
+Graph MakePath(NodeId n, bool undirected = true);
+Graph MakeCycle(NodeId n);
+Graph MakeStar(NodeId leaves, bool undirected = true);
+Graph MakeComplete(NodeId n);
+
+/// The 8-node example graph of paper Fig. 1.
+Graph MakePaperFigure1Graph();
+
+}  // namespace gcgt
+
+#endif  // GCGT_GRAPH_GENERATORS_H_

@@ -1,0 +1,83 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gcgt {
+
+Graph Graph::FromEdges(NodeId num_nodes, const EdgeList& edges, bool symmetrize) {
+  // Count degrees (including symmetric copies), then bucket-fill and finally
+  // sort + dedupe each list in place.
+  std::vector<EdgeId> degree(num_nodes, 0);
+  for (const auto& [u, v] : edges) {
+    assert(u < num_nodes && v < num_nodes);
+    ++degree[u];
+    if (symmetrize && u != v) ++degree[v];
+  }
+
+  Graph g;
+  g.offsets_.assign(num_nodes + 1, 0);
+  for (NodeId u = 0; u < num_nodes; ++u) g.offsets_[u + 1] = g.offsets_[u] + degree[u];
+  g.neighbors_.resize(g.offsets_[num_nodes]);
+
+  std::vector<EdgeId> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.neighbors_[cursor[u]++] = v;
+    if (symmetrize && u != v) g.neighbors_[cursor[v]++] = u;
+  }
+
+  // Sort and dedupe per node, compacting the arrays.
+  EdgeId write = 0;
+  EdgeId prev_offset = 0;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    EdgeId begin = prev_offset;
+    EdgeId end = g.offsets_[u + 1];
+    prev_offset = end;
+    std::sort(g.neighbors_.begin() + begin, g.neighbors_.begin() + end);
+    EdgeId out_begin = write;
+    for (EdgeId i = begin; i < end; ++i) {
+      if (i > begin && g.neighbors_[i] == g.neighbors_[i - 1]) continue;
+      g.neighbors_[write++] = g.neighbors_[i];
+    }
+    g.offsets_[u] = out_begin;
+  }
+  g.offsets_[num_nodes] = write;
+  g.neighbors_.resize(write);
+  // offsets_[u] currently stores begin positions; shift into canonical form.
+  // (They already are canonical: offsets_[u] = begin of u, offsets_[V] = end.)
+  return g;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+Graph Graph::Reversed() const {
+  EdgeList rev;
+  rev.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : Neighbors(u)) rev.emplace_back(v, u);
+  }
+  return FromEdges(num_nodes(), rev);
+}
+
+Graph Graph::Relabeled(const std::vector<NodeId>& perm) const {
+  EdgeList edges;
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : Neighbors(u)) edges.emplace_back(perm[u], perm[v]);
+  }
+  return FromEdges(num_nodes(), edges);
+}
+
+EdgeList Graph::ToEdges() const {
+  EdgeList edges;
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : Neighbors(u)) edges.emplace_back(u, v);
+  }
+  return edges;
+}
+
+}  // namespace gcgt

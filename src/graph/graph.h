@@ -1,0 +1,74 @@
+// In-memory CSR graph (paper Fig. 1): row offsets + sorted column indices.
+// This is the uncompressed substrate every engine starts from; the CGR
+// encoder (src/cgr) compresses it, the baselines traverse it directly.
+#ifndef GCGT_GRAPH_GRAPH_H_
+#define GCGT_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gcgt {
+
+using NodeId = uint32_t;
+using EdgeId = uint64_t;
+
+/// Sentinel for "no node" (e.g. unreachable BFS parent).
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+/// Immutable CSR graph. Neighbor lists are sorted ascending and deduplicated.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a CSR graph from an edge list.
+  /// If `symmetrize` is true every edge (u,v) also inserts (v,u).
+  /// Self loops are kept (the CGR codec supports them); duplicates are removed.
+  static Graph FromEdges(NodeId num_nodes, const EdgeList& edges,
+                         bool symmetrize = false);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size()) - 1; }
+  EdgeId num_edges() const { return neighbors_.empty() ? 0 : neighbors_.size(); }
+
+  EdgeId out_degree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return {neighbors_.data() + offsets_[u],
+            static_cast<size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+
+  const std::vector<EdgeId>& offsets() const { return offsets_; }
+  const std::vector<NodeId>& neighbors() const { return neighbors_; }
+
+  /// True iff (u,v) is an edge (binary search).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Graph with all edges reversed.
+  Graph Reversed() const;
+
+  /// Graph under the node relabeling new_id = perm[old_id].
+  /// `perm` must be a permutation of [0, num_nodes); validated by the caller
+  /// via reorder::ValidatePermutation when it comes from user input.
+  Graph Relabeled(const std::vector<NodeId>& perm) const;
+
+  /// All edges as (u, v) pairs, ordered by u then v.
+  EdgeList ToEdges() const;
+
+  /// CSR memory footprint in bytes: 8-byte offsets + 4-byte columns.
+  uint64_t CsrBytes() const {
+    return offsets_.size() * sizeof(EdgeId) + neighbors_.size() * sizeof(NodeId);
+  }
+
+ private:
+  std::vector<EdgeId> offsets_{0};  // size num_nodes + 1
+  std::vector<NodeId> neighbors_;  // size num_edges
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_GRAPH_GRAPH_H_

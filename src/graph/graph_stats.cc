@@ -1,0 +1,66 @@
+#include "graph/graph_stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gcgt {
+
+GraphStats ComputeGraphStats(const Graph& g, int min_interval_len) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.avg_degree = s.num_nodes ? static_cast<double>(s.num_edges) / s.num_nodes : 0.0;
+
+  double log_gap_sum = 0.0;
+  uint64_t gap_count = 0;
+  uint64_t covered = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    s.max_degree = std::max<EdgeId>(s.max_degree, nbrs.size());
+    size_t run = 1;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (i > 0) {
+        uint64_t gap = nbrs[i] - nbrs[i - 1];
+        log_gap_sum += std::log2(static_cast<double>(gap) + 1.0);
+        ++gap_count;
+        if (gap == 1) {
+          ++run;
+        } else {
+          if (run >= static_cast<size_t>(min_interval_len)) covered += run;
+          run = 1;
+        }
+      }
+    }
+    if (run >= static_cast<size_t>(min_interval_len)) covered += run;
+  }
+  s.locality_score = gap_count ? log_gap_sum / gap_count : 0.0;
+  s.interval_coverage =
+      s.num_edges ? static_cast<double>(covered) / s.num_edges : 0.0;
+  return s;
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& g) {
+  std::vector<uint64_t> hist(1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EdgeId d = g.out_degree(u);
+    size_t bucket = 0;  // degree in [2^i, 2^(i+1)); degrees 0 and 1 share bucket 0
+    while ((EdgeId(2) << bucket) <= d) ++bucket;
+    if (bucket >= hist.size()) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+std::string FormatStats(const std::string& name, const GraphStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-12s |V|=%-9u |E|=%-10llu avg=%6.1f max=%-7llu locality=%5.2f "
+                "itv_cov=%4.1f%%",
+                name.c_str(), s.num_nodes,
+                static_cast<unsigned long long>(s.num_edges), s.avg_degree,
+                static_cast<unsigned long long>(s.max_degree), s.locality_score,
+                100.0 * s.interval_coverage);
+  return buf;
+}
+
+}  // namespace gcgt

@@ -1,0 +1,38 @@
+// Structural statistics used to characterize datasets (paper Table 1) and to
+// explain compression behaviour (locality / interval coverage, §7.2).
+#ifndef GCGT_GRAPH_GRAPH_STATS_H_
+#define GCGT_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gcgt {
+
+struct GraphStats {
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;
+  double avg_degree = 0.0;
+  EdgeId max_degree = 0;
+  /// Mean log2(gap+1) over consecutive sorted-neighbor gaps; lower = better
+  /// locality = better CGR compression.
+  double locality_score = 0.0;
+  /// Fraction of neighbors covered by runs of consecutive ids with length >=
+  /// min_interval_len (these become intervals in CGR).
+  double interval_coverage = 0.0;
+};
+
+GraphStats ComputeGraphStats(const Graph& g, int min_interval_len = 4);
+
+/// Degree histogram in powers of two: bucket[i] = #nodes with degree in
+/// [2^i, 2^(i+1)).
+std::vector<uint64_t> DegreeHistogram(const Graph& g);
+
+/// One-line human readable summary.
+std::string FormatStats(const std::string& name, const GraphStats& s);
+
+}  // namespace gcgt
+
+#endif  // GCGT_GRAPH_GRAPH_STATS_H_

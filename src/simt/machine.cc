@@ -1,0 +1,43 @@
+#include "simt/machine.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace gcgt::simt {
+
+double Makespan(const std::vector<double>& warp_cycles, int slots) {
+  if (warp_cycles.empty()) return 0.0;
+  if (slots <= 1) {
+    double sum = 0;
+    for (double c : warp_cycles) sum += c;
+    return sum;
+  }
+  // Greedy list scheduling in submission order (hardware does not sort work),
+  // tracked with a min-heap of slot finish times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> finish;
+  double makespan = 0.0;
+  for (double c : warp_cycles) {
+    double start = 0.0;
+    if (static_cast<int>(finish.size()) >= slots) {
+      start = finish.top();
+      finish.pop();
+    }
+    double end = start + c;
+    finish.push(end);
+    makespan = std::max(makespan, end);
+  }
+  return makespan;
+}
+
+void KernelTimeline::AddKernel(const std::vector<WarpStats>& warps) {
+  std::vector<double> cycles;
+  cycles.reserve(warps.size());
+  for (const WarpStats& w : warps) {
+    cycles.push_back(w.Cycles(model_));
+    aggregate_ += w;
+  }
+  total_cycles_ += model_.kernel_launch_cycles + Makespan(cycles, model_.parallel_warp_slots());
+  ++num_kernels_;
+}
+
+}  // namespace gcgt::simt

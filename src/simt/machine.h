@@ -1,0 +1,42 @@
+// Kernel-level time model: warps scheduled onto parallel warp slots.
+#ifndef GCGT_SIMT_MACHINE_H_
+#define GCGT_SIMT_MACHINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/cost_model.h"
+#include "simt/warp.h"
+
+namespace gcgt::simt {
+
+/// Elapsed cycles for one kernel whose warps take `warp_cycles` each, on
+/// `slots` parallel warp slots: greedy (list-scheduling) makespan. This is
+/// how dynamic warp scheduling behaves and is what surfaces the paper's
+/// load-imbalance effects (a few heavy warps dominate the level time).
+double Makespan(const std::vector<double>& warp_cycles, int slots);
+
+/// Accumulates per-kernel stats for a multi-kernel computation (e.g. one BFS:
+/// one kernel per level).
+class KernelTimeline {
+ public:
+  explicit KernelTimeline(const CostModel& model) : model_(model) {}
+
+  /// Records one kernel launch with the given per-warp stats.
+  void AddKernel(const std::vector<WarpStats>& warps);
+
+  double total_cycles() const { return total_cycles_; }
+  double TotalMs() const { return model_.CyclesToMs(total_cycles_); }
+  int num_kernels() const { return num_kernels_; }
+  const WarpStats& aggregate() const { return aggregate_; }
+
+ private:
+  CostModel model_;
+  double total_cycles_ = 0;
+  int num_kernels_ = 0;
+  WarpStats aggregate_;
+};
+
+}  // namespace gcgt::simt
+
+#endif  // GCGT_SIMT_MACHINE_H_

@@ -1,0 +1,26 @@
+#include "simt/warp.h"
+
+namespace gcgt::simt {
+
+uint64_t CountCacheLines(std::span<const uint64_t> addrs, uint32_t width,
+                         int line_bytes) {
+  if (addrs.empty() || width == 0) return 0;
+  // Warp sizes are tiny (<= 32); collect and count distinct lines inline.
+  std::array<uint64_t, 2 * kWarpSize> lines;
+  size_t n = 0;
+  for (uint64_t a : addrs) {
+    uint64_t first = a / line_bytes;
+    uint64_t last = (a + width - 1) / line_bytes;
+    for (uint64_t l = first; l <= last; ++l) {
+      if (n < lines.size()) lines[n++] = l;
+    }
+  }
+  std::sort(lines.begin(), lines.begin() + n);
+  uint64_t distinct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i == 0 || lines[i] != lines[i - 1]) ++distinct;
+  }
+  return distinct;
+}
+
+}  // namespace gcgt::simt

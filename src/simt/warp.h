@@ -1,0 +1,187 @@
+// Warp-level accounting context and warp primitives.
+//
+// Engines express their kernels as explicit lockstep loops over lane arrays
+// (the same shape as the paper's Algorithms 1-4) and charge each warp-wide
+// operation through this context:
+//   Step(active)      one SIMT instruction slot with `active` live lanes
+//   MemAccess(addrs)  one warp-wide device-memory access; cost = number of
+//                     distinct cache lines (coalescing model, Appendix A)
+//   SharedOp()        shared-memory / shuffle / ballot / scan round
+//   Atomic(n)         n global atomics
+#ifndef GCGT_SIMT_WARP_H_
+#define GCGT_SIMT_WARP_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "simt/cost_model.h"
+
+namespace gcgt::simt {
+
+/// Aggregated per-warp (and, summed, per-kernel) execution statistics.
+struct WarpStats {
+  uint64_t steps = 0;             ///< issued instruction slots (incl. decode/append)
+  uint64_t decode_steps = 0;      ///< slots that perform a VLC decode
+  uint64_t append_steps = 0;      ///< slots that perform the filter/append
+  uint64_t active_lane_steps = 0; ///< lanes doing useful work in those slots
+  uint64_t idle_lane_steps = 0;   ///< divergence / starvation waste
+  uint64_t mem_txns = 0;          ///< distinct 128B lines fetched
+  uint64_t shared_ops = 0;
+  uint64_t atomics = 0;
+
+  double Cycles(const CostModel& m) const {
+    // decode/append slots are priced at their own rates.
+    return m.cycles_per_step *
+               static_cast<double>(steps - decode_steps - append_steps) +
+           m.cycles_per_decode_step * static_cast<double>(decode_steps) +
+           m.cycles_per_append_step * static_cast<double>(append_steps) +
+           m.cycles_per_shared_op * static_cast<double>(shared_ops) +
+           m.cycles_per_mem_txn * static_cast<double>(mem_txns) +
+           m.cycles_per_atomic * static_cast<double>(atomics);
+  }
+
+  WarpStats& operator+=(const WarpStats& o) {
+    steps += o.steps;
+    decode_steps += o.decode_steps;
+    append_steps += o.append_steps;
+    active_lane_steps += o.active_lane_steps;
+    idle_lane_steps += o.idle_lane_steps;
+    mem_txns += o.mem_txns;
+    shared_ops += o.shared_ops;
+    atomics += o.atomics;
+    return *this;
+  }
+
+  /// SIMT efficiency: fraction of lane-slots doing useful work.
+  double LaneEfficiency() const {
+    uint64_t total = active_lane_steps + idle_lane_steps;
+    return total ? static_cast<double>(active_lane_steps) / total : 1.0;
+  }
+};
+
+/// Counts the distinct cache lines covered by byte ranges [addr, addr+width).
+uint64_t CountCacheLines(std::span<const uint64_t> addrs, uint32_t width,
+                         int line_bytes);
+
+/// Per-warp accounting + warp-synchronous primitives. `num_lanes` is 32 in
+/// production; tests reproducing the paper's figures use 8 or 16.
+class WarpContext {
+ public:
+  explicit WarpContext(int num_lanes = kWarpSize, int cache_line_bytes = 128)
+      : num_lanes_(num_lanes), line_bytes_(cache_line_bytes) {}
+
+  int num_lanes() const { return num_lanes_; }
+
+  /// One instruction slot; `active` lanes execute, the rest are idle.
+  void Step(int active) {
+    stats_.steps += 1;
+    stats_.active_lane_steps += static_cast<uint64_t>(active);
+    stats_.idle_lane_steps += static_cast<uint64_t>(num_lanes_ - active);
+  }
+
+  /// One VLC-decode slot (priced at CostModel::cycles_per_decode_step).
+  void DecodeStep(int active) {
+    Step(active);
+    stats_.decode_steps += 1;
+  }
+
+  /// One filter/append slot (priced at CostModel::cycles_per_append_step).
+  void AppendStepOp(int active) {
+    Step(active);
+    stats_.append_steps += 1;
+  }
+
+  /// Warp-wide access to per-lane addresses; charges one transaction per
+  /// distinct cache line not yet touched by this warp (L1 reuse model).
+  void MemAccess(std::span<const uint64_t> addrs, uint32_t width) {
+    if (width == 0) return;
+    for (uint64_t a : addrs) {
+      uint64_t first = a / line_bytes_;
+      uint64_t last = (a + width - 1) / line_bytes_;
+      for (uint64_t l = first; l <= last; ++l) TouchLine(l);
+    }
+  }
+
+  /// Warp-wide access where each lane touches its own byte range
+  /// [first, second] (inclusive); used for variable-width VLC decode reads.
+  void MemAccessRanges(std::span<const std::pair<uint64_t, uint64_t>> ranges) {
+    for (const auto& [lo, hi] : ranges) {
+      for (uint64_t l = lo / line_bytes_; l <= hi / line_bytes_; ++l) {
+        TouchLine(l);
+      }
+    }
+  }
+
+  /// Warp-wide access to one contiguous range (e.g. queue append).
+  void MemAccessRange(uint64_t addr, uint64_t bytes) {
+    if (bytes == 0) return;
+    uint64_t first = addr / line_bytes_;
+    uint64_t last = (addr + bytes - 1) / line_bytes_;
+    for (uint64_t l = first; l <= last; ++l) TouchLine(l);
+  }
+
+  void SharedOp(int count = 1) { stats_.shared_ops += count; }
+  void Atomic(int count = 1) { stats_.atomics += count; }
+
+  const WarpStats& stats() const { return stats_; }
+  WarpStats TakeStats() {
+    WarpStats s = stats_;
+    stats_ = WarpStats{};
+    touched_lines_.clear();
+    return s;
+  }
+
+  // ---- Warp-synchronous primitives (functional forms of __shfl_sync etc.).
+  // They charge one shared op each, mirroring the "very low communication
+  // cost" of intra-warp collaboration (paper §5.1).
+
+  /// exclusiveScan of the paper: returns (scatter[i], total).
+  template <typename T>
+  T ExclusiveScan(std::span<const T> values, std::span<T> scatter) {
+    SharedOp();
+    T total = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      scatter[i] = total;
+      total += values[i];
+    }
+    return total;
+  }
+
+  /// syncAny: true if any active lane's predicate holds.
+  bool Any(std::span<const uint8_t> pred) {
+    SharedOp();
+    return std::any_of(pred.begin(), pred.end(), [](uint8_t p) { return p != 0; });
+  }
+
+  /// syncAll over the active lanes.
+  bool All(std::span<const uint8_t> pred) {
+    SharedOp();
+    return std::all_of(pred.begin(), pred.end(), [](uint8_t p) { return p != 0; });
+  }
+
+  /// shfl: broadcast lane src_lane's value to the warp.
+  template <typename T>
+  T Shfl(std::span<const T> values, int src_lane) {
+    SharedOp();
+    return values[src_lane];
+  }
+
+ private:
+  void TouchLine(uint64_t line) {
+    if (touched_lines_.insert(line).second) stats_.mem_txns += 1;
+  }
+
+  int num_lanes_;
+  int line_bytes_;
+  WarpStats stats_;
+  std::unordered_set<uint64_t> touched_lines_;
+};
+
+}  // namespace gcgt::simt
+
+#endif  // GCGT_SIMT_WARP_H_

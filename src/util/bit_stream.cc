@@ -1,0 +1,24 @@
+#include "util/bit_stream.h"
+
+namespace gcgt {
+
+std::string BitWriter::ToBitString() const {
+  std::string s;
+  s.reserve(num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) {
+    s.push_back(((bytes_[i >> 3] >> (7 - (i & 7))) & 1u) ? '1' : '0');
+  }
+  return s;
+}
+
+std::vector<uint8_t> BitsFromString(const std::string& bits, size_t* num_bits) {
+  BitWriter w;
+  for (char c : bits) {
+    if (c == '0') w.PutBit(false);
+    if (c == '1') w.PutBit(true);
+  }
+  *num_bits = w.num_bits();
+  return w.TakeBytes();
+}
+
+}  // namespace gcgt

@@ -1,0 +1,117 @@
+// MSB-first bit stream writer/reader used by the CGR encoder and decoder.
+//
+// Bits are addressed globally: bit i lives in byte i/8 at in-byte position
+// 7 - i%8, which makes the in-memory layout match the left-to-right bit
+// strings printed in the paper (Fig. 2, Table 3, Fig. 5).
+#ifndef GCGT_UTIL_BIT_STREAM_H_
+#define GCGT_UTIL_BIT_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcgt {
+
+/// Append-only MSB-first bit buffer.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends a single bit (0 or 1).
+  void PutBit(bool bit) {
+    size_t byte = num_bits_ >> 3;
+    if (byte >= bytes_.size()) bytes_.push_back(0);
+    if (bit) bytes_[byte] |= static_cast<uint8_t>(1u << (7 - (num_bits_ & 7)));
+    ++num_bits_;
+  }
+
+  /// Appends the low `width` bits of `value`, most significant bit first.
+  /// `width` may be 0 (no-op); width must be <= 64.
+  void PutBits(uint64_t value, int width) {
+    for (int i = width - 1; i >= 0; --i) PutBit((value >> i) & 1u);
+  }
+
+  /// Appends `count` zero bits.
+  void PutZeros(int count) {
+    for (int i = 0; i < count; ++i) PutBit(false);
+  }
+
+  /// Pads with zero bits up to the next multiple of `align_bits`.
+  void AlignTo(size_t align_bits) {
+    while (num_bits_ % align_bits != 0) PutBit(false);
+  }
+
+  size_t num_bits() const { return num_bits_; }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+
+  /// Bit string like "0010110", for tests and debugging.
+  std::string ToBitString() const;
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t num_bits_ = 0;
+};
+
+/// Random-access MSB-first bit reader over an external byte buffer.
+///
+/// The reader does not own the buffer. Reads past `num_bits` return zero bits
+/// and set overflowed(); callers that decode untrusted data must check it.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t num_bits, size_t start_bit = 0)
+      : data_(data), num_bits_(num_bits), pos_(start_bit) {}
+
+  /// Reads one bit; returns 0 beyond the end.
+  bool GetBit() {
+    if (pos_ >= num_bits_) {
+      overflowed_ = true;
+      ++pos_;
+      return false;
+    }
+    bool bit = (data_[pos_ >> 3] >> (7 - (pos_ & 7))) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  /// Reads `width` bits MSB-first; width <= 64.
+  uint64_t GetBits(int width) {
+    uint64_t v = 0;
+    for (int i = 0; i < width; ++i) v = (v << 1) | (GetBit() ? 1u : 0u);
+    return v;
+  }
+
+  /// Number of leading zero bits consumed before (and including) the
+  /// terminating one bit. Returns the count of zeros. If the stream ends
+  /// before a one bit, sets overflowed() and returns the zeros seen.
+  int GetUnary() {
+    int zeros = 0;
+    while (!GetBit()) {
+      if (overflowed_) return zeros;
+      ++zeros;
+    }
+    return zeros;
+  }
+
+  size_t pos() const { return pos_; }
+  void Seek(size_t bit_pos) { pos_ = bit_pos; }
+  size_t num_bits() const { return num_bits_; }
+  bool overflowed() const { return overflowed_; }
+  /// Byte address of the current bit, for memory-coalescing models.
+  size_t byte_pos() const { return pos_ >> 3; }
+
+ private:
+  const uint8_t* data_;
+  size_t num_bits_;
+  size_t pos_;
+  bool overflowed_ = false;
+};
+
+/// Parses a string of '0'/'1' characters into a byte buffer (other characters
+/// are skipped). Returns the buffer and the number of bits via out-param.
+std::vector<uint8_t> BitsFromString(const std::string& bits, size_t* num_bits);
+
+}  // namespace gcgt
+
+#endif  // GCGT_UTIL_BIT_STREAM_H_

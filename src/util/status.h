@@ -1,0 +1,117 @@
+// Status / Result error handling in the RocksDB style: no exceptions cross
+// module boundaries; fallible functions return Status or Result<T>.
+#ifndef GCGT_UTIL_STATUS_H_
+#define GCGT_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gcgt {
+
+/// Operation outcome for all fallible public APIs.
+///
+/// A Status either carries Code::kOk or an error code plus a human readable
+/// message. It is cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kOutOfMemory,
+    kNotFound,
+    kCorruption,
+    kIOError,
+    kNotSupported,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status OutOfMemory(std::string_view msg) {
+    return Status(Code::kOutOfMemory, msg);
+  }
+  static Status NotFound(std::string_view msg) { return Status(Code::kNotFound, msg); }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status IOError(std::string_view msg) { return Status(Code::kIOError, msg); }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Internal(std::string_view msg) { return Status(Code::kInternal, msg); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsOutOfMemory() const { return code_ == Code::kOutOfMemory; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>" for logging.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static std::string_view CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kOutOfMemory: return "OutOfMemory";
+      case Code::kNotFound: return "NotFound";
+      case Code::kCorruption: return "Corruption";
+      case Code::kIOError: return "IOError";
+      case Code::kNotSupported: return "NotSupported";
+      case Code::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}           // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {}   // NOLINT implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Accessing the value of an errored Result aborts.
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? value_.value() : std::move(fallback);
+  }
+
+ private:
+  Status status_ = Status::OK();
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status to the caller.
+#define GCGT_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::gcgt::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+}  // namespace gcgt
+
+#endif  // GCGT_UTIL_STATUS_H_

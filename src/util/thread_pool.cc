@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace gcgt {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads_ = num_threads == 0
+                     ? std::max<size_t>(1, std::thread::hardware_concurrency())
+                     : num_threads;
+  if (num_threads_ > 1) {
+    workers_.reserve(num_threads_ - 1);
+    for (size_t i = 1; i < num_threads_; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+    ++epoch_;
+  }
+  wake_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop(size_t thread_idx) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    RunChunks(thread_idx);
+    if (done_workers_.fetch_add(1) + 1 == num_threads_) {
+      std::unique_lock<std::mutex> lock(mu_);
+      finished_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunChunks(size_t thread_idx) {
+  for (;;) {
+    size_t begin = next_.fetch_add(grain_, std::memory_order_relaxed);
+    if (begin >= n_) return;
+    size_t end = std::min(n_, begin + grain_);
+    (*job_)(thread_idx, begin, end);
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<size_t>(1, grain);
+  if (num_threads_ == 1 || n <= grain) {
+    fn(0, 0, n);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = &fn;
+    n_ = n;
+    grain_ = grain;
+    next_.store(0, std::memory_order_relaxed);
+    done_workers_.store(0, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  wake_.notify_all();
+  RunChunks(0);
+  if (done_workers_.fetch_add(1) + 1 != num_threads_) {
+    std::unique_lock<std::mutex> lock(mu_);
+    finished_.wait(lock, [&] {
+      return done_workers_.load(std::memory_order_relaxed) == num_threads_;
+    });
+  }
+  job_ = nullptr;
+}
+
+}  // namespace gcgt

@@ -1,0 +1,25 @@
+// Zigzag mapping between signed and unsigned integers, used by the CGR
+// encoder for the first interval start / first residual which may lie below
+// the source node id (paper Appendix C).
+#ifndef GCGT_UTIL_ZIGZAG_H_
+#define GCGT_UTIL_ZIGZAG_H_
+
+#include <cstdint>
+
+namespace gcgt {
+
+/// n >= 0 -> 2n; n < 0 -> 2|n| - 1. So 0,−1,1,−2,2 → 0,1,2,3,4.
+inline uint64_t ZigzagEncode(int64_t n) {
+  return n >= 0 ? (static_cast<uint64_t>(n) << 1)
+                : ((static_cast<uint64_t>(-(n + 1)) << 1) + 1);
+}
+
+/// Inverse of ZigzagEncode.
+inline int64_t ZigzagDecode(uint64_t z) {
+  return (z & 1) ? -static_cast<int64_t>((z >> 1) + 1)
+                 : static_cast<int64_t>(z >> 1);
+}
+
+}  // namespace gcgt
+
+#endif  // GCGT_UTIL_ZIGZAG_H_

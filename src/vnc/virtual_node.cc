@@ -1,0 +1,131 @@
+#include "vnc/virtual_node.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace gcgt {
+namespace {
+
+// Min-hash shingle of a sorted neighbor list: the smallest hash. Two lists
+// collide with probability equal to their Jaccard similarity, so pages
+// sharing a large template land in the same bucket often.
+uint64_t Shingle(std::span<const NodeId> nbrs, uint64_t salt) {
+  uint64_t h1 = ~0ull;
+  for (NodeId v : nbrs) {
+    h1 = std::min(h1, Mix64(v * 0x9e3779b97f4a7c15ULL + salt));
+  }
+  return h1;
+}
+
+// Prefix shingle: hash of the smallest few neighbor ids. Pages whose sorted
+// lists share a navigation-template prefix (common in web graphs) collide
+// deterministically.
+uint64_t PrefixShingle(std::span<const NodeId> nbrs, size_t k) {
+  uint64_t h = 0x51ed270b76a4f3ccULL;
+  for (size_t i = 0; i < nbrs.size() && i < k; ++i) {
+    h = Mix64(h ^ nbrs[i]);
+  }
+  return h;
+}
+
+// One mining pass over `adj` (adjacency lists indexed by node id, including
+// virtual nodes created earlier). Returns the number of virtual nodes added.
+int MinePass(std::vector<std::vector<NodeId>>& adj, const VncOptions& o,
+             uint64_t salt, bool prefix_pass) {
+  std::unordered_map<uint64_t, std::vector<NodeId>> buckets;
+  for (NodeId u = 0; u < adj.size(); ++u) {
+    if (adj[u].size() < static_cast<size_t>(o.min_pattern_size)) continue;
+    uint64_t key = prefix_pass
+                       ? PrefixShingle(adj[u], o.min_pattern_size)
+                       : Shingle(adj[u], salt);
+    buckets[key].push_back(u);
+  }
+
+  int created = 0;
+  for (auto& [shingle, members] : buckets) {
+    if (members.size() < static_cast<size_t>(o.min_cluster_size)) continue;
+    // Grow the cluster greedily from the first member: admit a member only
+    // if the running common set stays above the pattern threshold. This is
+    // the simplification of the Buehrer-Chellapilla pattern growth.
+    std::vector<NodeId> common = adj[members[0]];
+    std::vector<NodeId> cluster = {members[0]};
+    for (size_t i = 1; i < members.size(); ++i) {
+      std::vector<NodeId> next;
+      std::set_intersection(common.begin(), common.end(),
+                            adj[members[i]].begin(), adj[members[i]].end(),
+                            std::back_inserter(next));
+      if (next.size() >= static_cast<size_t>(o.min_pattern_size)) {
+        common.swap(next);
+        cluster.push_back(members[i]);
+      }
+    }
+    if (cluster.size() < static_cast<size_t>(o.min_cluster_size)) continue;
+    if (common.size() < static_cast<size_t>(o.min_pattern_size)) continue;
+    // Saving check: replace |cluster|*|common| edges with |cluster|+|common|.
+    if (cluster.size() * common.size() <= cluster.size() + common.size()) {
+      continue;
+    }
+    NodeId virtual_id = static_cast<NodeId>(adj.size());
+    adj.push_back(common);
+    for (NodeId m : cluster) {
+      std::vector<NodeId> reduced;
+      std::set_difference(adj[m].begin(), adj[m].end(), common.begin(),
+                          common.end(), std::back_inserter(reduced));
+      reduced.push_back(virtual_id);  // virtual ids are the largest: stays sorted
+      adj[m].swap(reduced);
+    }
+    ++created;
+  }
+  return created;
+}
+
+}  // namespace
+
+VncResult VirtualNodeCompress(const Graph& g, const VncOptions& options) {
+  std::vector<std::vector<NodeId>> adj(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    adj[u].assign(nbrs.begin(), nbrs.end());
+  }
+
+  // Alternate deterministic prefix-shingle passes (catch shared template
+  // prefixes exactly) with salted min-hash passes (catch general overlap).
+  uint64_t salt = options.seed;
+  for (int pass = 0; pass < options.num_passes; ++pass) {
+    if (MinePass(adj, options, Mix64(salt + pass), pass % 2 == 0) == 0) break;
+  }
+
+  EdgeList edges;
+  for (NodeId u = 0; u < adj.size(); ++u) {
+    for (NodeId v : adj[u]) edges.emplace_back(u, v);
+  }
+  VncResult r;
+  r.num_real_nodes = g.num_nodes();
+  r.original_edges = g.num_edges();
+  r.graph = Graph::FromEdges(static_cast<NodeId>(adj.size()), edges);
+  return r;
+}
+
+std::vector<NodeId> ExpandedNeighbors(const VncResult& r, NodeId u) {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack(r.graph.Neighbors(u).begin(),
+                            r.graph.Neighbors(u).end());
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    if (v < r.num_real_nodes) {
+      out.push_back(v);
+    } else {
+      auto nbrs = r.graph.Neighbors(v);
+      stack.insert(stack.end(), nbrs.begin(), nbrs.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace gcgt

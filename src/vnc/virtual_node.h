@@ -1,0 +1,55 @@
+// Virtual-node compression [Buehrer & Chellapilla, WSDM'08]: nodes sharing a
+// large common neighbor set get a virtual intermediate node, replacing
+// k*m edges of a biclique with k+m. Applied as the unified preprocessing of
+// the paper's evaluation (§7.2) before reordering and CGR encoding; all
+// compared engines then operate on the same transformed graph.
+//
+// Candidate clusters are found by min-hash shingles of the adjacency lists
+// (the paper's pattern-mining step, simplified; see DESIGN.md).
+#ifndef GCGT_VNC_VIRTUAL_NODE_H_
+#define GCGT_VNC_VIRTUAL_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gcgt {
+
+struct VncOptions {
+  /// Minimum nodes sharing a pattern for a virtual node to pay off.
+  int min_cluster_size = 3;
+  /// Minimum common-neighbor-set size.
+  int min_pattern_size = 4;
+  /// Mining passes with different min-hash salts (virtual nodes created in
+  /// earlier passes can themselves be compressed again).
+  int num_passes = 4;
+  uint64_t seed = 7;
+};
+
+struct VncResult {
+  /// Transformed graph: node ids [0, num_real) are the original nodes,
+  /// ids >= num_real are virtual.
+  Graph graph;
+  NodeId num_real_nodes = 0;
+  EdgeId original_edges = 0;
+
+  NodeId num_virtual_nodes() const { return graph.num_nodes() - num_real_nodes; }
+  /// Edge reduction factor achieved by the transformation.
+  double EdgeReduction() const {
+    return graph.num_edges()
+               ? static_cast<double>(original_edges) / graph.num_edges()
+               : 1.0;
+  }
+};
+
+VncResult VirtualNodeCompress(const Graph& g, const VncOptions& options = {});
+
+/// Real-node adjacency of u under the transformation: follows virtual nodes
+/// transitively. Equals the original adjacency set (the equivalence checked
+/// by unit tests).
+std::vector<NodeId> ExpandedNeighbors(const VncResult& r, NodeId u);
+
+}  // namespace gcgt
+
+#endif  // GCGT_VNC_VIRTUAL_NODE_H_

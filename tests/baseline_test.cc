@@ -1,0 +1,168 @@
+// Baseline tests: byte-RLE codec, Ligra / Ligra+ CPU BFS, and the simulated
+// GPUCSR / Gunrock engines (correctness + OOM modeling).
+#include <gtest/gtest.h>
+
+#include "baseline/byte_rle.h"
+#include "baseline/cpu_bfs.h"
+#include "baseline/cpu_reference.h"
+#include "baseline/csr_gpu_engine.h"
+#include "graph/generators.h"
+
+namespace gcgt {
+namespace {
+
+TEST(ByteRle, RoundTripAllNodes) {
+  Graph g = GenerateErdosRenyi(800, 10000, 51);
+  ByteRleGraph enc = ByteRleGraph::Encode(g);
+  EXPECT_EQ(enc.num_nodes(), g.num_nodes());
+  EXPECT_EQ(enc.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto expected = g.Neighbors(u);
+    auto got = enc.DecodeAdjacency(u);
+    ASSERT_EQ(got.size(), expected.size()) << "node " << u;
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), expected.begin()))
+        << "node " << u;
+    ASSERT_EQ(enc.Degree(u), expected.size());
+  }
+}
+
+TEST(ByteRle, HandlesNegativeFirstGapAndLargeGaps) {
+  EdgeList edges = {{100, 2}, {100, 3}, {100, 99999}, {100, 100000}};
+  Graph g = Graph::FromEdges(200000, edges);
+  ByteRleGraph enc = ByteRleGraph::Encode(g);
+  EXPECT_EQ(enc.DecodeAdjacency(100),
+            (std::vector<NodeId>{2, 3, 99999, 100000}));
+}
+
+TEST(ByteRle, CompressesLocalGraphs) {
+  WebGraphParams p;
+  p.num_nodes = 3000;
+  Graph g = GenerateWebGraph(p);
+  ByteRleGraph enc = ByteRleGraph::Encode(g);
+  EXPECT_LT(enc.BitsPerEdge(), 32.0);
+  EXPECT_GT(enc.CompressionRate(), 1.0);
+}
+
+class CpuBfsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuBfsTest, LigraMatchesSerial) {
+  Graph g = GenerateErdosRenyi(3000, 20000, 52 + GetParam());
+  Graph rev = g.Reversed();
+  ThreadPool pool(2);
+  for (NodeId source : {NodeId(0), NodeId(1234)}) {
+    auto expected = SerialBfs(g, source);
+    auto got = LigraBfs(g, rev, source, pool);
+    ASSERT_EQ(got, expected) << "source " << source;
+  }
+}
+
+TEST_P(CpuBfsTest, LigraPlusMatchesSerial) {
+  Graph g = GenerateRmat(2048, 16000, 53 + GetParam());
+  Graph rev = g.Reversed();
+  ByteRleGraph enc = ByteRleGraph::Encode(g);
+  ByteRleGraph enc_rev = ByteRleGraph::Encode(rev);
+  ThreadPool pool(2);
+  auto expected = SerialBfs(g, 0);
+  auto got = LigraPlusBfs(enc, enc_rev, 0, pool);
+  ASSERT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuBfsTest, ::testing::Values(0, 1, 2));
+
+TEST(CpuBfs, DenseAndSparseSwitchAgree) {
+  // Force always-sparse vs always-dense; both must match serial.
+  Graph g = GenerateErdosRenyi(1000, 12000, 57);
+  Graph rev = g.Reversed();
+  ThreadPool pool(2);
+  auto expected = SerialBfs(g, 3);
+  LigraOptions always_sparse;
+  always_sparse.dense_denominator = 0;  // threshold 0 edges -> always dense
+  LigraOptions always_dense = always_sparse;
+  always_sparse.dense_denominator = 1;  // threshold |E| -> mostly sparse
+  EXPECT_EQ(LigraBfs(g, rev, 3, pool, always_sparse), expected);
+  EXPECT_EQ(LigraBfs(g, rev, 3, pool, always_dense), expected);
+}
+
+struct CsrParam {
+  bool gunrock;
+};
+
+class CsrEngineTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CsrEngineTest, BfsMatchesSerial) {
+  CsrEngineOptions opt;
+  opt.gunrock = GetParam();
+  for (int seed : {61, 62}) {
+    Graph g = GenerateRmat(2048, 20000, seed);
+    auto result = CsrBfs(g, 5, opt);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto expected = SerialBfs(g, 5);
+    ASSERT_EQ(result.value().depth, expected);
+    EXPECT_GT(result.value().metrics.model_ms, 0.0);
+  }
+}
+
+TEST_P(CsrEngineTest, CcMatchesUnionFind) {
+  CsrEngineOptions opt;
+  opt.gunrock = GetParam();
+  Graph g = GenerateErdosRenyi(1500, 2500, 63);
+  auto result = CsrCc(g, opt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto expected = SerialCc(g);
+  // Both use min-root hooking: representatives must match exactly.
+  EXPECT_EQ(result.value().component, expected);
+}
+
+TEST_P(CsrEngineTest, BcMatchesSerialBrandes) {
+  CsrEngineOptions opt;
+  opt.gunrock = GetParam();
+  Graph g = GenerateErdosRenyi(800, 6000, 64);
+  auto result = CsrBc(g, 7, opt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  SerialBcResult expected = SerialBc(g, 7);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(result.value().depth[v], expected.depth[v]);
+    ASSERT_NEAR(result.value().dependency[v], expected.dependency[v], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CsrEngineTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Gunrock" : "GPUCSR";
+                         });
+
+TEST(DeviceMemoryModel, GunrockOomsBeforeGpucsr) {
+  Graph g = GenerateErdosRenyi(5000, 100000, 65);
+  CsrEngineOptions gpucsr;
+  CsrEngineOptions gunrock;
+  gunrock.gunrock = true;
+  // Budget between the two footprints: GPUCSR fits, Gunrock does not.
+  uint64_t base = CsrBytes32(g) + 4ull * g.num_nodes() + 8ull * g.num_nodes();
+  gpucsr.device.memory_bytes = base + (64 << 10);
+  gunrock.device.memory_bytes = base + (64 << 10);
+  EXPECT_TRUE(CsrBfs(g, 0, gpucsr).ok());
+  EXPECT_TRUE(CsrBfs(g, 0, gunrock).status().IsOutOfMemory());
+}
+
+TEST(DeviceMemoryModel, CgrFootprintIsSmallerThanCsr) {
+  WebGraphParams p;
+  p.num_nodes = 8000;
+  Graph g = GenerateWebGraph(p);
+  auto cgr = CgrGraph::Encode(g, CgrOptions{});
+  ASSERT_TRUE(cgr.ok());
+  EXPECT_LT(cgr.value().DeviceBytes(), CsrBytes32(g));
+}
+
+TEST(CsrEngines, GunrockCostsMoreThanGpucsr) {
+  Graph g = GenerateRmat(4096, 40000, 66);
+  CsrEngineOptions gpucsr;
+  CsrEngineOptions gunrock;
+  gunrock.gunrock = true;
+  auto a = CsrBfs(g, 0, gpucsr);
+  auto b = CsrBfs(g, 0, gunrock);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(b.value().metrics.model_ms, a.value().metrics.model_ms);
+}
+
+}  // namespace
+}  // namespace gcgt

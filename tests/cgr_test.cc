@@ -1,0 +1,284 @@
+// CGR encoder/decoder tests: the paper's Fig. 2 worked example, round-trip
+// properties across schemes / interval settings / segment lengths, and the
+// segmentation layout invariants of Fig. 6.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cgr/cgr_decoder.h"
+#include "cgr/cgr_encoder.h"
+#include "cgr/cgr_graph.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace gcgt {
+namespace {
+
+// The adjacency list of node 16 in paper Fig. 2.
+const std::vector<NodeId> kFig2List = {12, 18, 19, 20, 21, 24, 27, 28, 29, 101};
+
+TEST(Decompose, PaperFigure2Example) {
+  // The paper's example uses intervals of length >= 3 ((27,3) is an interval).
+  IntervalDecomposition d = DecomposeAdjacency(kFig2List, 3);
+  ASSERT_EQ(d.intervals.size(), 2u);
+  EXPECT_EQ(d.intervals[0], (CgrInterval{18, 4}));
+  EXPECT_EQ(d.intervals[1], (CgrInterval{27, 3}));
+  EXPECT_EQ(d.residuals, (std::vector<NodeId>{12, 24, 101}));
+}
+
+TEST(Decompose, MinIntervalLengthFour) {
+  IntervalDecomposition d = DecomposeAdjacency(kFig2List, 4);
+  ASSERT_EQ(d.intervals.size(), 1u);
+  EXPECT_EQ(d.intervals[0], (CgrInterval{18, 4}));
+  // 27,28,29 fall back to residuals.
+  EXPECT_EQ(d.residuals, (std::vector<NodeId>{12, 24, 27, 28, 29, 101}));
+}
+
+TEST(Decompose, NoIntervalsSentinel) {
+  IntervalDecomposition d =
+      DecomposeAdjacency(kFig2List, CgrOptions::kNoIntervals);
+  EXPECT_TRUE(d.intervals.empty());
+  EXPECT_EQ(d.residuals.size(), kFig2List.size());
+}
+
+TEST(Decompose, WholeListOneInterval) {
+  std::vector<NodeId> list = {5, 6, 7, 8, 9, 10};
+  IntervalDecomposition d = DecomposeAdjacency(list, 4);
+  ASSERT_EQ(d.intervals.size(), 1u);
+  EXPECT_EQ(d.intervals[0], (CgrInterval{5, 6}));
+  EXPECT_TRUE(d.residuals.empty());
+}
+
+TEST(Decompose, EmptyList) {
+  IntervalDecomposition d = DecomposeAdjacency({}, 4);
+  EXPECT_TRUE(d.intervals.empty());
+  EXPECT_TRUE(d.residuals.empty());
+}
+
+// Encode a single-node graph and decode it back.
+std::vector<NodeId> RoundTripList(NodeId u, std::vector<NodeId> list,
+                                  const CgrOptions& options, NodeId num_nodes) {
+  EdgeList edges;
+  for (NodeId v : list) edges.emplace_back(u, v);
+  Graph g = Graph::FromEdges(num_nodes, edges);
+  auto cgr = CgrGraph::Encode(g, options);
+  EXPECT_TRUE(cgr.ok()) << cgr.status().ToString();
+  return DecodeAdjacency(cgr.value(), u);
+}
+
+TEST(CgrRoundTrip, PaperFigure2List) {
+  CgrOptions options;
+  options.min_interval_len = 3;
+  options.segment_len_bytes = 0;
+  EXPECT_EQ(RoundTripList(16, kFig2List, options, 128), kFig2List);
+}
+
+TEST(CgrRoundTrip, NeighborsBelowSource) {
+  CgrOptions options;
+  // First interval / residual gaps relative to u can be negative (zigzag).
+  std::vector<NodeId> list = {1, 2, 3, 4, 5, 90};
+  EXPECT_EQ(RoundTripList(80, list, options, 128), list);
+}
+
+TEST(CgrRoundTrip, SelfLoop) {
+  CgrOptions options;
+  std::vector<NodeId> list = {7};
+  EXPECT_EQ(RoundTripList(7, list, options, 16), list);
+}
+
+TEST(CgrRoundTrip, EmptyAdjacency) {
+  CgrOptions options;
+  Graph g = Graph::FromEdges(4, {{0, 1}});
+  auto cgr = CgrGraph::Encode(g, options);
+  ASSERT_TRUE(cgr.ok());
+  EXPECT_TRUE(DecodeAdjacency(cgr.value(), 2).empty());
+  EXPECT_EQ(DecodeDegree(cgr.value(), 2), 0u);
+}
+
+struct CgrParam {
+  VlcScheme scheme;
+  int min_interval_len;
+  int segment_len_bytes;
+};
+
+std::string CgrParamName(const ::testing::TestParamInfo<CgrParam>& info) {
+  std::string name = VlcSchemeName(info.param.scheme);
+  name += "_itv";
+  name += info.param.min_interval_len == CgrOptions::kNoIntervals
+              ? "inf"
+              : std::to_string(info.param.min_interval_len);
+  name += "_seg";
+  name += info.param.segment_len_bytes == 0
+              ? "inf"
+              : std::to_string(info.param.segment_len_bytes);
+  return name;
+}
+
+class CgrRoundTripTest : public ::testing::TestWithParam<CgrParam> {};
+
+TEST_P(CgrRoundTripTest, RandomGraphAllNodes) {
+  CgrOptions options;
+  options.scheme = GetParam().scheme;
+  options.min_interval_len = GetParam().min_interval_len;
+  options.segment_len_bytes = GetParam().segment_len_bytes;
+
+  Graph g = GenerateErdosRenyi(500, 6000, /*seed=*/5);
+  auto cgr = CgrGraph::Encode(g, options);
+  ASSERT_TRUE(cgr.ok()) << cgr.status().ToString();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto expected = g.Neighbors(u);
+    auto got = DecodeAdjacency(cgr.value(), u);
+    ASSERT_EQ(got.size(), expected.size()) << "node " << u;
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), expected.begin()))
+        << "node " << u;
+    ASSERT_EQ(DecodeDegree(cgr.value(), u), expected.size());
+  }
+}
+
+TEST_P(CgrRoundTripTest, LocalityHeavyGraphAllNodes) {
+  CgrOptions options;
+  options.scheme = GetParam().scheme;
+  options.min_interval_len = GetParam().min_interval_len;
+  options.segment_len_bytes = GetParam().segment_len_bytes;
+
+  WebGraphParams params;
+  params.num_nodes = 800;
+  params.seed = 11;
+  Graph g = GenerateWebGraph(params);
+  auto cgr = CgrGraph::Encode(g, options);
+  ASSERT_TRUE(cgr.ok()) << cgr.status().ToString();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto expected = g.Neighbors(u);
+    auto got = DecodeAdjacency(cgr.value(), u);
+    ASSERT_EQ(got.size(), expected.size()) << "node " << u;
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), expected.begin()))
+        << "node " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, CgrRoundTripTest,
+    ::testing::Values(CgrParam{VlcScheme::kZeta3, 4, 0},
+                      CgrParam{VlcScheme::kZeta3, 4, 32},
+                      CgrParam{VlcScheme::kZeta3, 4, 8},
+                      CgrParam{VlcScheme::kZeta3, 4, 128},
+                      CgrParam{VlcScheme::kGamma, 4, 32},
+                      CgrParam{VlcScheme::kZeta2, 2, 32},
+                      CgrParam{VlcScheme::kZeta4, 10, 32},
+                      CgrParam{VlcScheme::kZeta5, 4, 16},
+                      CgrParam{VlcScheme::kZeta3, CgrOptions::kNoIntervals, 32},
+                      CgrParam{VlcScheme::kGamma, CgrOptions::kNoIntervals, 0}),
+    CgrParamName);
+
+TEST(CgrSegmentation, HubNodeGetsMultipleIndependentSegments) {
+  // A hub with many scattered residuals must be split into segments that are
+  // independently decodable at fixed strides.
+  Rng rng(3);
+  std::vector<NodeId> list;
+  NodeId v = 1;
+  for (int i = 0; i < 3000; ++i) {
+    v += 1 + static_cast<NodeId>(rng.Uniform(50));
+    list.push_back(v);
+  }
+  EdgeList edges;
+  for (NodeId n : list) edges.emplace_back(0, n);
+  Graph g = Graph::FromEdges(200000, edges);
+
+  CgrOptions options;
+  options.segment_len_bytes = 32;
+  auto cgr = CgrGraph::Encode(g, options);
+  ASSERT_TRUE(cgr.ok());
+
+  CgrNodeDecoder dec(cgr.value(), 0);
+  uint32_t itv = dec.ReadIntervalCount();
+  for (uint32_t i = 0; i < itv; ++i) dec.ReadNextInterval();
+  uint32_t segs = dec.ReadSegmentCount();
+  EXPECT_GT(segs, 10u);
+
+  // Segments decode independently and in order; counts sum to the degree.
+  uint64_t total = 0;
+  NodeId prev = 0;
+  for (uint32_t s = 0; s < segs; ++s) {
+    ResidualStream rs = dec.SegmentResiduals(s);
+    EXPECT_GT(rs.remaining(), 0u) << "segment " << s;
+    while (rs.HasNext()) {
+      NodeId r = rs.Next();
+      EXPECT_GT(r, prev);
+      prev = r;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total + 0, list.size());
+
+  // Fixed stride: segment i starts at seg_base + i * 8 * segLen.
+  for (uint32_t s = 1; s < segs; ++s) {
+    EXPECT_EQ(dec.SegmentBitPos(s) - dec.SegmentBitPos(s - 1), 32u * 8u);
+  }
+}
+
+TEST(CgrSegmentation, SegmentAreaIsByteAligned) {
+  Graph g = GenerateErdosRenyi(300, 5000, 17);
+  CgrOptions options;
+  options.segment_len_bytes = 16;
+  auto cgr = CgrGraph::Encode(g, options);
+  ASSERT_TRUE(cgr.ok());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    CgrNodeDecoder dec(cgr.value(), u);
+    uint32_t itv = dec.ReadIntervalCount();
+    for (uint32_t i = 0; i < itv; ++i) dec.ReadNextInterval();
+    uint32_t segs = dec.ReadSegmentCount();
+    if (segs > 0) EXPECT_EQ(dec.SegmentBitPos(0) % 8, 0u);
+  }
+}
+
+TEST(CgrCompression, WebGraphCompressesBelow8BitsPerEdge) {
+  WebGraphParams params;
+  params.num_nodes = 5000;
+  Graph g = GenerateWebGraph(params);
+  auto cgr = CgrGraph::Encode(g, CgrOptions{});
+  ASSERT_TRUE(cgr.ok());
+  EXPECT_LT(cgr.value().BitsPerEdge(), 8.0);
+  EXPECT_GT(cgr.value().CompressionRate(), 4.0);
+}
+
+TEST(CgrCompression, IntervalsHelpOnConsecutiveLists) {
+  // A graph whose lists are long consecutive runs: interval coding must be
+  // far smaller than residual-only coding.
+  EdgeList edges;
+  for (NodeId u = 0; u < 200; ++u) {
+    for (NodeId k = 0; k < 64; ++k) edges.emplace_back(u, 1000 + u * 3 + k);
+  }
+  Graph g = Graph::FromEdges(2000, edges);
+  CgrOptions with_itv;
+  CgrOptions no_itv;
+  no_itv.min_interval_len = CgrOptions::kNoIntervals;
+  auto a = CgrGraph::Encode(g, with_itv);
+  auto b = CgrGraph::Encode(g, no_itv);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(a.value().total_bits() * 3, b.value().total_bits());
+}
+
+TEST(CgrOptionsValidation, RejectsBadParameters) {
+  Graph g = MakePath(4);
+  CgrOptions bad_itv;
+  bad_itv.min_interval_len = 1;
+  EXPECT_TRUE(CgrGraph::Encode(g, bad_itv).status().IsInvalidArgument());
+  CgrOptions bad_seg;
+  bad_seg.segment_len_bytes = 4;
+  EXPECT_TRUE(CgrGraph::Encode(g, bad_seg).status().IsInvalidArgument());
+}
+
+TEST(CgrGraphMetadata, BitStartsAreMonotone) {
+  Graph g = GenerateErdosRenyi(200, 2000, 23);
+  auto cgr = CgrGraph::Encode(g, CgrOptions{});
+  ASSERT_TRUE(cgr.ok());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_LE(cgr.value().bit_start(u), cgr.value().bit_start(u + 1));
+  }
+  EXPECT_EQ(cgr.value().bit_start(g.num_nodes()), cgr.value().total_bits());
+  EXPECT_EQ(cgr.value().num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace gcgt

@@ -1,0 +1,166 @@
+// End-to-end pipeline tests: the paper's unified preprocessing
+// (VNC -> LLP reordering -> CGR encoding) followed by GCGT traversal, and
+// cross-engine agreement on every graph family.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baseline/cpu_bfs.h"
+#include "baseline/csr_gpu_engine.h"
+#include "cgr/cgr_graph.h"
+#include "core/bfs.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "reorder/reorder.h"
+#include "util/random.h"
+#include "vnc/virtual_node.h"
+
+namespace gcgt {
+namespace {
+
+class PipelineTest : public ::testing::TestWithParam<const char*> {};
+
+Graph MakeGraph(const std::string& name) {
+  if (name == "web") {
+    WebGraphParams p;
+    p.num_nodes = 2500;
+    p.seed = 91;
+    return GenerateWebGraph(p);
+  }
+  if (name == "social") {
+    SocialGraphParams p;
+    p.num_nodes = 2500;
+    p.seed = 92;
+    return GenerateSocialGraph(p);
+  }
+  if (name == "twitter") {
+    TwitterGraphParams p;
+    p.num_nodes = 2000;
+    p.seed = 93;
+    return GenerateTwitterGraph(p);
+  }
+  BrainGraphParams p;
+  p.num_nodes = 800;
+  p.avg_degree = 60;
+  p.seed = 94;
+  return GenerateBrainGraph(p);
+}
+
+TEST_P(PipelineTest, UnifiedPreprocessingThenAllEnginesAgree) {
+  Graph raw = MakeGraph(GetParam());
+
+  // Paper §7.2: virtual-node compression, then locality reordering; all
+  // engines afterwards run on the same transformed graph.
+  VncResult vnc = VirtualNodeCompress(raw);
+  Graph g = ApplyReordering(vnc.graph, ReorderMethod::kLlp);
+  NodeId source = 0;
+
+  auto serial = SerialBfs(g, source);
+
+  auto cgr = CgrGraph::Encode(g, CgrOptions{});
+  ASSERT_TRUE(cgr.ok());
+  auto gcgt = GcgtBfs(cgr.value(), source, GcgtOptions{});
+  ASSERT_TRUE(gcgt.ok());
+  EXPECT_EQ(gcgt.value().depth, serial);
+
+  auto gpucsr = CsrBfs(g, source, CsrEngineOptions{});
+  ASSERT_TRUE(gpucsr.ok());
+  EXPECT_EQ(gpucsr.value().depth, serial);
+
+  CsrEngineOptions gopt;
+  gopt.gunrock = true;
+  auto gunrock = CsrBfs(g, source, gopt);
+  ASSERT_TRUE(gunrock.ok());
+  EXPECT_EQ(gunrock.value().depth, serial);
+
+  Graph rev = g.Reversed();
+  ThreadPool pool(2);
+  EXPECT_EQ(LigraBfs(g, rev, source, pool), serial);
+  EXPECT_EQ(LigraPlusBfs(ByteRleGraph::Encode(g), ByteRleGraph::Encode(rev),
+                         source, pool),
+            serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, PipelineTest,
+                         ::testing::Values("web", "social", "twitter",
+                                           "brain"));
+
+TEST(CompressionShape, WebCompressesMoreThanSocial) {
+  // Paper §7.2: web graphs reach ~10x; social graphs only 2-3x.
+  WebGraphParams wp;
+  wp.num_nodes = 6000;
+  Graph web = ApplyReordering(VirtualNodeCompress(GenerateWebGraph(wp)).graph,
+                              ReorderMethod::kLlp);
+  SocialGraphParams sp;
+  sp.num_nodes = 6000;
+  Graph social = ApplyReordering(
+      VirtualNodeCompress(GenerateSocialGraph(sp)).graph, ReorderMethod::kLlp);
+
+  auto web_cgr = CgrGraph::Encode(web, CgrOptions{});
+  auto social_cgr = CgrGraph::Encode(social, CgrOptions{});
+  ASSERT_TRUE(web_cgr.ok() && social_cgr.ok());
+  EXPECT_GT(web_cgr.value().CompressionRate(),
+            social_cgr.value().CompressionRate());
+  EXPECT_GT(web_cgr.value().CompressionRate(), 4.0);
+  EXPECT_GT(social_cgr.value().CompressionRate(), 1.2);
+}
+
+TEST(PerformanceShape, GcgtWithinSmallFactorOfGpucsr) {
+  // Paper Fig. 8: GCGT trades a modest latency overhead (<= ~2x, 1.54x worst
+  // case in the paper) for large memory savings.
+  WebGraphParams p;
+  p.num_nodes = 8000;
+  Graph g = ApplyReordering(VirtualNodeCompress(GenerateWebGraph(p)).graph,
+                            ReorderMethod::kLlp);
+  auto cgr = CgrGraph::Encode(g, CgrOptions{});
+  ASSERT_TRUE(cgr.ok());
+  auto gcgt = GcgtBfs(cgr.value(), 0, GcgtOptions{});
+  auto gpucsr = CsrBfs(g, 0, CsrEngineOptions{});
+  ASSERT_TRUE(gcgt.ok() && gpucsr.ok());
+  double ratio =
+      gcgt.value().metrics.model_ms / gpucsr.value().metrics.model_ms;
+  EXPECT_LT(ratio, 3.0) << "GCGT overhead too large";
+  EXPECT_LT(cgr.value().DeviceBytes(), CsrBytes32(g) / 2)
+      << "compression should at least halve the footprint";
+}
+
+TEST(PerformanceShape, SegmentationHelpsOnHubGraphs) {
+  // Paper Fig. 9/14: residual segmentation is decisive on twitter-like
+  // graphs with super nodes.
+  TwitterGraphParams p;
+  p.num_nodes = 6000;
+  p.seed = 96;
+  Graph g = GenerateTwitterGraph(p);
+
+  CgrOptions unseg;
+  unseg.segment_len_bytes = 0;
+  auto cgr_unseg = CgrGraph::Encode(g, unseg);
+  auto cgr_seg = CgrGraph::Encode(g, CgrOptions{});
+  ASSERT_TRUE(cgr_unseg.ok() && cgr_seg.ok());
+
+  GcgtOptions level3;
+  level3.level = GcgtLevel::kWarpCentric;
+  GcgtOptions full;
+  auto t3 = GcgtBfs(cgr_unseg.value(), 0, level3);
+  auto t4 = GcgtBfs(cgr_seg.value(), 0, full);
+  ASSERT_TRUE(t3.ok() && t4.ok());
+  EXPECT_LT(t4.value().metrics.model_ms, t3.value().metrics.model_ms);
+}
+
+TEST(CompressionShape, SmallerSegmentsCostCompression) {
+  // Paper Fig. 14: smaller segLen -> more blank padding -> lower rate.
+  TwitterGraphParams p;
+  p.num_nodes = 4000;
+  Graph g = GenerateTwitterGraph(p);
+  CgrOptions seg8;
+  seg8.segment_len_bytes = 8;
+  CgrOptions seg128;
+  seg128.segment_len_bytes = 128;
+  auto a = CgrGraph::Encode(g, seg8);
+  auto b = CgrGraph::Encode(g, seg128);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GE(a.value().total_bits(), b.value().total_bits());
+}
+
+}  // namespace
+}  // namespace gcgt

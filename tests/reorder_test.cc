@@ -1,0 +1,126 @@
+// Node-reordering tests (paper Fig. 13): validity of the permutations,
+// structure preservation, and locality/compression improvements of the
+// locality-aware methods on clustered graphs.
+#include "reorder/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baseline/cpu_bfs.h"
+#include "cgr/cgr_graph.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "util/random.h"
+
+namespace gcgt {
+namespace {
+
+class ReorderMethodTest : public ::testing::TestWithParam<ReorderMethod> {};
+
+TEST_P(ReorderMethodTest, ProducesValidPermutation) {
+  Graph g = GenerateSocialGraph({.num_nodes = 1200, .seed = 71});
+  auto perm = ComputeOrdering(g, GetParam());
+  EXPECT_TRUE(ValidatePermutation(perm, g.num_nodes()).ok());
+  auto inv = InvertPermutation(perm);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(inv[perm[u]], u);
+}
+
+TEST_P(ReorderMethodTest, PreservesGraphStructure) {
+  Graph g = GenerateErdosRenyi(600, 4000, 72);
+  Graph h = ApplyReordering(g, GetParam());
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  // BFS reachability counts are invariant under relabeling.
+  auto perm = ComputeOrdering(g, GetParam());
+  auto dg = SerialBfs(g, 0);
+  auto dh = SerialBfs(h, perm[0]);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(dg[u], dh[perm[u]]) << "node " << u;
+  }
+}
+
+TEST_P(ReorderMethodTest, HandlesEmptyAndTinyGraphs) {
+  Graph empty = Graph::FromEdges(0, {});
+  EXPECT_TRUE(ComputeOrdering(empty, GetParam()).empty());
+  Graph one = Graph::FromEdges(1, {});
+  EXPECT_EQ(ComputeOrdering(one, GetParam()), std::vector<NodeId>{0});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, ReorderMethodTest,
+    ::testing::Values(ReorderMethod::kOriginal, ReorderMethod::kDegSort,
+                      ReorderMethod::kBfsOrder, ReorderMethod::kGorder,
+                      ReorderMethod::kLlp),
+    [](const auto& info) { return ReorderMethodName(info.param); });
+
+TEST(Reorder, DegSortPutsHighInDegreeFirst) {
+  Graph g = Graph::FromEdges(5, {{0, 4}, {1, 4}, {2, 4}, {3, 2}, {0, 2}});
+  auto perm = ComputeOrdering(g, ReorderMethod::kDegSort);
+  EXPECT_EQ(perm[4], 0u);  // in-degree 3
+  EXPECT_EQ(perm[2], 1u);  // in-degree 2
+}
+
+TEST(Reorder, BfsOrderIsContiguousFromRoot) {
+  Graph g = MakePath(10);
+  auto perm = ComputeOrdering(g, ReorderMethod::kBfsOrder);
+  EXPECT_TRUE(ValidatePermutation(perm, 10).ok());
+  // On a path, BFS order from an endpoint-ish root keeps neighbors adjacent:
+  // every edge's label distance is small.
+  for (NodeId u = 0; u + 1 < 10; ++u) {
+    int64_t d = static_cast<int64_t>(perm[u]) - static_cast<int64_t>(perm[u + 1]);
+    EXPECT_LE(std::abs(d), 2);
+  }
+}
+
+TEST(Reorder, LocalityMethodsImproveShuffledClusteredGraph) {
+  // A clustered graph with shuffled labels: LLP and Gorder must recover
+  // locality (lower locality score = smaller gaps).
+  BrainGraphParams p;
+  p.num_nodes = 1200;
+  p.avg_degree = 40;
+  p.seed = 73;
+  Graph clustered = GenerateBrainGraph(p);
+  Rng rng(74);
+  std::vector<NodeId> shuffle(clustered.num_nodes());
+  std::iota(shuffle.begin(), shuffle.end(), 0);
+  rng.Shuffle(shuffle);
+  Graph g = clustered.Relabeled(shuffle);
+
+  double original = ComputeGraphStats(g).locality_score;
+  double llp =
+      ComputeGraphStats(ApplyReordering(g, ReorderMethod::kLlp)).locality_score;
+  double gorder = ComputeGraphStats(ApplyReordering(g, ReorderMethod::kGorder))
+                      .locality_score;
+  EXPECT_LT(llp, original);
+  EXPECT_LT(gorder, original);
+}
+
+TEST(Reorder, LlpImprovesCgrCompression) {
+  BrainGraphParams p;
+  p.num_nodes = 1500;
+  p.avg_degree = 50;
+  p.seed = 75;
+  Graph clustered = GenerateBrainGraph(p);
+  Rng rng(76);
+  std::vector<NodeId> shuffle(clustered.num_nodes());
+  std::iota(shuffle.begin(), shuffle.end(), 0);
+  rng.Shuffle(shuffle);
+  Graph g = clustered.Relabeled(shuffle);
+
+  auto original = CgrGraph::Encode(g, CgrOptions{});
+  auto reordered =
+      CgrGraph::Encode(ApplyReordering(g, ReorderMethod::kLlp), CgrOptions{});
+  ASSERT_TRUE(original.ok() && reordered.ok());
+  EXPECT_LT(reordered.value().BitsPerEdge(), original.value().BitsPerEdge());
+}
+
+TEST(Reorder, ValidatePermutationCatchesErrors) {
+  EXPECT_FALSE(ValidatePermutation({0, 1}, 3).ok());        // wrong size
+  EXPECT_FALSE(ValidatePermutation({0, 1, 1}, 3).ok());     // repeated
+  EXPECT_FALSE(ValidatePermutation({0, 1, 5}, 3).ok());     // out of range
+  EXPECT_TRUE(ValidatePermutation({2, 0, 1}, 3).ok());
+}
+
+}  // namespace
+}  // namespace gcgt

@@ -1,0 +1,150 @@
+// Randomized differential stress tests: many random graphs x encoder
+// configurations x strategies, each checked against the serial oracles, plus
+// robustness against corrupted compressed data (decoders must fail soft, not
+// crash or hang).
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_bfs.h"
+#include "baseline/cpu_reference.h"
+#include "cgr/cgr_decoder.h"
+#include "cgr/cgr_graph.h"
+#include "core/bfs.h"
+#include "core/cc.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace gcgt {
+namespace {
+
+class RandomizedDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedDifferential, BfsAgreesOnRandomConfigs) {
+  const int seed = GetParam();
+  Rng rng(seed * 7919 + 13);
+
+  // Random graph family and size.
+  Graph g;
+  switch (rng.Uniform(4)) {
+    case 0:
+      g = GenerateErdosRenyi(200 + rng.Uniform(2000), 500 + rng.Uniform(15000),
+                             seed);
+      break;
+    case 1:
+      g = GenerateRmat(1 << (7 + rng.Uniform(4)), 1000 + rng.Uniform(20000),
+                       seed);
+      break;
+    case 2: {
+      WebGraphParams p;
+      p.num_nodes = 300 + static_cast<NodeId>(rng.Uniform(2500));
+      p.seed = seed;
+      g = GenerateWebGraph(p);
+      break;
+    }
+    default: {
+      TwitterGraphParams p;
+      p.num_nodes = 300 + static_cast<NodeId>(rng.Uniform(2000));
+      p.num_hubs = 1 + static_cast<int>(rng.Uniform(6));
+      p.seed = seed;
+      g = GenerateTwitterGraph(p);
+      break;
+    }
+  }
+
+  // Random encoder configuration.
+  CgrOptions copt;
+  copt.scheme = static_cast<VlcScheme>(rng.Uniform(5));
+  copt.min_interval_len =
+      rng.Bernoulli(0.2) ? CgrOptions::kNoIntervals
+                         : 2 + static_cast<int>(rng.Uniform(8));
+  copt.segment_len_bytes =
+      rng.Bernoulli(0.3) ? 0 : 8 << rng.Uniform(5);  // 8..128 or unsegmented
+  auto cgr = CgrGraph::Encode(g, copt);
+  ASSERT_TRUE(cgr.ok()) << cgr.status().ToString();
+
+  // Whole-graph decode must reproduce every adjacency list.
+  for (NodeId u = 0; u < g.num_nodes(); u += 1 + g.num_nodes() / 64) {
+    auto expected = g.Neighbors(u);
+    auto got = DecodeAdjacency(cgr.value(), u);
+    ASSERT_EQ(got.size(), expected.size()) << "node " << u;
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), expected.begin()));
+  }
+
+  // Random strategy level + lane count; BFS must equal the oracle.
+  GcgtOptions opt;
+  opt.level = static_cast<GcgtLevel>(rng.Uniform(5));
+  opt.lanes = 8 << rng.Uniform(3);  // 8, 16 or 32 lanes
+  NodeId source = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+  auto res = GcgtBfs(cgr.value(), source, opt);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().depth, SerialBfs(g, source))
+      << "seed=" << seed << " scheme=" << VlcSchemeName(copt.scheme)
+      << " itv=" << copt.min_interval_len << " seg=" << copt.segment_len_bytes
+      << " level=" << static_cast<int>(opt.level) << " lanes=" << opt.lanes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedDifferential, ::testing::Range(0, 24));
+
+TEST(CorruptionRobustness, FlippedBitsNeverCrashTheDecoder) {
+  Graph g = GenerateErdosRenyi(300, 3000, 99);
+  auto cgr = CgrGraph::Encode(g, CgrOptions{});
+  ASSERT_TRUE(cgr.ok());
+  Rng rng(123);
+  // Decode every node from a stream with random bit flips. Results are
+  // garbage but the decoder must terminate without UB (counts are bounded
+  // by the reader's overflow guard and the VLC prefix caps).
+  for (int trial = 0; trial < 20; ++trial) {
+    CgrGraph copy = cgr.value();
+    auto& bits = const_cast<std::vector<uint8_t>&>(copy.bits());
+    for (int f = 0; f < 16; ++f) {
+      bits[rng.Uniform(bits.size())] ^= uint8_t(1) << rng.Uniform(8);
+    }
+    for (NodeId u = 0; u < g.num_nodes(); u += 17) {
+      CgrNodeDecoder dec(copy, u);
+      uint32_t itv = dec.ReadIntervalCount();
+      // Bound interval reads: garbage counts can be arbitrary.
+      for (uint32_t i = 0; i < std::min(itv, 1000u); ++i) {
+        dec.ReadNextInterval();
+        if (dec.overflowed()) break;
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(CorruptionRobustness, TruncatedStreamDecodesFinitely) {
+  Graph g = GenerateErdosRenyi(100, 1500, 7);
+  CgrOptions opt;
+  opt.segment_len_bytes = 0;
+  auto cgr = CgrGraph::Encode(g, opt);
+  ASSERT_TRUE(cgr.ok());
+  // A reader positioned at the very end must overflow, not spin.
+  BitReader r(cgr.value().bits().data(), 8, 7);
+  VlcDecode(VlcScheme::kZeta3, &r);
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST(StressCc, ManySmallGraphsAgreeWithUnionFind) {
+  for (int seed = 0; seed < 12; ++seed) {
+    Graph g = GenerateErdosRenyi(150 + seed * 37, 200 + seed * 90, seed);
+    auto cgr = CgrGraph::Encode(g, CgrOptions{});
+    ASSERT_TRUE(cgr.ok());
+    auto result = GcgtCc(cgr.value(), GcgtOptions{});
+    ASSERT_TRUE(result.ok());
+    auto expected = SerialCc(g);
+    // min-root hooking yields the same representatives as min-root union-find.
+    EXPECT_EQ(result.value().component, expected) << "seed " << seed;
+  }
+}
+
+TEST(StressLigra, ThreadCountsAgree) {
+  Graph g = GenerateRmat(1024, 12000, 404);
+  Graph rev = g.Reversed();
+  auto expected = SerialBfs(g, 9);
+  for (size_t threads : {1u, 2u, 3u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(LigraBfs(g, rev, 9, pool), expected) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace gcgt

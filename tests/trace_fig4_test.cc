@@ -1,0 +1,177 @@
+// Golden reproduction of paper Fig. 4: the instruction-flow step counts of
+// the three scheduling strategies on the paper's exact example, with an
+// 8-lane warp:
+//   (b) Intuitive          -> 26 steps
+//   (c) Two-Phase          -> 12 steps
+//   (d) + Task Stealing    -> 10 steps
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cgr/cgr_graph.h"
+#include "core/cgr_traversal.h"
+#include "core/frontier_filter.h"
+#include "core/gcgt_options.h"
+#include "core/trace.h"
+
+namespace gcgt {
+namespace {
+
+// Builds the example of Fig. 4(a): 8 frontier nodes whose compressed lists
+// have the shapes
+//   t0: deg 6,  1 interval (len 4),  2 residuals
+//   t1: deg 1,  1 residual
+//   t2: deg 14, 1 interval (len 11), 3 residuals
+//   t3: deg 2,  2 residuals
+//   t4: deg 1,  1 residual
+//   t5: deg 11, 1 interval (len 7),  4 residuals
+//   t6: deg 1,  1 residual
+//   t7: deg 1,  1 residual
+Graph MakeFig4Graph() {
+  EdgeList edges;
+  auto add_list = [&](NodeId u, std::vector<NodeId> list) {
+    for (NodeId v : list) edges.emplace_back(u, v);
+  };
+  add_list(0, {10, 11, 12, 13, 20, 30});                             // t0
+  add_list(1, {40});                                                 // t1
+  add_list(2, {50, 51, 52, 53, 54, 55, 56, 57, 58, 59, 60,           // itv 11
+               70, 80, 90});                                         // t2
+  add_list(3, {15, 25});                                             // t3
+  add_list(4, {33});                                                 // t4
+  add_list(5, {100, 101, 102, 103, 104, 105, 106, 110, 115, 120, 126});  // t5
+  add_list(6, {44});                                                 // t6
+  add_list(7, {47});                                                 // t7
+  return Graph::FromEdges(128, edges);
+}
+
+size_t RunWithLevel(GcgtLevel level, StepTrace* trace) {
+  Graph g = MakeFig4Graph();
+  CgrOptions copt;
+  copt.min_interval_len = 4;
+  copt.segment_len_bytes = 0;  // the figure's example is unsegmented
+  auto cgr = CgrGraph::Encode(g, copt);
+  EXPECT_TRUE(cgr.ok());
+
+  GcgtOptions opt;
+  opt.level = level;
+  opt.lanes = 8;  // the figure uses an 8-thread warp
+  CgrTraversalEngine engine(cgr.value(), opt);
+
+  BfsFilter filter(g.num_nodes());
+  std::vector<NodeId> frontier = {0, 1, 2, 3, 4, 5, 6, 7};
+  for (NodeId u : frontier) filter.SetSource(u);
+  std::vector<NodeId> out;
+  std::vector<simt::WarpStats> warps;
+  engine.ProcessFrontier(frontier, filter, &out, &warps, trace);
+  EXPECT_EQ(warps.size(), 1u);
+  return trace->PaperStepCount();
+}
+
+TEST(Fig4Golden, IntuitiveTakes26Steps) {
+  StepTrace trace;
+  EXPECT_EQ(RunWithLevel(GcgtLevel::kIntuitive, &trace), 26u)
+      << trace.ToTable(8);
+}
+
+TEST(Fig4Golden, TwoPhaseTakes12Steps) {
+  StepTrace trace;
+  EXPECT_EQ(RunWithLevel(GcgtLevel::kTwoPhase, &trace), 12u)
+      << trace.ToTable(8);
+}
+
+TEST(Fig4Golden, TaskStealingTakes10Steps) {
+  StepTrace trace;
+  EXPECT_EQ(RunWithLevel(GcgtLevel::kTaskStealing, &trace), 10u)
+      << trace.ToTable(8);
+}
+
+TEST(Fig4Golden, WarpCentricMatchesTaskStealingOnSmallLists) {
+  // No lane reaches the warp-centric residual threshold in this example, so
+  // level 3 must behave exactly like level 2.
+  StepTrace trace;
+  EXPECT_EQ(RunWithLevel(GcgtLevel::kWarpCentric, &trace), 10u)
+      << trace.ToTable(8);
+}
+
+TEST(Fig4Golden, TwoPhaseStep1IsWarpWideExpansionOfT2) {
+  // In Fig. 4(c), step 1 is the whole warp expanding the first 8 neighbors
+  // of t2's long interval (len 11 >= 8 lanes).
+  StepTrace trace;
+  RunWithLevel(GcgtLevel::kTwoPhase, &trace);
+  std::vector<StepTrace::Step> steps;
+  for (const auto& s : trace.steps()) {
+    if (s.op != TraceOp::kHeader && !s.lanes.empty()) steps.push_back(s);
+  }
+  ASSERT_GE(steps.size(), 2u);
+  // Step 0: the interval decode by t0, t2, t5.
+  EXPECT_EQ(steps[0].op, TraceOp::kDecodeInterval);
+  ASSERT_EQ(steps[0].lanes.size(), 3u);
+  EXPECT_EQ(steps[0].lanes[0].second, "t0:i0");
+  EXPECT_EQ(steps[0].lanes[1].second, "t2:i0");
+  EXPECT_EQ(steps[0].lanes[2].second, "t5:i0");
+  // Step 1: all 8 lanes handle t2's interval neighbors 0..7.
+  EXPECT_EQ(steps[1].op, TraceOp::kAppend);
+  ASSERT_EQ(steps[1].lanes.size(), 8u);
+  for (int l = 0; l < 8; ++l) {
+    EXPECT_EQ(steps[1].lanes[l].second, "t2:i0:" + std::to_string(l));
+  }
+}
+
+TEST(Fig4Golden, IntuitiveWastesLaneSlots) {
+  // The point of Fig. 4: the intuitive schedule leaves most lanes idle.
+  Graph g = MakeFig4Graph();
+  CgrOptions copt;
+  copt.min_interval_len = 4;
+  copt.segment_len_bytes = 0;
+  auto cgr = CgrGraph::Encode(g, copt);
+  ASSERT_TRUE(cgr.ok());
+
+  auto run = [&](GcgtLevel level) {
+    GcgtOptions opt;
+    opt.level = level;
+    opt.lanes = 8;
+    CgrTraversalEngine engine(cgr.value(), opt);
+    BfsFilter filter(g.num_nodes());
+    std::vector<NodeId> frontier = {0, 1, 2, 3, 4, 5, 6, 7};
+    std::vector<NodeId> out;
+    std::vector<simt::WarpStats> warps;
+    engine.ProcessFrontier(frontier, filter, &out, &warps);
+    return warps[0];
+  };
+  simt::WarpStats intuitive = run(GcgtLevel::kIntuitive);
+  simt::WarpStats stealing = run(GcgtLevel::kTaskStealing);
+  EXPECT_LT(stealing.steps, intuitive.steps);
+  EXPECT_GT(stealing.LaneEfficiency(), intuitive.LaneEfficiency());
+}
+
+TEST(Fig4Golden, AllLevelsVisitTheSameNodes) {
+  Graph g = MakeFig4Graph();
+  CgrOptions copt;
+  copt.min_interval_len = 4;
+  copt.segment_len_bytes = 0;
+  auto cgr = CgrGraph::Encode(g, copt);
+  ASSERT_TRUE(cgr.ok());
+  std::vector<NodeId> expected;
+  for (GcgtLevel level : {GcgtLevel::kIntuitive, GcgtLevel::kTwoPhase,
+                          GcgtLevel::kTaskStealing, GcgtLevel::kWarpCentric}) {
+    GcgtOptions opt;
+    opt.level = level;
+    opt.lanes = 8;
+    CgrTraversalEngine engine(cgr.value(), opt);
+    BfsFilter filter(g.num_nodes());
+    std::vector<NodeId> frontier = {0, 1, 2, 3, 4, 5, 6, 7};
+    std::vector<NodeId> out;
+    std::vector<simt::WarpStats> warps;
+    engine.ProcessFrontier(frontier, filter, &out, &warps);
+    std::sort(out.begin(), out.end());
+    if (expected.empty()) {
+      expected = out;
+      EXPECT_FALSE(expected.empty());
+    } else {
+      EXPECT_EQ(out, expected) << "level " << static_cast<int>(level);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcgt

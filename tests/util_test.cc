@@ -1,0 +1,176 @@
+// Tests for util: bit streams, zigzag, Status/Result, RNG, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/bit_stream.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/zigzag.h"
+
+namespace gcgt {
+namespace {
+
+TEST(BitStream, SingleBitsRoundTrip) {
+  BitWriter w;
+  std::vector<bool> bits = {1, 0, 0, 1, 1, 1, 0, 1, 0, 0, 1};
+  for (bool b : bits) w.PutBit(b);
+  EXPECT_EQ(w.num_bits(), bits.size());
+  auto bytes = w.bytes();
+  BitReader r(bytes.data(), w.num_bits());
+  for (bool b : bits) EXPECT_EQ(r.GetBit(), b);
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(BitStream, MsbFirstLayout) {
+  BitWriter w;
+  w.PutBits(0b1011, 4);
+  EXPECT_EQ(w.ToBitString(), "1011");
+  EXPECT_EQ(w.bytes()[0], 0b10110000);  // bit 0 is the byte's MSB
+}
+
+TEST(BitStream, MultiBitValuesAcrossByteBoundaries) {
+  BitWriter w;
+  w.PutBits(0x5a5, 12);
+  w.PutBits(0x3ffffffffull, 34);
+  w.PutBits(1, 1);
+  auto bytes = w.bytes();
+  BitReader r(bytes.data(), w.num_bits());
+  EXPECT_EQ(r.GetBits(12), 0x5a5u);
+  EXPECT_EQ(r.GetBits(34), 0x3ffffffffull);
+  EXPECT_EQ(r.GetBits(1), 1u);
+}
+
+TEST(BitStream, UnaryDecoding) {
+  size_t n = 0;
+  auto bytes = BitsFromString("0001 01 1 000001", &n);
+  BitReader r(bytes.data(), n);
+  EXPECT_EQ(r.GetUnary(), 3);
+  EXPECT_EQ(r.GetUnary(), 1);
+  EXPECT_EQ(r.GetUnary(), 0);
+  EXPECT_EQ(r.GetUnary(), 5);
+}
+
+TEST(BitStream, SeekAndRandomAccess) {
+  BitWriter w;
+  w.PutBits(0b110010111, 9);
+  auto bytes = w.bytes();
+  BitReader r(bytes.data(), 9, /*start_bit=*/3);
+  EXPECT_EQ(r.GetBits(3), 0b010u);
+  r.Seek(0);
+  EXPECT_EQ(r.GetBits(2), 0b11u);
+  EXPECT_EQ(r.byte_pos(), 0u);
+}
+
+TEST(BitStream, OverflowIsSticky) {
+  BitWriter w;
+  w.PutBits(0b11, 2);
+  auto bytes = w.bytes();
+  BitReader r(bytes.data(), 2);
+  r.GetBits(2);
+  EXPECT_FALSE(r.overflowed());
+  EXPECT_EQ(r.GetBit(), 0);
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST(BitStream, AlignTo) {
+  BitWriter w;
+  w.PutBits(0b101, 3);
+  w.AlignTo(8);
+  EXPECT_EQ(w.num_bits(), 8u);
+  w.AlignTo(8);
+  EXPECT_EQ(w.num_bits(), 8u);  // already aligned: no-op
+}
+
+TEST(Zigzag, RoundTripAndOrdering) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+  for (int64_t v = -1000; v <= 1000; ++v) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+  EXPECT_EQ(ZigzagDecode(ZigzagEncode(int64_t(1) << 40)), int64_t(1) << 40);
+}
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::OutOfMemory("12GB exceeded");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsOutOfMemory());
+  EXPECT_EQ(s.ToString(), "OutOfMemory: 12GB exceeded");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::NotFound("x"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ZipfIsSkewed) {
+  Rng rng(11);
+  uint64_t ones = 0, total = 20000;
+  for (uint64_t i = 0; i < total; ++i) {
+    uint64_t z = rng.Zipf(1000, 2.0);
+    EXPECT_GE(z, 1u);
+    EXPECT_LE(z, 1000u);
+    if (z == 1) ++ones;
+  }
+  EXPECT_GT(ones, total / 3);  // alpha=2: P(1) ~ 0.6
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(hits.size(), 64, [&](size_t tid, size_t b, size_t e) {
+    EXPECT_LT(tid, pool.num_threads());
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, 16, [&](size_t, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(3, 100, [&](size_t, size_t b, size_t e) {
+    sum.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+}  // namespace
+}  // namespace gcgt

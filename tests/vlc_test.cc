@@ -1,0 +1,146 @@
+// VLC codec tests: the exact Table 3 codewords of the paper, plus
+// parameterized round-trip and length properties across all schemes.
+#include "cgr/vlc.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bit_stream.h"
+#include "util/random.h"
+
+namespace gcgt {
+namespace {
+
+TEST(VlcGolden, GammaMatchesPaperTable3) {
+  EXPECT_EQ(VlcToString(VlcScheme::kGamma, 1), "1");
+  EXPECT_EQ(VlcToString(VlcScheme::kGamma, 2), "010");
+  EXPECT_EQ(VlcToString(VlcScheme::kGamma, 3), "011");
+  EXPECT_EQ(VlcToString(VlcScheme::kGamma, 4), "00100");
+  EXPECT_EQ(VlcToString(VlcScheme::kGamma, 5), "00101");
+  EXPECT_EQ(VlcToString(VlcScheme::kGamma, 6), "00110");
+  EXPECT_EQ(VlcToString(VlcScheme::kGamma, 12), "0001100");
+  EXPECT_EQ(VlcToString(VlcScheme::kGamma, 34), "00000100010");
+}
+
+TEST(VlcGolden, Zeta2MatchesPaperTable3) {
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta2, 1), "101");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta2, 2), "110");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta2, 3), "111");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta2, 4), "010100");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta2, 5), "010101");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta2, 6), "010110");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta2, 12), "011100");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta2, 34), "001100010");
+}
+
+TEST(VlcGolden, Zeta3MatchesPaperTable3) {
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta3, 1), "1001");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta3, 2), "1010");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta3, 3), "1011");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta3, 4), "1100");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta3, 5), "1101");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta3, 6), "1110");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta3, 12), "01001100");
+  EXPECT_EQ(VlcToString(VlcScheme::kZeta3, 34), "01100010");
+}
+
+class VlcSchemeTest : public ::testing::TestWithParam<VlcScheme> {};
+
+TEST_P(VlcSchemeTest, RoundTripSmallValues) {
+  const VlcScheme scheme = GetParam();
+  BitWriter w;
+  for (uint64_t v = 1; v <= 4096; ++v) VlcEncode(scheme, v, &w);
+  auto bytes = w.bytes();
+  BitReader r(bytes.data(), w.num_bits());
+  for (uint64_t v = 1; v <= 4096; ++v) {
+    ASSERT_EQ(VlcDecode(scheme, &r), v) << "scheme=" << VlcSchemeName(scheme);
+  }
+  EXPECT_FALSE(r.overflowed());
+  EXPECT_EQ(r.pos(), w.num_bits());
+}
+
+TEST_P(VlcSchemeTest, RoundTripRandomLargeValues) {
+  const VlcScheme scheme = GetParam();
+  Rng rng(1234);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(1 + rng.Uniform(uint64_t(1) << (1 + rng.Uniform(40))));
+  }
+  BitWriter w;
+  for (uint64_t v : values) VlcEncode(scheme, v, &w);
+  auto bytes = w.bytes();
+  BitReader r(bytes.data(), w.num_bits());
+  for (uint64_t v : values) ASSERT_EQ(VlcDecode(scheme, &r), v);
+}
+
+TEST_P(VlcSchemeTest, LengthMatchesEncoding) {
+  const VlcScheme scheme = GetParam();
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t v = 1 + rng.Uniform(1 << 30);
+    BitWriter w;
+    VlcEncode(scheme, v, &w);
+    EXPECT_EQ(static_cast<int>(w.num_bits()), VlcLength(scheme, v));
+  }
+}
+
+TEST_P(VlcSchemeTest, PowersOfTwoBoundaries) {
+  const VlcScheme scheme = GetParam();
+  BitWriter w;
+  std::vector<uint64_t> values;
+  for (int p = 0; p < 40; ++p) {
+    for (int64_t d : {-1, 0, 1}) {
+      int64_t v = (int64_t(1) << p) + d;
+      if (v >= 1) values.push_back(static_cast<uint64_t>(v));
+    }
+  }
+  for (uint64_t v : values) VlcEncode(scheme, v, &w);
+  auto bytes = w.bytes();
+  BitReader r(bytes.data(), w.num_bits());
+  for (uint64_t v : values) ASSERT_EQ(VlcDecode(scheme, &r), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, VlcSchemeTest,
+                         ::testing::Values(VlcScheme::kGamma, VlcScheme::kZeta2,
+                                           VlcScheme::kZeta3, VlcScheme::kZeta4,
+                                           VlcScheme::kZeta5),
+                         [](const auto& info) {
+                           return VlcSchemeName(info.param);
+                         });
+
+TEST(VlcDecodeRobustness, TruncatedStreamSetsOverflow) {
+  BitWriter w;
+  VlcEncode(VlcScheme::kZeta3, 1000000, &w);
+  auto bytes = w.bytes();
+  // Cut the stream short by 5 bits.
+  BitReader r(bytes.data(), w.num_bits() - 5);
+  VlcDecode(VlcScheme::kZeta3, &r);
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST(VlcDecodeRobustness, AllZerosDoesNotCrash) {
+  std::vector<uint8_t> zeros(64, 0);
+  BitReader r(zeros.data(), 512);
+  EXPECT_EQ(VlcDecode(VlcScheme::kGamma, &r), 0u);
+}
+
+TEST(VlcLength, GammaIsTwiceLogPlusOne) {
+  for (uint64_t v : {1ull, 2ull, 3ull, 7ull, 8ull, 1023ull, 1024ull}) {
+    int h = 0;
+    while ((v >> (h + 1)) != 0) ++h;
+    EXPECT_EQ(VlcLength(VlcScheme::kGamma, v), 2 * h + 1);
+  }
+}
+
+TEST(VlcLength, ZetaKBucketWidths) {
+  // zeta_k codeword of x takes (j+1)(k+1) bits where j = floor(log2 x)/k.
+  EXPECT_EQ(VlcLength(VlcScheme::kZeta3, 1), 4);
+  EXPECT_EQ(VlcLength(VlcScheme::kZeta3, 7), 4);
+  EXPECT_EQ(VlcLength(VlcScheme::kZeta3, 8), 8);
+  EXPECT_EQ(VlcLength(VlcScheme::kZeta3, 63), 8);
+  EXPECT_EQ(VlcLength(VlcScheme::kZeta3, 64), 12);
+  EXPECT_EQ(VlcLength(VlcScheme::kZeta4, 15), 5);
+  EXPECT_EQ(VlcLength(VlcScheme::kZeta4, 16), 10);
+}
+
+}  // namespace
+}  // namespace gcgt

@@ -1,0 +1,82 @@
+// Virtual-node compression tests: edge reduction on template-heavy graphs
+// and exact adjacency equivalence under virtual-node expansion.
+#include "vnc/virtual_node.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace gcgt {
+namespace {
+
+TEST(Vnc, CompressesSharedNeighborSets) {
+  // 40 nodes all pointing to the same 10 targets: a biclique that VNC must
+  // collapse into one virtual node (40*10 edges -> 40+10).
+  EdgeList edges;
+  for (NodeId u = 0; u < 40; ++u) {
+    for (NodeId t = 100; t < 110; ++t) edges.emplace_back(u, t);
+  }
+  Graph g = Graph::FromEdges(120, edges);
+  VncResult r = VirtualNodeCompress(g);
+  EXPECT_GE(r.num_virtual_nodes(), 1u);
+  EXPECT_LT(r.graph.num_edges(), g.num_edges() / 4);
+  EXPECT_GT(r.EdgeReduction(), 4.0);
+}
+
+TEST(Vnc, ExpansionRecoversOriginalAdjacency) {
+  WebGraphParams p;
+  p.num_nodes = 2000;
+  p.seed = 81;
+  Graph g = GenerateWebGraph(p);
+  VncResult r = VirtualNodeCompress(g);
+  ASSERT_EQ(r.num_real_nodes, g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto expected = g.Neighbors(u);
+    auto got = ExpandedNeighbors(r, u);
+    ASSERT_EQ(got.size(), expected.size()) << "node " << u;
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), expected.begin()))
+        << "node " << u;
+  }
+}
+
+TEST(Vnc, WebGraphsCompressWell) {
+  WebGraphParams p;
+  p.num_nodes = 5000;
+  p.seed = 82;
+  Graph g = GenerateWebGraph(p);
+  VncResult r = VirtualNodeCompress(g);
+  EXPECT_GT(r.EdgeReduction(), 1.2);  // template links collapse
+}
+
+TEST(Vnc, RandomGraphsBarelyCompress) {
+  Graph g = GenerateErdosRenyi(3000, 30000, 83);
+  VncResult r = VirtualNodeCompress(g);
+  // No shared patterns: nearly nothing to mine.
+  EXPECT_LT(r.EdgeReduction(), 1.1);
+}
+
+TEST(Vnc, NoOpOnTinyGraphs) {
+  Graph g = MakePath(5);
+  VncResult r = VirtualNodeCompress(g);
+  EXPECT_EQ(r.num_virtual_nodes(), 0u);
+  EXPECT_EQ(r.graph.num_edges(), g.num_edges());
+}
+
+TEST(Vnc, SavingsRuleRespected) {
+  // A pattern whose replacement would not save edges must not be applied:
+  // 2 nodes sharing 2 targets (4 edges -> 2+2+2=... no saving).
+  EdgeList edges = {{0, 10}, {0, 11}, {1, 10}, {1, 11}};
+  Graph g = Graph::FromEdges(12, edges);
+  VncOptions o;
+  o.min_cluster_size = 2;
+  o.min_pattern_size = 2;
+  VncResult r = VirtualNodeCompress(g, o);
+  EXPECT_LE(r.graph.num_edges(), g.num_edges());
+  // Expansion still exact.
+  for (NodeId u : {NodeId(0), NodeId(1)}) {
+    EXPECT_EQ(ExpandedNeighbors(r, u), (std::vector<NodeId>{10, 11}));
+  }
+}
+
+}  // namespace
+}  // namespace gcgt

@@ -1,0 +1,150 @@
+// Warp-centric parallel VLC decoding tests (paper Alg. 4 / Fig. 5 /
+// Lemma 5.2), including the paper's exact worked example.
+#include "core/warp_centric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bit_stream.h"
+#include "util/random.h"
+
+namespace gcgt {
+namespace {
+
+TEST(WarpCentric, PaperFigure5Example) {
+  // gamma codes of 1..5 concatenated: "1 010 011 00100 00101" -> the valid
+  // start positions are 0, 1, 4, 7, 12 and decoding ends at bit 17.
+  BitWriter w;
+  for (uint64_t v = 1; v <= 5; ++v) VlcEncode(VlcScheme::kGamma, v, &w);
+  ASSERT_EQ(w.num_bits(), 17u);
+  w.PutBits(0b10100, 5);  // trailing bits so speculative lanes have data
+  auto bytes = w.bytes();
+
+  ParallelDecodeResult r = WarpCentricDecodeWindow(
+      bytes.data(), w.num_bits(), /*base=*/0, /*lanes=*/16, VlcScheme::kGamma,
+      /*max_values=*/5);
+  EXPECT_EQ(r.values, (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(r.valid_offsets, (std::vector<uint32_t>{0, 1, 4, 7, 12}));
+  EXPECT_EQ(r.next_bit_pos, 17u);
+  // Lemma 5.2: all valid decodings identified in O(log2 K) rounds; marking
+  // doubles per round so 5 values need ceil(log2 5) = 3 rounds.
+  EXPECT_EQ(r.rounds, 3);
+}
+
+TEST(WarpCentric, MaxValuesCapStopsMidWindow) {
+  BitWriter w;
+  for (uint64_t v = 1; v <= 5; ++v) VlcEncode(VlcScheme::kGamma, v, &w);
+  auto bytes = w.bytes();
+  ParallelDecodeResult r = WarpCentricDecodeWindow(
+      bytes.data(), w.num_bits(), 0, 16, VlcScheme::kGamma, /*max_values=*/2);
+  EXPECT_EQ(r.values, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(r.next_bit_pos, 4u);  // start of the third codeword
+}
+
+TEST(WarpCentric, ChainsAcrossWindows) {
+  // Decoding a long stream window by window recovers the full sequence.
+  Rng rng(42);
+  std::vector<uint64_t> values;
+  BitWriter w;
+  for (int i = 0; i < 300; ++i) {
+    uint64_t v = 1 + rng.Uniform(200);
+    values.push_back(v);
+    VlcEncode(VlcScheme::kZeta3, v, &w);
+  }
+  auto bytes = w.bytes();
+
+  std::vector<uint64_t> decoded;
+  uint64_t pos = 0;
+  while (decoded.size() < values.size()) {
+    ParallelDecodeResult r =
+        WarpCentricDecodeWindow(bytes.data(), w.num_bits(), pos, 32,
+                                VlcScheme::kZeta3,
+                                values.size() - decoded.size());
+    ASSERT_FALSE(r.values.empty());
+    decoded.insert(decoded.end(), r.values.begin(), r.values.end());
+    ASSERT_GT(r.next_bit_pos, pos);
+    pos = r.next_bit_pos;
+  }
+  EXPECT_EQ(decoded, values);
+  EXPECT_EQ(pos, w.num_bits());
+}
+
+class WarpCentricSchemeTest : public ::testing::TestWithParam<VlcScheme> {};
+
+TEST_P(WarpCentricSchemeTest, WindowedDecodeMatchesSerial) {
+  const VlcScheme scheme = GetParam();
+  Rng rng(7 + static_cast<uint64_t>(scheme));
+  std::vector<uint64_t> values;
+  BitWriter w;
+  for (int i = 0; i < 500; ++i) {
+    uint64_t v = 1 + rng.Uniform(uint64_t(1) << (1 + rng.Uniform(16)));
+    values.push_back(v);
+    VlcEncode(scheme, v, &w);
+  }
+  auto bytes = w.bytes();
+  std::vector<uint64_t> decoded;
+  uint64_t pos = 0;
+  int windows = 0;
+  while (decoded.size() < values.size()) {
+    ParallelDecodeResult r = WarpCentricDecodeWindow(
+        bytes.data(), w.num_bits(), pos, 32, scheme,
+        values.size() - decoded.size());
+    ASSERT_FALSE(r.values.empty());
+    ASSERT_LE(r.rounds, 5);  // ceil(log2 32)
+    decoded.insert(decoded.end(), r.values.begin(), r.values.end());
+    pos = r.next_bit_pos;
+    ++windows;
+  }
+  EXPECT_EQ(decoded, values);
+  EXPECT_LT(windows, 500);  // strictly better than one value per pass
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, WarpCentricSchemeTest,
+                         ::testing::Values(VlcScheme::kGamma, VlcScheme::kZeta2,
+                                           VlcScheme::kZeta3, VlcScheme::kZeta4,
+                                           VlcScheme::kZeta5),
+                         [](const auto& info) {
+                           return VlcSchemeName(info.param);
+                         });
+
+TEST(WarpCentric, DenserCodesYieldMoreValuesPerWindow) {
+  // The paper's observation (§7.3): warp-centric pays off more at fewer bits
+  // per value. Small values (short codewords) must decode more per window.
+  auto values_per_window = [](uint64_t max_value) {
+    Rng rng(5);
+    BitWriter w;
+    int count = 400;
+    for (int i = 0; i < count; ++i) {
+      VlcEncode(VlcScheme::kZeta3, 1 + rng.Uniform(max_value), &w);
+    }
+    auto bytes = w.bytes();
+    uint64_t pos = 0;
+    int windows = 0;
+    int decoded = 0;
+    while (decoded < count) {
+      ParallelDecodeResult r = WarpCentricDecodeWindow(
+          bytes.data(), w.num_bits(), pos, 32, VlcScheme::kZeta3,
+          count - decoded);
+      decoded += static_cast<int>(r.values.size());
+      pos = r.next_bit_pos;
+      ++windows;
+    }
+    return static_cast<double>(count) / windows;
+  };
+  EXPECT_GT(values_per_window(6), values_per_window(100000) * 1.5);
+}
+
+TEST(WarpCentric, EmptyAndOutOfRangeInputs) {
+  std::vector<uint8_t> bytes = {0xff};
+  ParallelDecodeResult r =
+      WarpCentricDecodeWindow(bytes.data(), 8, /*base=*/100, 32,
+                              VlcScheme::kGamma, 10);
+  EXPECT_TRUE(r.values.empty());
+  EXPECT_EQ(r.next_bit_pos, 100u);
+  r = WarpCentricDecodeWindow(bytes.data(), 8, 0, 32, VlcScheme::kGamma, 0);
+  EXPECT_TRUE(r.values.empty());
+}
+
+}  // namespace
+}  // namespace gcgt
