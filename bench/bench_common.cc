@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 
 #include "core/bfs.h"
 #include "graph/generators.h"
+#include "graph/graph_io.h"
 #include "util/random.h"
 
 namespace gcgt::bench {
@@ -60,6 +65,59 @@ Graph RawByName(const std::string& name) {
   std::abort();
 }
 
+// ---------------------------------------------------------------------------
+// Preprocessed-dataset cache. VNC + reordering dominate bench startup; both
+// are deterministic, so the result is cached as binary CSR plus a small meta
+// file. Bump kCacheVersion whenever generators or preprocessing change.
+// ---------------------------------------------------------------------------
+constexpr int kCacheVersion = 1;
+
+std::string CacheDir() {
+  const char* env = std::getenv("GCGT_BENCH_CACHE");
+  if (env != nullptr) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) return {};
+    return env;
+  }
+  return "gcgt_bench_cache";
+}
+
+std::string CacheStem(const std::string& dir, const std::string& name,
+                      ReorderMethod reorder, bool apply_vnc) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s/%s-r%d-vnc%d-v%d", dir.c_str(),
+                name.c_str(), static_cast<int>(reorder), apply_vnc ? 1 : 0,
+                kCacheVersion);
+  return buf;
+}
+
+bool LoadCachedDataset(const std::string& stem, Dataset* d) {
+  std::ifstream meta(stem + ".meta");
+  int version = 0;
+  EdgeId raw_edges = 0;
+  double vnc_reduction = 0.0;
+  if (!(meta >> version >> raw_edges >> vnc_reduction) ||
+      version != kCacheVersion) {
+    return false;
+  }
+  auto graph = ReadBinaryCsr(stem + ".csr");
+  if (!graph.ok()) return false;
+  d->graph = std::move(graph.value());
+  d->raw_edges = raw_edges;
+  d->vnc_reduction = vnc_reduction;
+  return true;
+}
+
+void StoreCachedDataset(const std::string& dir, const std::string& stem,
+                        const Dataset& d) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;  // cache is best-effort
+  if (!WriteBinaryCsr(d.graph, stem + ".csr").ok()) return;
+  std::ofstream meta(stem + ".meta");
+  meta << kCacheVersion << " " << d.raw_edges << " " << d.vnc_reduction
+       << "\n";
+}
+
 }  // namespace
 
 std::vector<std::string> DatasetNames() {
@@ -72,6 +130,12 @@ Dataset BuildDataset(const std::string& name, ReorderMethod reorder,
                      bool apply_vnc) {
   Dataset d;
   d.name = name;
+
+  const std::string dir = CacheDir();
+  const std::string stem =
+      dir.empty() ? std::string() : CacheStem(dir, name, reorder, apply_vnc);
+  if (!stem.empty() && LoadCachedDataset(stem, &d)) return d;
+
   d.raw = RawByName(name);
   d.raw_edges = d.raw.num_edges();
   Graph transformed;
@@ -85,6 +149,7 @@ Dataset BuildDataset(const std::string& name, ReorderMethod reorder,
   d.graph = reorder == ReorderMethod::kOriginal
                 ? std::move(transformed)
                 : ApplyReordering(transformed, reorder);
+  if (!stem.empty()) StoreCachedDataset(dir, stem, d);
   return d;
 }
 
@@ -183,6 +248,70 @@ void RunCgrSweep(const std::vector<Dataset>& datasets,
     }
     std::printf("\n");
   }
+}
+
+JsonReport::JsonReport(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      path_ = argv[i + 1];
+      return;
+    }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      path_ = arg + 7;
+      return;
+    }
+  }
+}
+
+JsonReport::~JsonReport() { Write(); }
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonReport::Add(
+    const std::string& scenario, double wall_ns, double model_cycles,
+    const std::vector<std::pair<std::string, std::string>>& extra) {
+  if (!enabled()) return;
+  std::string row;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"scenario\": \"%s\", \"wall_ns\": %.0f, \"model_cycles\": "
+                "%.0f",
+                JsonEscape(scenario).c_str(), wall_ns, model_cycles);
+  row = buf;
+  for (const auto& [key, value] : extra) {
+    row += ", \"" + JsonEscape(key) + "\": \"" + JsonEscape(value) + "\"";
+  }
+  row += "}";
+  rows_.push_back(std::move(row));
+}
+
+void JsonReport::Write() {
+  if (!enabled() || written_) return;
+  written_ = true;
+  std::ofstream out(path_);
+  if (!out) {
+    std::fprintf(stderr, "JsonReport: cannot write %s\n", path_.c_str());
+    return;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    out << "  " << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
 }
 
 }  // namespace gcgt::bench

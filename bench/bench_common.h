@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cgr/cgr_graph.h"
@@ -20,7 +21,9 @@ namespace gcgt::bench {
 
 struct Dataset {
   std::string name;
-  /// Raw generated graph (before preprocessing).
+  /// Raw generated graph (before preprocessing). Only populated when the
+  /// dataset was rebuilt — on a preprocessing-cache hit (see BuildDatasets)
+  /// it stays empty and only raw_edges is restored.
   Graph raw;
   /// After the unified preprocessing: VNC then reordering (paper §7.2).
   Graph graph;
@@ -32,6 +35,13 @@ struct Dataset {
 
 /// Builds all five scaled datasets with the given reordering (Table 2
 /// default: LLP). Deterministic.
+///
+/// The preprocessed graph (VNC + reordering, the expensive part) is cached
+/// on disk as binary CSR, keyed by (name, reorder, vnc, format version), in
+/// the directory named by $GCGT_BENCH_CACHE (default "gcgt_bench_cache"
+/// under the working directory; set GCGT_BENCH_CACHE=off to disable). The
+/// pipeline is deterministic, so a cache hit is bit-identical to a rebuild;
+/// delete the directory after changing generators or preprocessing.
 std::vector<Dataset> BuildDatasets(
     ReorderMethod reorder = ReorderMethod::kLlp,
     bool apply_vnc = true);
@@ -86,6 +96,36 @@ struct SweepVariant {
 /// "dataset  variant  bfs_ms  rate" rows.
 void RunCgrSweep(const std::vector<Dataset>& datasets,
                  const std::vector<SweepVariant>& variants);
+
+/// Machine-readable benchmark output. A bench main constructs one from its
+/// argv; when `--json <path>` (or `--json=<path>`) was passed, every Add()
+/// becomes one object in a JSON array written to <path> on destruction:
+///   {"scenario": "...", "wall_ns": ..., "model_cycles": ..., <extra>...}
+/// wall_ns is measured host time for the scenario; model_cycles is the
+/// simulator's cycle count (0 for CPU baselines). Extra fields are emitted
+/// as strings. This gives future PRs a stable artifact to track the perf
+/// trajectory (e.g. BENCH_fig8.json).
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv);
+  ~JsonReport();
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& scenario, double wall_ns, double model_cycles,
+           const std::vector<std::pair<std::string, std::string>>& extra = {});
+
+  /// Writes the file now (also called by the destructor once).
+  void Write();
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+  bool written_ = false;
+};
 
 }  // namespace gcgt::bench
 

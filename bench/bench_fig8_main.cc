@@ -4,6 +4,10 @@
 // engines report simulator model time (see DESIGN.md); the comparison of
 // interest is the *shape*: GPU >> CPU, GCGT within a small factor of GPUCSR,
 // Gunrock OOM on the two large datasets, CGR rates 2x-18x.
+//
+// `--json out.json` additionally records one row per (dataset, approach)
+// with measured wall ns and modeled GPU cycles (see bench::JsonReport).
+#include <chrono>
 #include <cstdio>
 
 #include "baseline/byte_rle.h"
@@ -13,9 +17,21 @@
 #include "cgr/cgr_graph.h"
 #include "core/bfs.h"
 
-int main() {
+namespace {
+
+double NowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace gcgt;
   using bench::Cell;
+
+  bench::JsonReport json(argc, argv);
 
   std::printf("== Fig. 8: BFS elapsed time + compression rate ==\n");
   std::printf(
@@ -59,51 +75,72 @@ int main() {
       for (NodeId s : sources) LigraPlusBfs(rle, rle_rev, s, pool);
     }) / sources.size();
 
-    // GPU approaches (simulator model time, averaged over sources).
-    auto run_csr = [&](bool gunrock) -> bench::TimedResult {
+    // GPU approaches (simulator model time, averaged over sources; wall time
+    // of the simulation itself recorded for the JSON perf trajectory).
+    double gunrock_wall_ns = 0, gpucsr_wall_ns = 0, gcgt_wall_ns = 0;
+    auto run_csr = [&](bool gunrock, double* wall_ns) -> bench::TimedResult {
       CsrEngineOptions opt;
       opt.gunrock = gunrock;
       opt.device.memory_bytes = budget;
       bench::TimedResult r;
+      double t0 = NowNs();
       for (NodeId s : sources) {
         auto res = CsrBfs(g, s, opt);
         if (!res.ok()) {
           r.oom = res.status().IsOutOfMemory();
+          *wall_ns = NowNs() - t0;
           return r;
         }
         r.ms += res.value().metrics.model_ms;
       }
+      *wall_ns = NowNs() - t0;
       r.ms /= sources.size();
       return r;
     };
-    bench::TimedResult gunrock = run_csr(true);
-    bench::TimedResult gpucsr = run_csr(false);
+    bench::TimedResult gunrock = run_csr(true, &gunrock_wall_ns);
+    bench::TimedResult gpucsr = run_csr(false, &gpucsr_wall_ns);
     bench::TimedResult gcgt;
+    GcgtOptions gcgt_opt;
     {
-      GcgtOptions opt;
-      opt.device.memory_bytes = budget;
+      gcgt_opt.device.memory_bytes = budget;
+      double t0 = NowNs();
       for (NodeId s : sources) {
-        auto res = GcgtBfs(cgr.value(), s, opt);
+        auto res = GcgtBfs(cgr.value(), s, gcgt_opt);
         if (!res.ok()) {
           gcgt.oom = res.status().IsOutOfMemory();
           break;
         }
         gcgt.ms += res.value().metrics.model_ms;
       }
+      gcgt_wall_ns = NowNs() - t0;
       if (!gcgt.oom) gcgt.ms /= sources.size();
     }
 
-    auto row = [&](const char* name, double ms, bool oom, double rate) {
+    // ms of simulator model time -> modeled cycles (CyclesToMs inverse).
+    auto cycles_of = [&](double model_ms) {
+      return model_ms * gcgt_opt.cost.clock_ghz * 1e6;
+    };
+    auto row = [&](const char* name, double ms, bool oom, double rate,
+                   double wall_ns, double model_cycles) {
       std::printf("%-10s %-12s %12s %12s\n", d.name.c_str(), name,
                   oom ? Cell("OOM", 12).c_str() : Cell(ms, 12, 3).c_str(),
                   Cell(rate, 12, 2).c_str());
+      json.Add(d.name + "/" + name, wall_ns, oom ? 0.0 : model_cycles,
+               {{"oom", oom ? "1" : "0"},
+                {"compr_rate", Cell(rate, 0, 2)},
+                {"bfs_model_ms", oom ? "OOM" : Cell(ms, 0, 3)}});
     };
-    row("Naive", naive_ms, false, csr_rate);
-    row("Ligra", ligra_ms, false, csr_rate);
-    row("Ligra+", ligrap_ms, false, rle_rate);
-    row("Gunrock", gunrock.ms, gunrock.oom, csr_rate);
-    row("GPUCSR", gpucsr.ms, gpucsr.oom, csr_rate);
-    row("GCGT", gcgt.ms, gcgt.oom, cgr_rate);
+    // CPU rows: wall_ns is the measured per-source BFS time; no model.
+    row("Naive", naive_ms, false, csr_rate, naive_ms * 1e6, 0.0);
+    row("Ligra", ligra_ms, false, csr_rate, ligra_ms * 1e6, 0.0);
+    row("Ligra+", ligrap_ms, false, rle_rate, ligrap_ms * 1e6, 0.0);
+    // GPU rows: wall_ns is the host time spent simulating all sources.
+    row("Gunrock", gunrock.ms, gunrock.oom, csr_rate, gunrock_wall_ns,
+        cycles_of(gunrock.ms * sources.size()));
+    row("GPUCSR", gpucsr.ms, gpucsr.oom, csr_rate, gpucsr_wall_ns,
+        cycles_of(gpucsr.ms * sources.size()));
+    row("GCGT", gcgt.ms, gcgt.oom, cgr_rate, gcgt_wall_ns,
+        cycles_of(gcgt.ms * sources.size()));
     if (!gcgt.oom && !gpucsr.oom) {
       std::printf("%-10s   GCGT/GPUCSR latency ratio: %.2fx at %.2fx the "
                   "compression\n",

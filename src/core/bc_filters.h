@@ -1,8 +1,15 @@
 // Forward (sigma) and backward (delta) filters of the Brandes two-pass BC
 // (paper Fig. 7(d)), shared by the GCGT and GPUCSR/Gunrock engines.
+//
+// Label updates go through atomic CAS / CAS-add loops so the filters are
+// safe under concurrent warps. Level-synchronous semantics keep the depth
+// claims deterministic; sigma/delta additions are deterministic whenever the
+// engine serializes the decision order (the parallel traversal engine does —
+// see cgr_traversal.cc), and merely race-free otherwise.
 #ifndef GCGT_CORE_BC_FILTERS_H_
 #define GCGT_CORE_BC_FILTERS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -12,6 +19,16 @@ namespace gcgt {
 
 inline constexpr uint32_t kBcUnvisited = static_cast<uint32_t>(-1);
 
+/// atomicAdd on a double, as CUDA exposes it: a CAS retry loop. On a serial
+/// path the CAS succeeds first try, so this is an ordinary addition.
+inline void AtomicAddDouble(double& target, double value) {
+  std::atomic_ref<double> ref(target);
+  double observed = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(observed, observed + value,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
 /// Forward pass: first visit sets depth and appends; every edge into the
 /// next level accumulates sigma (shortest-path counts).
 class BcForwardFilter : public FrontierFilter {
@@ -20,34 +37,35 @@ class BcForwardFilter : public FrontierFilter {
       : depth_(depth), sigma_(sigma) {}
 
   bool Filter(NodeId u, NodeId v) override {
-    if (depth_[v] == kBcUnvisited) {
-      depth_[v] = depth_[u] + 1;
-      sigma_[v] += sigma_[u];
-      ++atomics_;  // sigma atomicAdd
+    uint32_t expected = kBcUnvisited;
+    const uint32_t next_depth = depth_[u] + 1;
+    if (std::atomic_ref<uint32_t>(depth_[v]).compare_exchange_strong(
+            expected, next_depth, std::memory_order_relaxed)) {
+      AtomicAddDouble(sigma_[v], sigma_[u]);
+      atomics_.fetch_add(1, std::memory_order_relaxed);  // sigma atomicAdd
       return true;
     }
-    if (depth_[v] == depth_[u] + 1) {
-      sigma_[v] += sigma_[u];
-      ++atomics_;
+    if (expected == next_depth) {  // CAS reported v's current depth
+      AtomicAddDouble(sigma_[v], sigma_[u]);
+      atomics_.fetch_add(1, std::memory_order_relaxed);
     }
     return false;
   }
 
   int TakeAtomics() override {
-    int a = atomics_;
-    atomics_ = 0;
-    return a;
+    return atomics_.exchange(0, std::memory_order_relaxed);
   }
 
  private:
   std::vector<uint32_t>& depth_;
   std::vector<double>& sigma_;
-  int atomics_ = 0;
+  std::atomic<int> atomics_{0};
 };
 
 /// Backward pass: for every DAG edge (u, v) with depth[v] == depth[u]+1,
 /// accumulate u's dependency from v. Appends nothing; the backward frontiers
-/// are the recorded forward levels.
+/// are the recorded forward levels (sigma and the deeper level's delta are
+/// read-only at this point).
 class BcBackwardFilter : public FrontierFilter {
  public:
   BcBackwardFilter(const std::vector<uint32_t>& depth,
@@ -57,23 +75,21 @@ class BcBackwardFilter : public FrontierFilter {
   bool Filter(NodeId u, NodeId v) override {
     if (depth_[u] != kBcUnvisited && depth_[v] == depth_[u] + 1 &&
         sigma_[v] > 0) {
-      delta_[u] += sigma_[u] / sigma_[v] * (1.0 + delta_[v]);
-      ++atomics_;  // delta atomicAdd
+      AtomicAddDouble(delta_[u], sigma_[u] / sigma_[v] * (1.0 + delta_[v]));
+      atomics_.fetch_add(1, std::memory_order_relaxed);  // delta atomicAdd
     }
     return false;
   }
 
   int TakeAtomics() override {
-    int a = atomics_;
-    atomics_ = 0;
-    return a;
+    return atomics_.exchange(0, std::memory_order_relaxed);
   }
 
  private:
   const std::vector<uint32_t>& depth_;
   const std::vector<double>& sigma_;
   std::vector<double>& delta_;
-  int atomics_ = 0;
+  std::atomic<int> atomics_{0};
 };
 
 }  // namespace gcgt

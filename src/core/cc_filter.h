@@ -4,6 +4,7 @@
 #define GCGT_CORE_CC_FILTER_H_
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <vector>
 
@@ -22,28 +23,37 @@ class CcFilter : public FrontierFilter {
   }
 
   NodeId Find(NodeId x) const {
-    while (parent_[x] != x) x = parent_[x];
-    return x;
+    for (;;) {
+      NodeId p = std::atomic_ref<NodeId>(const_cast<NodeId&>(parent_[x]))
+                     .load(std::memory_order_relaxed);
+      if (p == x) return x;
+      x = p;
+    }
   }
 
+  /// Hooks the larger root under the smaller via CAS. The retry loop makes
+  /// the filter safe under concurrent warps (a lost race re-reads the roots);
+  /// on the serial path the CAS always succeeds first try, so serial behavior
+  /// is unchanged.
   bool Filter(NodeId u, NodeId v) override {
-    NodeId ru = Find(u);
-    NodeId rv = Find(v);
-    if (ru == rv) return false;
-    if (ru < rv) {
-      parent_[rv] = ru;
-    } else {
-      parent_[ru] = rv;
+    for (;;) {
+      NodeId ru = Find(u);
+      NodeId rv = Find(v);
+      if (ru == rv) return false;
+      NodeId lo = std::min(ru, rv);
+      NodeId hi = std::max(ru, rv);
+      NodeId expected = hi;
+      if (std::atomic_ref<NodeId>(parent_[hi]).compare_exchange_strong(
+              expected, lo, std::memory_order_relaxed)) {
+        atomics_.fetch_add(1, std::memory_order_relaxed);  // the hooking CAS
+        return true;
+      }
     }
-    ++atomics_;  // the hooking CAS
-    return true;
   }
 
   NodeId AppendTarget(NodeId u, NodeId /*v*/) override { return u; }
   int TakeAtomics() override {
-    int a = atomics_;
-    atomics_ = 0;
-    return a;
+    return atomics_.exchange(0, std::memory_order_relaxed);
   }
 
   /// Pointer-jumping kernel: flattens every node to its root; returns
@@ -80,7 +90,7 @@ class CcFilter : public FrontierFilter {
 
  private:
   std::vector<NodeId> parent_;
-  int atomics_ = 0;
+  std::atomic<int> atomics_{0};
 };
 
 }  // namespace gcgt

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <map>
+#include <mutex>
 #include <optional>
 
 #include "core/memory_layout.h"
 #include "core/warp_centric.h"
+#include "util/thread_pool.h"
 #include "util/zigzag.h"
 
 namespace gcgt {
@@ -46,6 +49,13 @@ std::string ItemLabel(const AppendItem& it) {
   return buf;
 }
 
+/// One enumerated (frontier node, neighbor) pair awaiting its filter
+/// decision; recorded by the parallel enumeration pass and replayed serially.
+struct PendingEdge {
+  NodeId u = 0;
+  NodeId v = 0;
+};
+
 /// Per-lane traversal state.
 struct Lane {
   bool valid = false;
@@ -71,20 +81,49 @@ struct Lane {
   uint32_t seg_next = 0;
 };
 
+/// Simulates one warp over one frontier chunk. An instance is reusable
+/// across chunks (one lives in each worker thread's scratch); all phase
+/// scratch buffers are members so the steady-state hot path allocates
+/// nothing.
+///
+/// Two run modes:
+///  - RunSerial: the reference engine. Filter decisions, out-frontier
+///    appends and their memory charges happen inline, and a StepTrace may
+///    record Fig. 4 tables.
+///  - RunEnumerate: the parallel-phase engine. The decode/scheduling walk is
+///    identical (it never depends on the filter), but append slots record
+///    their (u, v) pairs into a per-thread arena; the filter decisions and
+///    the decision-dependent charges are replayed serially afterwards (see
+///    CgrTraversalEngine::ProcessFrontier).
 class WarpSim {
  public:
-  WarpSim(const CgrGraph& g, const GcgtOptions& o, FrontierFilter& filter,
-          std::vector<NodeId>* out, StepTrace* trace)
-      : g_(g),
-        o_(o),
-        filter_(filter),
-        out_(out),
-        trace_(trace),
-        ctx_(o.lanes, o.cost.cache_line_bytes) {}
+  WarpSim(const CgrGraph& g, const GcgtOptions& o)
+      : g_(g), o_(o), ctx_(o.lanes, o.cost.cache_line_bytes) {}
 
-  WarpStats Run(std::span<const NodeId> chunk);
+  WarpStats RunSerial(std::span<const NodeId> chunk, FrontierFilter& filter,
+                      std::vector<NodeId>* out, StepTrace* trace) {
+    filter_ = &filter;
+    out_ = out;
+    trace_ = trace;
+    edge_arena_ = nullptr;
+    batch_arena_ = nullptr;
+    return Run(chunk);
+  }
+
+  WarpStats RunEnumerate(std::span<const NodeId> chunk,
+                         std::vector<PendingEdge>* edge_arena,
+                         std::vector<size_t>* batch_arena) {
+    filter_ = nullptr;
+    out_ = nullptr;
+    trace_ = nullptr;
+    edge_arena_ = edge_arena;
+    batch_arena_ = batch_arena;
+    return Run(chunk);
+  }
 
  private:
+  WarpStats Run(std::span<const NodeId> chunk);
+
   bool segmented() const { return g_.options().segment_len_bytes != 0; }
   uint64_t ResidualsRemaining(const Lane& ln) const {
     if (ln.rs_ready) return ln.rs.remaining();
@@ -112,11 +151,38 @@ class WarpSim {
 
   const CgrGraph& g_;
   const GcgtOptions& o_;
-  FrontierFilter& filter_;
-  std::vector<NodeId>* out_;
-  StepTrace* trace_;
   WarpContext ctx_;
+
+  // Per-run bindings (exactly one of filter_/edge_arena_ is set).
+  FrontierFilter* filter_ = nullptr;
+  std::vector<NodeId>* out_ = nullptr;
+  StepTrace* trace_ = nullptr;
+  std::vector<PendingEdge>* edge_arena_ = nullptr;
+  std::vector<size_t>* batch_arena_ = nullptr;
+
+  // Reusable scratch (capacity persists across chunks; no steady-state
+  // allocation).
   std::vector<Lane> lanes_;
+  std::vector<BitRange> ranges_;
+  std::vector<AppendItem> items_;
+  std::vector<uint8_t> pred_;
+  std::vector<int> work_;
+  std::vector<AppendItem> buffer_;
+  std::vector<AppendItem> round_;
+  std::vector<uint64_t> gather_addrs_;
+  std::vector<uint64_t> write_addrs_;
+  struct Task {
+    int src_lane;
+    uint32_t seg;
+  };
+  std::vector<Task> tasks_;
+  struct ExecState {
+    size_t next = 0;  // index into tasks_ of the next task (stride = lanes)
+    size_t cur = 0;   // index into tasks_ of the open task
+    ResidualStream stream;
+    bool open = false;
+  };
+  std::vector<ExecState> exec_;
 };
 
 void WarpSim::AppendStep(std::vector<AppendItem>& items) {
@@ -128,23 +194,32 @@ void WarpSim::AppendStep(std::vector<AppendItem>& items) {
     for (const auto& it : items) trace_->Lane(it.exec_lane, ItemLabel(it));
   }
   // Visited/label gather for the filtering check.
-  std::vector<uint64_t> addrs;
-  addrs.reserve(items.size());
-  for (const auto& it : items) addrs.push_back(kLabelBase + 4ull * it.v);
-  ctx_.MemAccess(addrs, 4);
+  gather_addrs_.clear();
+  for (const auto& it : items) {
+    gather_addrs_.push_back(kLabelBase + 4ull * it.v);
+  }
+  ctx_.MemAccess(gather_addrs_, 4);
   ctx_.SharedOp();  // exclusiveScan for the contraction offsets
   ctx_.Atomic(1);   // single queue-tail atomic per warp (Alg. 1 line 30)
-  std::vector<uint64_t> write_addrs;
+  if (edge_arena_ != nullptr) {
+    // Enumerate mode: defer the filter decision and its dependent charges
+    // (extra atomics, label writes, queue append) to the serial replay.
+    for (const auto& it : items) edge_arena_->push_back({it.u, it.v});
+    batch_arena_->push_back(edge_arena_->size());
+    items.clear();
+    return;
+  }
+  write_addrs_.clear();
   size_t tail = out_->size();
   for (const auto& it : items) {
-    if (filter_.Filter(it.u, it.v)) {
-      out_->push_back(filter_.AppendTarget(it.u, it.v));
-      write_addrs.push_back(kLabelBase + 4ull * it.v);
+    if (filter_->Filter(it.u, it.v)) {
+      out_->push_back(filter_->AppendTarget(it.u, it.v));
+      write_addrs_.push_back(kLabelBase + 4ull * it.v);
     }
   }
-  if (int extra = filter_.TakeAtomics(); extra > 0) ctx_.Atomic(extra);
-  if (!write_addrs.empty()) {
-    ctx_.MemAccess(write_addrs, 4);  // label updates
+  if (int extra = filter_->TakeAtomics(); extra > 0) ctx_.Atomic(extra);
+  if (!write_addrs_.empty()) {
+    ctx_.MemAccess(write_addrs_, 4);  // label updates
     ctx_.MemAccessRange(kQueueBase + 4ull * tail, 4ull * (out_->size() - tail));
   }
   items.clear();
@@ -155,17 +230,17 @@ void WarpSim::HeaderPhase(std::span<const NodeId> chunk) {
   // Coalesced frontier load + bitStart offset gather.
   ctx_.Step(static_cast<int>(chunk.size()));
   ctx_.MemAccessRange(kQueueBase, 4ull * chunk.size());
-  std::vector<uint64_t> addrs;
+  gather_addrs_.clear();
   for (size_t i = 0; i < chunk.size(); ++i) {
     Lane& ln = lanes_[i];
     ln.valid = true;
     ln.u = chunk[i];
     ln.dec.emplace(g_, ln.u);
-    addrs.push_back(kOffsetsBase + 8ull * ln.u);
+    gather_addrs_.push_back(kOffsetsBase + 8ull * ln.u);
   }
-  ctx_.MemAccess(addrs, 8);
+  ctx_.MemAccess(gather_addrs_, 8);
 
-  std::vector<BitRange> ranges;
+  ranges_.clear();
   if (!segmented()) {
     // Degree header.
     size_t active = 0;
@@ -173,24 +248,24 @@ void WarpSim::HeaderPhase(std::span<const NodeId> chunk) {
       if (!ln.valid) continue;
       uint64_t before = ln.dec->bit_pos();
       ln.deg = ln.dec->ReadDegree();
-      ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+      ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
       ++active;
     }
     if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
-    ChargeDecode(active, ranges);
+    ChargeDecode(active, ranges_);
     // Interval-count header (only encoded when deg > 0).
-    ranges.clear();
+    ranges_.clear();
     active = 0;
     for (Lane& ln : lanes_) {
       if (!ln.valid || ln.deg == 0) continue;
       uint64_t before = ln.dec->bit_pos();
       ln.itv_total = ln.dec->ReadIntervalCount();
-      ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+      ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
       ++active;
     }
     if (active > 0) {
       if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
-      ChargeDecode(active, ranges);
+      ChargeDecode(active, ranges_);
     }
   } else {
     size_t active = 0;
@@ -198,11 +273,11 @@ void WarpSim::HeaderPhase(std::span<const NodeId> chunk) {
       if (!ln.valid) continue;
       uint64_t before = ln.dec->bit_pos();
       ln.itv_total = ln.dec->ReadIntervalCount();
-      ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+      ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
       ++active;
     }
     if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
-    ChargeDecode(active, ranges);
+    ChargeDecode(active, ranges_);
   }
 }
 
@@ -228,8 +303,6 @@ void WarpSim::RunIntuitive() {
   };
 
   std::vector<Op> ops(o_.lanes);
-  std::vector<BitRange> ranges;
-  std::vector<AppendItem> items;
   for (;;) {
     bool any = false;
     bool has_itv = false, has_res = false, has_seg = false;
@@ -244,7 +317,7 @@ void WarpSim::RunIntuitive() {
     if (!any) break;
 
     if (has_itv) {
-      ranges.clear();
+      ranges_.clear();
       size_t active = 0;
       if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeInterval);
       for (int l = 0; l < o_.lanes; ++l) {
@@ -252,7 +325,7 @@ void WarpSim::RunIntuitive() {
         Lane& ln = lanes_[l];
         uint64_t before = ln.dec->bit_pos();
         CgrInterval itv = ln.dec->ReadNextInterval();
-        ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+        ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
         ++ln.itv_read;
         ++ln.itv_idx;
         ln.itv_ptr = itv.start;
@@ -265,12 +338,12 @@ void WarpSim::RunIntuitive() {
           trace_->Lane(l, buf);
         }
       }
-      ChargeDecode(active, ranges);
+      ChargeDecode(active, ranges_);
       continue;
     }
     if (has_seg) {
       // Segment headers (segmented layout under the intuitive strategy).
-      ranges.clear();
+      ranges_.clear();
       size_t active = 0;
       if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
       for (int l = 0; l < o_.lanes; ++l) {
@@ -280,21 +353,21 @@ void WarpSim::RunIntuitive() {
         if (!ln.segs_read) {
           ln.seg_count = ln.dec->ReadSegmentCount();
           ln.segs_read = true;
-          ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+          ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
         } else {
           ln.rs = ln.dec->SegmentResiduals(ln.seg_next);
           uint64_t base = ln.dec->SegmentBitPos(ln.seg_next);
-          ranges.push_back(ByteRangeOf(base, ln.rs.bit_pos()));
+          ranges_.push_back(ByteRangeOf(base, ln.rs.bit_pos()));
           ++ln.seg_next;
           ln.rs_ready = true;
         }
         ++active;
       }
-      ChargeDecode(active, ranges);
+      ChargeDecode(active, ranges_);
       continue;
     }
     if (has_res) {
-      ranges.clear();
+      ranges_.clear();
       size_t active = 0;
       if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
       for (int l = 0; l < o_.lanes; ++l) {
@@ -307,7 +380,7 @@ void WarpSim::RunIntuitive() {
         uint64_t before = ln.rs.bit_pos();
         ln.res_val = ln.rs.Next();
         ln.res_pending = true;
-        ranges.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+        ranges_.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
         ++active;
         if (trace_ != nullptr) {
           char buf[32];
@@ -315,11 +388,11 @@ void WarpSim::RunIntuitive() {
           trace_->Lane(l, buf);
         }
       }
-      ChargeDecode(active, ranges);
+      ChargeDecode(active, ranges_);
       continue;
     }
     // Append step: every lane with a pending neighbor handles it.
-    items.clear();
+    items_.clear();
     for (int l = 0; l < o_.lanes; ++l) {
       if (ops[l] != Op::kAppend) continue;
       Lane& ln = lanes_[l];
@@ -341,9 +414,9 @@ void WarpSim::RunIntuitive() {
         it.idx1 = ln.res_idx++;
         ln.res_pending = false;
       }
-      items.push_back(it);
+      items_.push_back(it);
     }
-    AppendStep(items);
+    AppendStep(items_);
   }
 }
 
@@ -353,12 +426,10 @@ void WarpSim::RunIntuitive() {
 // leftovers are packed through the shared-memory buffer (stage 2).
 // ---------------------------------------------------------------------------
 void WarpSim::IntervalPhase() {
-  std::vector<BitRange> ranges;
-  std::vector<AppendItem> items;
-  std::vector<uint8_t> pred(o_.lanes);
+  pred_.assign(o_.lanes, 0);
   for (;;) {
     // Decode round.
-    ranges.clear();
+    ranges_.clear();
     size_t active = 0;
     if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeInterval);
     for (int l = 0; l < o_.lanes; ++l) {
@@ -366,7 +437,7 @@ void WarpSim::IntervalPhase() {
       if (!ln.valid || ln.itv_read >= ln.itv_total) continue;
       uint64_t before = ln.dec->bit_pos();
       CgrInterval itv = ln.dec->ReadNextInterval();
-      ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+      ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
       ++ln.itv_read;
       ++ln.itv_idx;
       ln.itv_ptr = itv.start;
@@ -380,24 +451,24 @@ void WarpSim::IntervalPhase() {
       }
     }
     if (active == 0) break;
-    ChargeDecode(active, ranges);
+    ChargeDecode(active, ranges_);
 
     // Stage 1: warp-wide expansion of long intervals.
     for (;;) {
       for (int l = 0; l < o_.lanes; ++l) {
-        pred[l] = lanes_[l].itv_len >= static_cast<uint32_t>(o_.lanes) ? 1 : 0;
+        pred_[l] = lanes_[l].itv_len >= static_cast<uint32_t>(o_.lanes) ? 1 : 0;
       }
-      if (!ctx_.Any(pred)) break;  // syncAny
+      if (!ctx_.Any(pred_)) break;  // syncAny
       int winner = -1;
       for (int l = 0; l < o_.lanes; ++l) {
-        if (pred[l]) {
+        if (pred_[l]) {
           winner = l;
           break;
         }
       }
       ctx_.SharedOp();  // shfl broadcast of the winner's interval
       Lane& w = lanes_[winner];
-      items.clear();
+      items_.clear();
       for (int l = 0; l < o_.lanes; ++l) {
         AppendItem it;
         it.exec_lane = l;
@@ -407,12 +478,12 @@ void WarpSim::IntervalPhase() {
         it.origin = TraceOp::kDecodeInterval;
         it.idx1 = w.itv_idx;
         it.idx2 = static_cast<int>(w.itv_consumed) + l;
-        items.push_back(it);
+        items_.push_back(it);
       }
       w.itv_ptr += o_.lanes;
       w.itv_len -= o_.lanes;
       w.itv_consumed += o_.lanes;
-      AppendStep(items);
+      AppendStep(items_);
     }
 
     // Stage 2: collaborative expansion of the remaining short intervals.
@@ -420,7 +491,7 @@ void WarpSim::IntervalPhase() {
     for (const Lane& ln : lanes_) total += ln.itv_len;
     if (total > 0) ctx_.SharedOp();  // exclusiveScan of remaining lengths
     while (total > 0) {
-      items.clear();
+      items_.clear();
       int filled = 0;
       for (int l = 0; l < o_.lanes && filled < o_.lanes; ++l) {
         Lane& ln = lanes_[l];
@@ -436,12 +507,12 @@ void WarpSim::IntervalPhase() {
           ++ln.itv_ptr;
           --ln.itv_len;
           ++ln.itv_consumed;
-          items.push_back(it);
+          items_.push_back(it);
           ++filled;
         }
       }
       ctx_.SharedOp();  // shared buffer fill
-      AppendStep(items);
+      AppendStep(items_);
       total -= filled;
     }
   }
@@ -457,11 +528,9 @@ void WarpSim::SetupUnsegmentedResiduals() {
 
 // Residual phase of Alg. 2: lockstep decode+append rounds, no stealing.
 void WarpSim::ResidualPhaseTwoPhase() {
-  std::vector<BitRange> ranges;
-  std::vector<AppendItem> items;
   for (;;) {
-    ranges.clear();
-    items.clear();
+    ranges_.clear();
+    items_.clear();
     size_t active = 0;
     if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
     for (int l = 0; l < o_.lanes; ++l) {
@@ -469,7 +538,7 @@ void WarpSim::ResidualPhaseTwoPhase() {
       if (!ln.valid || !ln.rs_ready || !ln.rs.HasNext()) continue;
       uint64_t before = ln.rs.bit_pos();
       NodeId v = ln.rs.Next();
-      ranges.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+      ranges_.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
       ++active;
       if (trace_ != nullptr) {
         char buf[32];
@@ -483,35 +552,33 @@ void WarpSim::ResidualPhaseTwoPhase() {
       it.v = v;
       it.origin = TraceOp::kDecodeResidual;
       it.idx1 = ln.res_idx++;
-      items.push_back(it);
+      items_.push_back(it);
     }
     if (active == 0) break;
-    ChargeDecode(active, ranges);
-    AppendStep(items);
+    ChargeDecode(active, ranges_);
+    AppendStep(items_);
   }
 }
 
 // Residual phase of Alg. 3 (+ warp-centric of Alg. 4 at level >= 3).
 void WarpSim::ResidualPhaseStealing() {
-  std::vector<BitRange> ranges;
-  std::vector<AppendItem> items;
-  std::vector<uint8_t> pred(o_.lanes);
+  pred_.assign(o_.lanes, 0);
 
   // Stage 1: all lanes busy -> plain lockstep rounds (syncAll loop).
   for (;;) {
     for (int l = 0; l < o_.lanes; ++l) {
       Lane& ln = lanes_[l];
-      pred[l] = (ln.valid && ln.rs_ready && ln.rs.HasNext()) ? 1 : 0;
+      pred_[l] = (ln.valid && ln.rs_ready && ln.rs.HasNext()) ? 1 : 0;
     }
-    if (!ctx_.All(pred)) break;  // syncAll
-    ranges.clear();
-    items.clear();
+    if (!ctx_.All(pred_)) break;  // syncAll
+    ranges_.clear();
+    items_.clear();
     if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
     for (int l = 0; l < o_.lanes; ++l) {
       Lane& ln = lanes_[l];
       uint64_t before = ln.rs.bit_pos();
       NodeId v = ln.rs.Next();
-      ranges.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+      ranges_.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
       if (trace_ != nullptr) {
         char buf[32];
         std::snprintf(buf, sizeof(buf), "t%d:res%d", l, ln.res_idx);
@@ -524,38 +591,37 @@ void WarpSim::ResidualPhaseStealing() {
       it.v = v;
       it.origin = TraceOp::kDecodeResidual;
       it.idx1 = ln.res_idx++;
-      items.push_back(it);
+      items_.push_back(it);
     }
-    ChargeDecode(o_.lanes, ranges);
-    AppendStep(items);
+    ChargeDecode(o_.lanes, ranges_);
+    AppendStep(items_);
   }
 
   // Stage 2: stealing rounds while several lanes still hold residuals. Once
-  // the warp is nearly drained (paper Â§5.1: warp-centric decoding "falls
+  // the warp is nearly drained (paper §5.1: warp-centric decoding "falls
   // back on idle threads"), a long leftover stream is decoded by the whole
   // warp speculatively instead of by its single owner lane.
-  std::vector<int> work;
   for (;;) {
-    work.clear();
+    work_.clear();
     for (int l = 0; l < o_.lanes; ++l) {
       Lane& ln = lanes_[l];
-      if (ln.valid && ln.rs_ready && ln.rs.HasNext()) work.push_back(l);
+      if (ln.valid && ln.rs_ready && ln.rs.HasNext()) work_.push_back(l);
     }
-    if (work.empty()) return;
-    if (o_.level >= GcgtLevel::kWarpCentric && work.size() <= 2) {
+    if (work_.empty()) return;
+    if (o_.level >= GcgtLevel::kWarpCentric && work_.size() <= 2) {
       bool any_heavy = false;
-      for (int l : work) {
+      for (int l : work_) {
         if (lanes_[l].rs.remaining() >=
             static_cast<uint64_t>(o_.warp_centric_min_residuals)) {
           any_heavy = true;
         }
       }
       if (any_heavy) {
-        for (int l : work) WarpCentricStream(l);
+        for (int l : work_) WarpCentricStream(l);
         return;
       }
     }
-    StealWindows(work, /*handoff=*/o_.level >= GcgtLevel::kWarpCentric);
+    StealWindows(work_, /*handoff=*/o_.level >= GcgtLevel::kWarpCentric);
     if (o_.level < GcgtLevel::kWarpCentric) return;  // StealWindows drained all
   }
 }
@@ -568,23 +634,21 @@ void WarpSim::ResidualPhaseStealing() {
 // parallel, and reproduces the step table of Fig. 4(d) exactly.
 void WarpSim::StealWindows(const std::vector<int>& work_lanes, bool handoff) {
   if (work_lanes.empty()) return;
-  std::vector<BitRange> ranges;
-  std::vector<AppendItem> buffer;
+  buffer_.clear();
 
   // exclusiveScan over the remaining counts to compute buffer offsets.
   ctx_.SharedOp();
 
   auto flush = [&](bool final_flush) {
-    std::vector<AppendItem> round;
-    while (buffer.size() >= static_cast<size_t>(o_.lanes) ||
-           (final_flush && !buffer.empty())) {
-      size_t take = std::min<size_t>(buffer.size(), o_.lanes);
-      round.assign(buffer.begin(), buffer.begin() + take);
-      for (size_t i = 0; i < round.size(); ++i) {
-        round[i].exec_lane = static_cast<int>(i);
+    while (buffer_.size() >= static_cast<size_t>(o_.lanes) ||
+           (final_flush && !buffer_.empty())) {
+      size_t take = std::min<size_t>(buffer_.size(), o_.lanes);
+      round_.assign(buffer_.begin(), buffer_.begin() + take);
+      for (size_t i = 0; i < round_.size(); ++i) {
+        round_[i].exec_lane = static_cast<int>(i);
       }
-      buffer.erase(buffer.begin(), buffer.begin() + take);
-      AppendStep(round);
+      buffer_.erase(buffer_.begin(), buffer_.begin() + take);
+      AppendStep(round_);
     }
   };
 
@@ -605,7 +669,7 @@ void WarpSim::StealWindows(const std::vector<int>& work_lanes, bool handoff) {
       }
       if (busy > 0 && busy <= 2 && any_heavy) break;
     }
-    ranges.clear();
+    ranges_.clear();
     size_t active = 0;
     if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
     for (int l : work_lanes) {
@@ -613,7 +677,7 @@ void WarpSim::StealWindows(const std::vector<int>& work_lanes, bool handoff) {
       if (!ln.rs.HasNext()) continue;
       uint64_t before = ln.rs.bit_pos();
       NodeId v = ln.rs.Next();
-      ranges.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+      ranges_.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
       ++active;
       if (trace_ != nullptr) {
         char buf[32];
@@ -626,10 +690,10 @@ void WarpSim::StealWindows(const std::vector<int>& work_lanes, bool handoff) {
       it.v = v;
       it.origin = TraceOp::kDecodeResidual;
       it.idx1 = ln.res_idx++;
-      buffer.push_back(it);
+      buffer_.push_back(it);
     }
     if (active == 0) break;
-    ChargeDecode(active, ranges);
+    ChargeDecode(active, ranges_);
     ctx_.SharedOp();  // buffer write
     flush(false);
   }
@@ -638,7 +702,6 @@ void WarpSim::StealWindows(const std::vector<int>& work_lanes, bool handoff) {
 
 void WarpSim::WarpCentricStream(int lane_idx) {
   Lane& ln = lanes_[lane_idx];
-  std::vector<AppendItem> items;
   while (ln.rs.HasNext()) {
     uint64_t base = ln.rs.bit_pos();
     ParallelDecodeResult r =
@@ -663,7 +726,7 @@ void WarpSim::WarpCentricStream(int lane_idx) {
     // Materialize neighbor ids from the raw gap codewords.
     NodeId prev = ln.rs.prev();
     bool first = ln.rs.at_first();
-    items.clear();
+    items_.clear();
     for (size_t i = 0; i < r.values.size(); ++i) {
       NodeId node;
       if (first) {
@@ -681,10 +744,10 @@ void WarpSim::WarpCentricStream(int lane_idx) {
       it.v = node;
       it.origin = TraceOp::kDecodeResidual;
       it.idx1 = ln.res_idx++;
-      items.push_back(it);
+      items_.push_back(it);
     }
     ln.rs.ExternalAdvance(r.next_bit_pos, prev, r.values.size());
-    AppendStep(items);
+    AppendStep(items_);
   }
 }
 
@@ -695,7 +758,7 @@ void WarpSim::WarpCentricStream(int lane_idx) {
 // stride and per-segment relative encoding.
 // ---------------------------------------------------------------------------
 void WarpSim::SegmentedResidualPhase() {
-  std::vector<BitRange> ranges;
+  ranges_.clear();
   // Segment-count headers.
   size_t active = 0;
   for (Lane& ln : lanes_) {
@@ -703,85 +766,75 @@ void WarpSim::SegmentedResidualPhase() {
     uint64_t before = ln.dec->bit_pos();
     ln.seg_count = ln.dec->ReadSegmentCount();
     ln.segs_read = true;
-    ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+    ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
     ++active;
   }
   if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
-  ChargeDecode(active, ranges);
+  ChargeDecode(active, ranges_);
 
-  struct Task {
-    int src_lane;
-    uint32_t seg;
-  };
-  std::vector<Task> tasks;
+  tasks_.clear();
   for (int l = 0; l < o_.lanes; ++l) {
     const Lane& ln = lanes_[l];
     if (!ln.valid) continue;
-    for (uint32_t s = 0; s < ln.seg_count; ++s) tasks.push_back({l, s});
+    for (uint32_t s = 0; s < ln.seg_count; ++s) tasks_.push_back({l, s});
   }
-  if (tasks.empty()) return;
+  if (tasks_.empty()) return;
   ctx_.SharedOp();  // task distribution via scan
 
-  // Round-robin assignment of tasks to executing lanes.
-  struct ExecState {
-    std::vector<Task> queue;
-    size_t next_task = 0;
-    ResidualStream stream;
-    bool open = false;
-  };
-  std::vector<ExecState> exec(o_.lanes);
-  for (size_t t = 0; t < tasks.size(); ++t) {
-    exec[t % o_.lanes].queue.push_back(tasks[t]);
-  }
+  // Round-robin assignment: executing lane e walks tasks e, e+lanes, ... so
+  // no per-lane queue materialization is needed.
+  exec_.assign(o_.lanes, ExecState{});
+  for (int e = 0; e < o_.lanes; ++e) exec_[e].next = static_cast<size_t>(e);
 
-  std::vector<AppendItem> buffer;
+  buffer_.clear();
   auto flush = [&](bool final_flush) {
-    std::vector<AppendItem> round;
-    while (buffer.size() >= static_cast<size_t>(o_.lanes) ||
-           (final_flush && !buffer.empty())) {
-      size_t take = std::min<size_t>(buffer.size(), o_.lanes);
-      round.assign(buffer.begin(), buffer.begin() + take);
-      for (size_t i = 0; i < round.size(); ++i) {
-        round[i].exec_lane = static_cast<int>(i);
+    while (buffer_.size() >= static_cast<size_t>(o_.lanes) ||
+           (final_flush && !buffer_.empty())) {
+      size_t take = std::min<size_t>(buffer_.size(), o_.lanes);
+      round_.assign(buffer_.begin(), buffer_.begin() + take);
+      for (size_t i = 0; i < round_.size(); ++i) {
+        round_[i].exec_lane = static_cast<int>(i);
       }
-      buffer.erase(buffer.begin(), buffer.begin() + take);
+      buffer_.erase(buffer_.begin(), buffer_.begin() + take);
       ctx_.SharedOp();
-      AppendStep(round);
+      AppendStep(round_);
     }
   };
 
   for (;;) {
-    ranges.clear();
+    ranges_.clear();
     size_t decoding = 0;
     if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
     for (int e = 0; e < o_.lanes; ++e) {
-      ExecState& st = exec[e];
+      ExecState& st = exec_[e];
       if (st.open && !st.stream.HasNext()) st.open = false;
       if (!st.open) {
-        if (st.next_task >= st.queue.size()) continue;
-        const Task t = st.queue[st.next_task++];
+        if (st.next >= tasks_.size()) continue;
+        const Task t = tasks_[st.next];
+        st.cur = st.next;
+        st.next += static_cast<size_t>(o_.lanes);
         Lane& owner = lanes_[t.src_lane];
         uint64_t base = owner.dec->SegmentBitPos(t.seg);
         st.stream = owner.dec->SegmentResiduals(t.seg);
         st.open = st.stream.HasNext();
-        ranges.push_back(ByteRangeOf(base, st.stream.bit_pos()));
+        ranges_.push_back(ByteRangeOf(base, st.stream.bit_pos()));
         ++decoding;  // the header read consumes this lane's slot this round
         continue;
       }
       uint64_t before = st.stream.bit_pos();
       NodeId v = st.stream.Next();
-      ranges.push_back(ByteRangeOf(before, st.stream.bit_pos()));
+      ranges_.push_back(ByteRangeOf(before, st.stream.bit_pos()));
       ++decoding;
       AppendItem it;
       it.src_lane = e;
-      it.u = lanes_[st.queue[st.next_task - 1].src_lane].u;
+      it.u = lanes_[tasks_[st.cur].src_lane].u;
       it.v = v;
       it.origin = TraceOp::kDecodeResidual;
-      it.idx1 = lanes_[st.queue[st.next_task - 1].src_lane].res_idx++;
-      buffer.push_back(it);
+      it.idx1 = lanes_[tasks_[st.cur].src_lane].res_idx++;
+      buffer_.push_back(it);
     }
     if (decoding == 0) break;
-    ChargeDecode(decoding, ranges);
+    ChargeDecode(decoding, ranges_);
     flush(false);
   }
   flush(true);
@@ -791,7 +844,7 @@ void WarpSim::SegmentedResidualPhase() {
 // serially (no cross-lane distribution). Only exercised by non-default
 // configurations; kept for completeness.
 void WarpSim::SegmentedSerialResiduals() {
-  std::vector<BitRange> ranges;
+  ranges_.clear();
   // Segment-count headers.
   size_t active = 0;
   for (Lane& ln : lanes_) {
@@ -799,16 +852,15 @@ void WarpSim::SegmentedSerialResiduals() {
     uint64_t before = ln.dec->bit_pos();
     ln.seg_count = ln.dec->ReadSegmentCount();
     ln.segs_read = true;
-    ranges.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+    ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
     ++active;
   }
   if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
-  ChargeDecode(active, ranges);
+  ChargeDecode(active, ranges_);
 
-  std::vector<AppendItem> items;
   for (;;) {
     // Open next segment for lanes whose stream is exhausted.
-    ranges.clear();
+    ranges_.clear();
     size_t opening = 0;
     for (Lane& ln : lanes_) {
       if (!ln.valid) continue;
@@ -821,16 +873,16 @@ void WarpSim::SegmentedSerialResiduals() {
       ln.rs = ln.dec->SegmentResiduals(ln.seg_next);
       ++ln.seg_next;
       ln.rs_ready = true;
-      ranges.push_back(ByteRangeOf(base, ln.rs.bit_pos()));
+      ranges_.push_back(ByteRangeOf(base, ln.rs.bit_pos()));
       ++opening;
     }
     if (opening > 0) {
       if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
-      ChargeDecode(opening, ranges);
+      ChargeDecode(opening, ranges_);
     }
     // One decode + append round.
-    ranges.clear();
-    items.clear();
+    ranges_.clear();
+    items_.clear();
     size_t decoding = 0;
     if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
     for (int l = 0; l < o_.lanes; ++l) {
@@ -838,7 +890,7 @@ void WarpSim::SegmentedSerialResiduals() {
       if (!ln.valid || !ln.rs_ready || !ln.rs.HasNext()) continue;
       uint64_t before = ln.rs.bit_pos();
       NodeId v = ln.rs.Next();
-      ranges.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+      ranges_.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
       ++decoding;
       AppendItem it;
       it.exec_lane = l;
@@ -847,12 +899,12 @@ void WarpSim::SegmentedSerialResiduals() {
       it.v = v;
       it.origin = TraceOp::kDecodeResidual;
       it.idx1 = ln.res_idx++;
-      items.push_back(it);
+      items_.push_back(it);
     }
     if (decoding == 0 && opening == 0) break;
     if (decoding > 0) {
-      ChargeDecode(decoding, ranges);
-      AppendStep(items);
+      ChargeDecode(decoding, ranges_);
+      AppendStep(items_);
     }
   }
 }
@@ -881,17 +933,172 @@ WarpStats WarpSim::Run(std::span<const NodeId> chunk) {
   return ctx_.TakeStats();
 }
 
+/// Process-wide pools shared by all engines, keyed by requested thread
+/// count (0 = hardware concurrency). The BFS/CC/BC drivers construct one
+/// engine per query, so per-engine pools would spawn and join OS threads on
+/// every query; sharing amortizes that to once per process. Safe because
+/// ThreadPool serializes concurrent top-level ParallelFor callers.
+ThreadPool& SharedPool(int num_threads) {
+  static std::mutex mu;
+  static std::map<size_t, std::unique_ptr<ThreadPool>> pools;
+  const size_t key = num_threads <= 0 ? 0 : static_cast<size_t>(num_threads);
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<ThreadPool>& pool = pools[key];
+  if (!pool) pool = std::make_unique<ThreadPool>(key);
+  return *pool;
+}
+
 }  // namespace
+
+namespace internal {
+
+/// Worker-thread state: one reusable warp simulator plus the enumeration
+/// arenas it appends to. Arenas are cleared (capacity kept) every level.
+struct WorkerState {
+  WorkerState(const CgrGraph& g, const GcgtOptions& o) : sim(g, o) {}
+  WarpSim sim;
+  std::vector<PendingEdge> edges;
+  std::vector<size_t> batch_ends;  // end offsets into `edges`, one per append slot
+};
+
+/// Result of enumerating one warp chunk, before the serial decision replay.
+struct ChunkRecord {
+  simt::WarpStats stats;    // decision-independent charges from the warp walk
+  uint32_t worker = 0;      // which WorkerState owns the arena spans below
+  uint32_t chunk_size = 0;  // frontier nodes in this warp
+  size_t edge_begin = 0;
+  size_t batch_begin = 0;
+  size_t batch_end = 0;
+};
+
+struct EngineScratch {
+  EngineScratch(const CgrGraph& g, const GcgtOptions& o)
+      : pool(&SharedPool(o.num_threads)), serial_sim(g, o) {
+    workers.reserve(pool->num_threads());
+    for (size_t t = 0; t < pool->num_threads(); ++t) {
+      workers.push_back(std::make_unique<WorkerState>(g, o));
+    }
+  }
+
+  ThreadPool* pool;  // process-shared, never null
+  std::vector<std::unique_ptr<WorkerState>> workers;
+  std::vector<ChunkRecord> records;
+  WarpSim serial_sim;
+};
+
+}  // namespace internal
+
+CgrTraversalEngine::CgrTraversalEngine(const CgrGraph& graph,
+                                       const GcgtOptions& options)
+    : graph_(graph), options_(options) {}
+
+CgrTraversalEngine::~CgrTraversalEngine() = default;
+
+internal::EngineScratch& CgrTraversalEngine::Scratch() const {
+  if (!scratch_) {
+    scratch_ = std::make_unique<internal::EngineScratch>(graph_, options_);
+  }
+  return *scratch_;
+}
 
 void CgrTraversalEngine::ProcessFrontier(std::span<const NodeId> frontier,
                                          FrontierFilter& filter,
                                          std::vector<NodeId>* out_frontier,
                                          std::vector<simt::WarpStats>* warp_stats,
                                          StepTrace* trace) const {
-  for (size_t off = 0; off < frontier.size(); off += options_.lanes) {
-    size_t n = std::min<size_t>(options_.lanes, frontier.size() - off);
-    WarpSim sim(graph_, options_, filter, out_frontier, trace);
-    warp_stats->push_back(sim.Run(frontier.subspan(off, n)));
+  if (frontier.empty()) return;
+  const size_t lanes = static_cast<size_t>(options_.lanes);
+  const size_t num_chunks = (frontier.size() + lanes - 1) / lanes;
+  internal::EngineScratch& scratch = Scratch();
+
+  // Serial reference path: one chunk at a time, filter decisions inline.
+  // Taken for single-threaded configs, StepTrace recording (trace steps of
+  // concurrent warps would interleave), and single-chunk frontiers (nothing
+  // to parallelize).
+  const bool serial = options_.num_threads == 1 || trace != nullptr ||
+                      num_chunks == 1 || scratch.pool->num_threads() == 1;
+  if (serial) {
+    for (size_t off = 0; off < frontier.size(); off += lanes) {
+      size_t n = std::min<size_t>(lanes, frontier.size() - off);
+      warp_stats->push_back(scratch.serial_sim.RunSerial(
+          frontier.subspan(off, n), filter, out_frontier, trace));
+    }
+    return;
+  }
+
+  // Phase 1 (parallel): every worker enumerates its chunks' (u, v) pairs and
+  // charges all decision-independent costs. The warp walk never reads filter
+  // state, so this is exact regardless of scheduling.
+  scratch.records.assign(num_chunks, internal::ChunkRecord{});
+  for (auto& w : scratch.workers) {
+    w->edges.clear();
+    w->batch_ends.clear();
+  }
+  scratch.pool->ParallelFor(
+      num_chunks, 1, [&](size_t worker, size_t begin, size_t end) {
+        internal::WorkerState& ws = *scratch.workers[worker];
+        for (size_t ci = begin; ci < end; ++ci) {
+          const size_t off = ci * lanes;
+          const size_t n = std::min<size_t>(lanes, frontier.size() - off);
+          internal::ChunkRecord& rec = scratch.records[ci];
+          rec.worker = static_cast<uint32_t>(worker);
+          rec.chunk_size = static_cast<uint32_t>(n);
+          rec.edge_begin = ws.edges.size();
+          rec.batch_begin = ws.batch_ends.size();
+          rec.stats = ws.sim.RunEnumerate(frontier.subspan(off, n), &ws.edges,
+                                          &ws.batch_ends);
+          rec.batch_end = ws.batch_ends.size();
+        }
+      });
+
+  // Phase 2 (serial replay, chunk order): apply the filter to every
+  // enumerated pair exactly as the serial engine would, building the global
+  // out-frontier and charging the decision-dependent costs. Only two charge
+  // kinds depend on decisions:
+  //  - filter atomics (hooking CAS, sigma/delta atomicAdd);
+  //  - the queue-append line transactions. Label-write lines are always a
+  //    subset of the visited-check gather already charged in phase 1, and
+  //    the address regions of memory_layout.h are line-disjoint, so a warp's
+  //    queue lines are exactly its input-queue prefix plus one contiguous
+  //    output run — reconstructed here without the full line set.
+  const int line_bytes = options_.cost.cache_line_bytes;
+  for (size_t ci = 0; ci < num_chunks; ++ci) {
+    internal::ChunkRecord& rec = scratch.records[ci];
+    internal::WorkerState& ws = *scratch.workers[rec.worker];
+    const uint64_t in_queue_last =
+        (kQueueBase + 4ull * rec.chunk_size - 1) / line_bytes;
+    uint64_t out_lo = 0, out_hi = 0;
+    bool out_any = false;
+    size_t edge_it = rec.edge_begin;
+    for (size_t b = rec.batch_begin; b < rec.batch_end; ++b) {
+      const size_t batch_end = ws.batch_ends[b];
+      const size_t tail = out_frontier->size();
+      for (; edge_it < batch_end; ++edge_it) {
+        const PendingEdge& e = ws.edges[edge_it];
+        if (filter.Filter(e.u, e.v)) {
+          out_frontier->push_back(filter.AppendTarget(e.u, e.v));
+        }
+      }
+      if (int extra = filter.TakeAtomics(); extra > 0) {
+        rec.stats.atomics += static_cast<uint64_t>(extra);
+      }
+      const size_t appended = out_frontier->size() - tail;
+      if (appended == 0) continue;
+      const uint64_t lo = (kQueueBase + 4ull * tail) / line_bytes;
+      const uint64_t hi =
+          (kQueueBase + 4ull * tail + 4ull * appended - 1) / line_bytes;
+      for (uint64_t l = lo; l <= hi; ++l) {
+        const bool touched =
+            l <= in_queue_last || (out_any && l >= out_lo && l <= out_hi);
+        if (!touched) rec.stats.mem_txns += 1;
+      }
+      if (!out_any) {
+        out_lo = lo;
+        out_any = true;
+      }
+      out_hi = std::max(out_hi, hi);
+    }
+    warp_stats->push_back(rec.stats);
   }
 }
 

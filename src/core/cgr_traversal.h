@@ -2,9 +2,22 @@
 // graph on the simulated SIMT machine, with the paper's scheduling
 // strategies (Algorithms 1-4 + residual segmentation) selected by
 // GcgtOptions::level. One instance is reusable across frontiers/queries.
+//
+// Execution model: warp chunks are simulated concurrently across a host
+// thread pool (GcgtOptions::num_threads), each worker owning one reusable
+// WarpSim and scratch arena. The decode/scheduling walk of a warp is
+// independent of the frontier filter, so workers enumerate (frontier,
+// neighbor) pairs and charge all decode costs in parallel; the filter
+// decisions (visited checks, hooks, sigma/delta updates) and the
+// decision-dependent queue-write charges are then replayed serially in
+// chunk order. Results — frontier contents and order, labels, per-warp
+// stats, modeled cycles — are bit-identical to the serial engine
+// (num_threads == 1), which is also the path used whenever a StepTrace is
+// requested.
 #ifndef GCGT_CORE_CGR_TRAVERSAL_H_
 #define GCGT_CORE_CGR_TRAVERSAL_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -18,6 +31,10 @@
 
 namespace gcgt {
 
+namespace internal {
+struct EngineScratch;  // per-engine worker state, defined in cgr_traversal.cc
+}
+
 /// Aggregated result metrics shared by the BFS/CC/BC drivers.
 struct TraversalMetrics {
   double model_ms = 0.0;       ///< simulated elapsed time
@@ -28,13 +45,18 @@ struct TraversalMetrics {
 
 class CgrTraversalEngine {
  public:
-  CgrTraversalEngine(const CgrGraph& graph, const GcgtOptions& options)
-      : graph_(graph), options_(options) {}
+  CgrTraversalEngine(const CgrGraph& graph, const GcgtOptions& options);
+  ~CgrTraversalEngine();
+
+  CgrTraversalEngine(const CgrTraversalEngine&) = delete;
+  CgrTraversalEngine& operator=(const CgrTraversalEngine&) = delete;
 
   /// Expands `frontier`, passing every (frontier, neighbor) pair to `filter`
   /// and collecting accepted nodes into `out_frontier`. Appends one WarpStats
   /// per simulated warp to `warp_stats`. `trace` (optional) records the
-  /// per-step tables of paper Fig. 4.
+  /// per-step tables of paper Fig. 4 and forces the serial path.
+  /// Not safe for concurrent calls on one engine instance (the engine owns
+  /// reusable per-call scratch).
   void ProcessFrontier(std::span<const NodeId> frontier, FrontierFilter& filter,
                        std::vector<NodeId>* out_frontier,
                        std::vector<simt::WarpStats>* warp_stats,
@@ -50,8 +72,14 @@ class CgrTraversalEngine {
   const GcgtOptions& options() const { return options_; }
 
  private:
+  internal::EngineScratch& Scratch() const;
+
   const CgrGraph& graph_;
   GcgtOptions options_;
+  // Lazily-built reusable worker state (thread pool, per-thread WarpSims and
+  // enumeration arenas). Mutable: ProcessFrontier is logically const but
+  // reuses this scratch across levels to keep the hot path allocation-free.
+  mutable std::unique_ptr<internal::EngineScratch> scratch_;
 };
 
 }  // namespace gcgt

@@ -6,6 +6,8 @@
 #ifndef GCGT_CORE_FRONTIER_FILTER_H_
 #define GCGT_CORE_FRONTIER_FILTER_H_
 
+#include <atomic>
+
 #include "graph/graph.h"
 
 namespace gcgt {
@@ -29,7 +31,9 @@ class FrontierFilter {
 };
 
 /// BFS visited-check filter: unvisited neighbors get depth u+1 and enter the
-/// next frontier.
+/// next frontier. The visited-check/claim is an atomic CAS, so the filter is
+/// safe under concurrent warps; level-synchronous semantics make the written
+/// depth identical no matter which warp wins the claim.
 class BfsFilter : public FrontierFilter {
  public:
   static constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
@@ -39,9 +43,9 @@ class BfsFilter : public FrontierFilter {
   void SetSource(NodeId s) { depth_[s] = 0; }
 
   bool Filter(NodeId u, NodeId v) override {
-    if (depth_[v] != kUnvisited) return false;
-    depth_[v] = depth_[u] + 1;
-    return true;
+    uint32_t expected = kUnvisited;
+    return std::atomic_ref<uint32_t>(depth_[v]).compare_exchange_strong(
+        expected, depth_[u] + 1, std::memory_order_relaxed);
   }
 
   const std::vector<uint32_t>& depth() const { return depth_; }

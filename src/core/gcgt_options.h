@@ -34,6 +34,11 @@ struct GcgtOptions {
   /// A lane's residual list is handed to warp-centric decoding when at least
   /// this many residuals remain after the stealing stage.
   int warp_centric_min_residuals = 32;
+  /// Host threads simulating warps concurrently. 0 = hardware concurrency,
+  /// 1 = the serial reference engine. Results (frontiers, labels, per-warp
+  /// stats, modeled cycles) are bit-identical for every value; StepTrace
+  /// recording always runs on the serial path.
+  int num_threads = 0;
   simt::CostModel cost;
   simt::DeviceSpec device;
 };

@@ -54,21 +54,39 @@ bool Graph::HasEdge(NodeId u, NodeId v) const {
 }
 
 Graph Graph::Reversed() const {
-  EdgeList rev;
-  rev.reserve(num_edges());
-  for (NodeId u = 0; u < num_nodes(); ++u) {
-    for (NodeId v : Neighbors(u)) rev.emplace_back(v, u);
+  // Direct counting-sort transpose: scanning sources in ascending order
+  // fills every reverse list already sorted, so the per-node sort + dedupe
+  // of FromEdges (and the intermediate edge list) is unnecessary.
+  const NodeId n = num_nodes();
+  Graph g;
+  g.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (NodeId v : neighbors_) ++g.offsets_[v + 1];
+  for (NodeId u = 0; u < n; ++u) g.offsets_[u + 1] += g.offsets_[u];
+  g.neighbors_.resize(neighbors_.size());
+  std::vector<EdgeId> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : Neighbors(u)) g.neighbors_[cursor[v]++] = u;
   }
-  return FromEdges(num_nodes(), rev);
+  return g;
 }
 
 Graph Graph::Relabeled(const std::vector<NodeId>& perm) const {
-  EdgeList edges;
-  edges.reserve(num_edges());
-  for (NodeId u = 0; u < num_nodes(); ++u) {
-    for (NodeId v : Neighbors(u)) edges.emplace_back(perm[u], perm[v]);
+  // Permutations preserve degrees and uniqueness, so the new CSR arrays can
+  // be written in place (one small sort per relabeled list, no edge-list
+  // materialization, no dedupe pass).
+  const NodeId n = num_nodes();
+  Graph g;
+  g.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (NodeId u = 0; u < n; ++u) g.offsets_[perm[u] + 1] = out_degree(u);
+  for (NodeId u = 0; u < n; ++u) g.offsets_[u + 1] += g.offsets_[u];
+  g.neighbors_.resize(neighbors_.size());
+  for (NodeId u = 0; u < n; ++u) {
+    const EdgeId begin = g.offsets_[perm[u]];
+    EdgeId w = begin;
+    for (NodeId v : Neighbors(u)) g.neighbors_[w++] = perm[v];
+    std::sort(g.neighbors_.begin() + begin, g.neighbors_.begin() + w);
   }
-  return FromEdges(num_nodes(), edges);
+  return g;
 }
 
 EdgeList Graph::ToEdges() const {

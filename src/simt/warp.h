@@ -15,13 +15,87 @@
 #include <array>
 #include <cstdint>
 #include <span>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "simt/cost_model.h"
 
 namespace gcgt::simt {
+
+/// Flat open-addressed set of cache-line ids, replacing the per-warp
+/// std::unordered_set line tracker. Warps touch at most a few hundred
+/// distinct lines, so a small power-of-two table with linear probing and
+/// epoch-stamped slots (O(1) Clear, no rehash-free churn, no per-insert
+/// allocation) is much cheaper than node-based hashing in the traversal hot
+/// path.
+class LineSet {
+ public:
+  LineSet() { Reset(kInitialSlots); }
+
+  /// Returns true when `line` was not yet in the set.
+  bool Insert(uint64_t line) {
+    const size_t mask = lines_.size() - 1;
+    size_t i = Hash(line) & mask;
+    while (epochs_[i] == epoch_) {
+      if (lines_[i] == line) return false;
+      i = (i + 1) & mask;
+    }
+    lines_[i] = line;
+    epochs_[i] = epoch_;
+    ++size_;
+    if (size_ * 4 >= lines_.size() * 3) Grow();
+    return true;
+  }
+
+  /// Empties the set in O(1) by bumping the slot epoch.
+  void Clear() {
+    size_ = 0;
+    // ~0u is the never-live sentinel Reset/Grow stamp into empty slots; when
+    // the counter reaches it, rewrite the stamps and restart below it.
+    if (++epoch_ == ~uint32_t{0}) {
+      std::fill(epochs_.begin(), epochs_.end(), ~uint32_t{0});
+      epoch_ = 0;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static constexpr size_t kInitialSlots = 256;
+
+  static size_t Hash(uint64_t x) {
+    x *= 0x9e3779b97f4a7c15ull;  // Fibonacci hashing; line ids are dense
+    return static_cast<size_t>(x >> 32);
+  }
+
+  void Reset(size_t slots) {
+    lines_.assign(slots, 0);
+    epochs_.assign(slots, ~uint32_t{0});
+    epoch_ = 0;
+    size_ = 0;
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old_lines = std::move(lines_);
+    std::vector<uint32_t> old_epochs = std::move(epochs_);
+    const uint32_t old_epoch = epoch_;
+    Reset(old_lines.size() * 2);
+    const size_t mask = lines_.size() - 1;
+    for (size_t j = 0; j < old_lines.size(); ++j) {
+      if (old_epochs[j] != old_epoch) continue;
+      size_t i = Hash(old_lines[j]) & mask;
+      while (epochs_[i] == epoch_) i = (i + 1) & mask;
+      lines_[i] = old_lines[j];
+      epochs_[i] = epoch_;
+      ++size_;
+    }
+  }
+
+  std::vector<uint64_t> lines_;
+  std::vector<uint32_t> epochs_;
+  uint32_t epoch_ = 0;
+  size_t size_ = 0;
+};
 
 /// Aggregated per-warp (and, summed, per-kernel) execution statistics.
 struct WarpStats {
@@ -62,6 +136,8 @@ struct WarpStats {
     uint64_t total = active_lane_steps + idle_lane_steps;
     return total ? static_cast<double>(active_lane_steps) / total : 1.0;
   }
+
+  bool operator==(const WarpStats&) const = default;
 };
 
 /// Counts the distinct cache lines covered by byte ranges [addr, addr+width).
@@ -132,7 +208,7 @@ class WarpContext {
   WarpStats TakeStats() {
     WarpStats s = stats_;
     stats_ = WarpStats{};
-    touched_lines_.clear();
+    touched_lines_.Clear();
     return s;
   }
 
@@ -173,13 +249,13 @@ class WarpContext {
 
  private:
   void TouchLine(uint64_t line) {
-    if (touched_lines_.insert(line).second) stats_.mem_txns += 1;
+    if (touched_lines_.Insert(line)) stats_.mem_txns += 1;
   }
 
   int num_lanes_;
   int line_bytes_;
   WarpStats stats_;
-  std::unordered_set<uint64_t> touched_lines_;
+  LineSet touched_lines_;
 };
 
 }  // namespace gcgt::simt

@@ -3,9 +3,17 @@
 // Bits are addressed globally: bit i lives in byte i/8 at in-byte position
 // 7 - i%8, which makes the in-memory layout match the left-to-right bit
 // strings printed in the paper (Fig. 2, Table 3, Fig. 5).
+//
+// The reader decodes word-at-a-time: multi-bit reads and unary runs load a
+// 64-bit big-endian window and use shifts / countl_zero instead of walking
+// one bit per iteration. Semantics (positions, overflow stickiness, zero
+// bits past the end) are identical to the bit-at-a-time reference and are
+// locked in by util_test.
 #ifndef GCGT_UTIL_BIT_STREAM_H_
 #define GCGT_UTIL_BIT_STREAM_H_
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -27,19 +35,39 @@ class BitWriter {
   }
 
   /// Appends the low `width` bits of `value`, most significant bit first.
-  /// `width` may be 0 (no-op); width must be <= 64.
+  /// `width` may be 0 (no-op); width must be <= 64. Writes up to a byte at a
+  /// time instead of bit-by-bit.
   void PutBits(uint64_t value, int width) {
-    for (int i = width - 1; i >= 0; --i) PutBit((value >> i) & 1u);
+    if (width <= 0) return;
+    if (width < 64) value &= (uint64_t{1} << width) - 1;
+    size_t need = (num_bits_ + static_cast<size_t>(width) + 7) >> 3;
+    if (bytes_.size() < need) bytes_.resize(need, 0);
+    int rem = width;
+    while (rem > 0) {
+      size_t byte = num_bits_ >> 3;
+      int off = static_cast<int>(num_bits_ & 7);
+      int take = std::min(8 - off, rem);
+      uint8_t chunk =
+          static_cast<uint8_t>((value >> (rem - take)) & ((1u << take) - 1));
+      bytes_[byte] |= static_cast<uint8_t>(chunk << (8 - off - take));
+      num_bits_ += static_cast<size_t>(take);
+      rem -= take;
+    }
   }
 
-  /// Appends `count` zero bits.
+  /// Appends `count` zero bits (bytes are already zero-initialized, so this
+  /// only advances the cursor).
   void PutZeros(int count) {
-    for (int i = 0; i < count; ++i) PutBit(false);
+    if (count <= 0) return;
+    num_bits_ += static_cast<size_t>(count);
+    size_t need = (num_bits_ + 7) >> 3;
+    if (bytes_.size() < need) bytes_.resize(need, 0);
   }
 
   /// Pads with zero bits up to the next multiple of `align_bits`.
   void AlignTo(size_t align_bits) {
-    while (num_bits_ % align_bits != 0) PutBit(false);
+    size_t rem = num_bits_ % align_bits;
+    if (rem != 0) PutZeros(static_cast<int>(align_bits - rem));
   }
 
   size_t num_bits() const { return num_bits_; }
@@ -75,23 +103,68 @@ class BitReader {
     return bit;
   }
 
-  /// Reads `width` bits MSB-first; width <= 64.
+  /// Reads `width` bits MSB-first; width <= 64. Bits past the end read as
+  /// zero and set overflowed(), exactly like `width` GetBit() calls.
   uint64_t GetBits(int width) {
-    uint64_t v = 0;
-    for (int i = 0; i < width; ++i) v = (v << 1) | (GetBit() ? 1u : 0u);
+    if (width <= 0) return 0;
+    size_t avail = pos_ < num_bits_ ? num_bits_ - pos_ : 0;
+    if (static_cast<size_t>(width) <= avail) {
+      uint64_t v = PeekFast(width);
+      pos_ += static_cast<size_t>(width);
+      return v;
+    }
+    overflowed_ = true;
+    // Available bits followed by implicit zeros, like GetBit past the end.
+    uint64_t v = avail != 0 ? PeekFast(static_cast<int>(avail))
+                                  << (static_cast<size_t>(width) - avail)
+                            : 0;
+    pos_ += static_cast<size_t>(width);
     return v;
   }
 
   /// Number of leading zero bits consumed before (and including) the
   /// terminating one bit. Returns the count of zeros. If the stream ends
   /// before a one bit, sets overflowed() and returns the zeros seen.
+  /// Zero runs are counted a 64-bit window at a time via countl_zero.
   int GetUnary() {
-    int zeros = 0;
-    while (!GetBit()) {
-      if (overflowed_) return zeros;
-      ++zeros;
+    if (overflowed_) {
+      // Sticky-overflow quirk of the bit-at-a-time loop: the overflow check
+      // runs before the zero is counted, so exactly one bit is consumed and
+      // zero is returned regardless of its value.
+      GetBit();
+      return 0;
     }
-    return zeros;
+    int zeros = 0;
+    const size_t nbytes = (num_bits_ + 7) >> 3;
+    for (;;) {
+      if (pos_ >= num_bits_) {
+        overflowed_ = true;
+        ++pos_;
+        return zeros;
+      }
+      const size_t b = pos_ >> 3;
+      const int off = static_cast<int>(pos_ & 7);
+      uint64_t window;
+      int window_bits;
+      if (b + 8 <= nbytes) {
+        window = LoadBe64(data_ + b) << off;
+        window_bits = 64 - off;
+      } else {
+        window = LoadBeTail(data_ + b, nbytes - b) << off;
+        window_bits = static_cast<int>(8 * (nbytes - b)) - off;
+      }
+      const uint64_t lim =
+          std::min<uint64_t>(static_cast<uint64_t>(window_bits),
+                             num_bits_ - pos_);
+      const int lz = window == 0 ? 64 : std::countl_zero(window);
+      if (static_cast<uint64_t>(lz) < lim) {
+        zeros += lz;
+        pos_ += static_cast<size_t>(lz) + 1;
+        return zeros;
+      }
+      zeros += static_cast<int>(lim);
+      pos_ += lim;
+    }
   }
 
   size_t pos() const { return pos_; }
@@ -102,6 +175,46 @@ class BitReader {
   size_t byte_pos() const { return pos_ >> 3; }
 
  private:
+  /// 64-bit big-endian load; GCC/Clang fold the shift chain into one
+  /// bswap-ed load.
+  static uint64_t LoadBe64(const uint8_t* p) {
+    return (static_cast<uint64_t>(p[0]) << 56) |
+           (static_cast<uint64_t>(p[1]) << 48) |
+           (static_cast<uint64_t>(p[2]) << 40) |
+           (static_cast<uint64_t>(p[3]) << 32) |
+           (static_cast<uint64_t>(p[4]) << 24) |
+           (static_cast<uint64_t>(p[5]) << 16) |
+           (static_cast<uint64_t>(p[6]) << 8) | static_cast<uint64_t>(p[7]);
+  }
+
+  /// Big-endian load of the final `n` (< 8) bytes of the buffer, left-aligned
+  /// in the returned word (missing low bytes read as zero).
+  static uint64_t LoadBeTail(const uint8_t* p, size_t n) {
+    uint64_t w = 0;
+    for (size_t i = 0; i < n; ++i) {
+      w |= static_cast<uint64_t>(p[i]) << (56 - 8 * i);
+    }
+    return w;
+  }
+
+  /// Reads `width` bits starting at pos_ without advancing.
+  /// Precondition: pos_ + width <= num_bits_ and width >= 1.
+  uint64_t PeekFast(int width) const {
+    const size_t b = pos_ >> 3;
+    const int off = static_cast<int>(pos_ & 7);
+    const size_t nbytes = (num_bits_ + 7) >> 3;
+    if (b + 8 <= nbytes) {
+      const uint64_t w = LoadBe64(data_ + b);
+      if (off + width <= 64) return (w << off) >> (64 - width);
+      // The read spans into a 9th byte; off >= 1 here because width <= 64.
+      const uint64_t lo = data_[b + 8];
+      return ((w << off) | (lo >> (8 - off))) >> (64 - width);
+    }
+    // Tail: fewer than 8 bytes remain, so off + width <= 56 < 64.
+    const uint64_t w = LoadBeTail(data_ + b, nbytes - b);
+    return (w << off) >> (64 - width);
+  }
+
   const uint8_t* data_;
   size_t num_bits_;
   size_t pos_;

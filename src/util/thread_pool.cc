@@ -3,6 +3,40 @@
 #include <algorithm>
 
 namespace gcgt {
+namespace {
+
+/// RAII set/restore of the calling thread's pool marker, so ParallelFor
+/// restores it even when the job function throws (a leaked marker would make
+/// every later call on this pool from that thread run inline forever).
+class TlsMarkerGuard {
+ public:
+  TlsMarkerGuard(const ThreadPool** pool_slot, size_t* idx_slot,
+                 const ThreadPool* pool, size_t idx)
+      : pool_slot_(pool_slot),
+        idx_slot_(idx_slot),
+        saved_pool_(*pool_slot),
+        saved_idx_(*idx_slot) {
+    *pool_slot_ = pool;
+    *idx_slot_ = idx;
+  }
+  ~TlsMarkerGuard() {
+    *pool_slot_ = saved_pool_;
+    *idx_slot_ = saved_idx_;
+  }
+  TlsMarkerGuard(const TlsMarkerGuard&) = delete;
+  TlsMarkerGuard& operator=(const TlsMarkerGuard&) = delete;
+
+ private:
+  const ThreadPool** pool_slot_;
+  size_t* idx_slot_;
+  const ThreadPool* saved_pool_;
+  size_t saved_idx_;
+};
+
+}  // namespace
+
+thread_local const ThreadPool* ThreadPool::tl_pool_ = nullptr;
+thread_local size_t ThreadPool::tl_thread_idx_ = 0;
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads_ = num_threads == 0
@@ -27,6 +61,8 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop(size_t thread_idx) {
+  tl_pool_ = this;
+  tl_thread_idx_ = thread_idx;
   uint64_t seen_epoch = 0;
   for (;;) {
     {
@@ -56,11 +92,23 @@ void ThreadPool::ParallelFor(
     size_t n, size_t grain,
     const std::function<void(size_t, size_t, size_t)>& fn) {
   if (n == 0) return;
+  // Nested call from one of our own workers (or from the caller thread while
+  // it participates in a ParallelFor): run inline under the caller's
+  // thread_idx instead of deadlocking on the single job slot.
+  if (tl_pool_ == this) {
+    fn(tl_thread_idx_, 0, n);
+    return;
+  }
   grain = std::max<size_t>(1, grain);
   if (num_threads_ == 1 || n <= grain) {
+    TlsMarkerGuard guard(&tl_pool_, &tl_thread_idx_, this, 0);
     fn(0, 0, n);
     return;
   }
+  // Serialize concurrent top-level callers: the pool has one job slot, and
+  // engines may share a pool across host threads. Nested calls never reach
+  // this lock (handled above), so it cannot self-deadlock.
+  std::lock_guard<std::mutex> job_lock(job_mu_);
   {
     std::unique_lock<std::mutex> lock(mu_);
     job_ = &fn;
@@ -71,7 +119,10 @@ void ThreadPool::ParallelFor(
     ++epoch_;
   }
   wake_.notify_all();
-  RunChunks(0);
+  {
+    TlsMarkerGuard guard(&tl_pool_, &tl_thread_idx_, this, 0);
+    RunChunks(0);
+  }
   if (done_workers_.fetch_add(1) + 1 != num_threads_) {
     std::unique_lock<std::mutex> lock(mu_);
     finished_.wait(lock, [&] {

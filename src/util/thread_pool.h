@@ -32,7 +32,15 @@ class ThreadPool {
   /// threads; thread_idx < num_threads() identifies the calling worker so
   /// callers can keep race-free per-thread state. `grain` is the minimum
   /// chunk size handed to one thread at a time. Blocks until the whole range
-  /// is processed. Not reentrant.
+  /// is processed.
+  ///
+  /// Reentrancy guard: a nested ParallelFor issued from inside a worker of
+  /// this same pool runs the whole range inline on the calling worker, under
+  /// the caller's own thread_idx. That keeps per-thread state race-free and
+  /// cannot deadlock on the pool's single job slot.
+  ///
+  /// Top-level calls from different host threads are safe: the pool has one
+  /// job slot, so they serialize on an internal mutex.
   void ParallelFor(size_t n, size_t grain,
                    const std::function<void(size_t, size_t, size_t)>& fn);
 
@@ -40,9 +48,14 @@ class ThreadPool {
   void WorkerLoop(size_t thread_idx);
   void RunChunks(size_t thread_idx);
 
+  // Identifies the pool + thread a nested ParallelFor is issued from.
+  static thread_local const ThreadPool* tl_pool_;
+  static thread_local size_t tl_thread_idx_;
+
   size_t num_threads_;
   std::vector<std::thread> workers_;
 
+  std::mutex job_mu_;  // serializes concurrent top-level ParallelFor callers
   std::mutex mu_;
   std::condition_variable wake_;
   std::condition_variable finished_;

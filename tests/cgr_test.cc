@@ -228,7 +228,9 @@ TEST(CgrSegmentation, SegmentAreaIsByteAligned) {
     uint32_t itv = dec.ReadIntervalCount();
     for (uint32_t i = 0; i < itv; ++i) dec.ReadNextInterval();
     uint32_t segs = dec.ReadSegmentCount();
-    if (segs > 0) EXPECT_EQ(dec.SegmentBitPos(0) % 8, 0u);
+    if (segs > 0) {
+      EXPECT_EQ(dec.SegmentBitPos(0) % 8, 0u);
+    }
   }
 }
 

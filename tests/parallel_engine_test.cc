@@ -1,0 +1,220 @@
+// Determinism tests for the parallel traversal engine: the multi-threaded
+// ProcessFrontier must produce bit-identical frontiers, labels and per-warp
+// stats to the serial reference (num_threads == 1) across every GcgtLevel
+// and both CGR layouts — plus ThreadPool reentrancy-guard stress tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "cgr/cgr_graph.h"
+#include "core/bc.h"
+#include "core/bfs.h"
+#include "core/cc.h"
+#include "core/cgr_traversal.h"
+#include "core/frontier_filter.h"
+#include "core/gcgt_options.h"
+#include "graph/generators.h"
+#include "util/thread_pool.h"
+
+namespace gcgt {
+namespace {
+
+Graph TestGraph() {
+  WebGraphParams params;
+  params.num_nodes = 1500;
+  params.avg_degree = 9;
+  params.seed = 77;
+  return GenerateWebGraph(params);
+}
+
+CgrGraph EncodeLayout(const Graph& g, uint32_t segment_len_bytes) {
+  CgrOptions options;
+  options.segment_len_bytes = segment_len_bytes;
+  auto cgr = CgrGraph::Encode(g, options);
+  EXPECT_TRUE(cgr.ok()) << cgr.status().ToString();
+  return std::move(cgr.value());
+}
+
+GcgtOptions OptionsFor(GcgtLevel level, int num_threads) {
+  GcgtOptions o;
+  o.level = level;
+  o.lanes = 8;  // small warps -> many chunks -> real cross-thread contention
+  o.num_threads = num_threads;
+  return o;
+}
+
+constexpr GcgtLevel kAllLevels[] = {
+    GcgtLevel::kIntuitive, GcgtLevel::kTwoPhase, GcgtLevel::kTaskStealing,
+    GcgtLevel::kWarpCentric, GcgtLevel::kFull};
+constexpr uint32_t kLayouts[] = {0, 32};  // unsegmented + segmented residuals
+
+// Drives level-synchronous BFS through ProcessFrontier on both engines and
+// compares every level's frontier and every warp's stats.
+TEST(ParallelEngine, ProcessFrontierMatchesSerialPerLevel) {
+  Graph g = TestGraph();
+  for (uint32_t seg : kLayouts) {
+    CgrGraph cgr = EncodeLayout(g, seg);
+    for (GcgtLevel level : kAllLevels) {
+      CgrTraversalEngine serial(cgr, OptionsFor(level, 1));
+      CgrTraversalEngine parallel(cgr, OptionsFor(level, 4));
+
+      BfsFilter f_serial(g.num_nodes()), f_parallel(g.num_nodes());
+      const NodeId source = 3;
+      f_serial.SetSource(source);
+      f_parallel.SetSource(source);
+      std::vector<NodeId> frontier_s{source}, frontier_p{source};
+      int level_idx = 0;
+      while (!frontier_s.empty() || !frontier_p.empty()) {
+        std::vector<NodeId> next_s, next_p;
+        std::vector<simt::WarpStats> warps_s, warps_p;
+        serial.ProcessFrontier(frontier_s, f_serial, &next_s, &warps_s);
+        parallel.ProcessFrontier(frontier_p, f_parallel, &next_p, &warps_p);
+        ASSERT_EQ(next_s, next_p)
+            << "frontier diverged at level " << level_idx << " (GcgtLevel "
+            << static_cast<int>(level) << ", seg " << seg << ")";
+        ASSERT_EQ(warps_s.size(), warps_p.size());
+        for (size_t w = 0; w < warps_s.size(); ++w) {
+          ASSERT_EQ(warps_s[w], warps_p[w])
+              << "warp " << w << " stats diverged at level " << level_idx
+              << " (GcgtLevel " << static_cast<int>(level) << ", seg " << seg
+              << ")";
+        }
+        frontier_s.swap(next_s);
+        frontier_p.swap(next_p);
+        ++level_idx;
+      }
+      EXPECT_EQ(f_serial.depth(), f_parallel.depth());
+    }
+  }
+}
+
+TEST(ParallelEngine, BfsDriverBitIdentical) {
+  Graph g = TestGraph();
+  for (uint32_t seg : kLayouts) {
+    CgrGraph cgr = EncodeLayout(g, seg);
+    for (GcgtLevel level : kAllLevels) {
+      auto serial = GcgtBfs(cgr, 0, OptionsFor(level, 1));
+      auto parallel = GcgtBfs(cgr, 0, OptionsFor(level, 4));
+      ASSERT_TRUE(serial.ok());
+      ASSERT_TRUE(parallel.ok());
+      EXPECT_EQ(serial.value().depth, parallel.value().depth);
+      EXPECT_EQ(serial.value().metrics.warp, parallel.value().metrics.warp);
+      // Aggregate modeled cycles must be bit-identical, not just close.
+      EXPECT_EQ(serial.value().metrics.model_ms,
+                parallel.value().metrics.model_ms);
+      EXPECT_EQ(serial.value().metrics.kernels,
+                parallel.value().metrics.kernels);
+    }
+  }
+}
+
+TEST(ParallelEngine, CcDriverBitIdentical) {
+  Graph g = TestGraph();
+  for (uint32_t seg : kLayouts) {
+    CgrGraph cgr = EncodeLayout(g, seg);
+    auto serial = GcgtCc(cgr, OptionsFor(GcgtLevel::kFull, 1));
+    auto parallel = GcgtCc(cgr, OptionsFor(GcgtLevel::kFull, 4));
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial.value().component, parallel.value().component);
+    EXPECT_EQ(serial.value().rounds, parallel.value().rounds);
+    EXPECT_EQ(serial.value().metrics.warp, parallel.value().metrics.warp);
+    EXPECT_EQ(serial.value().metrics.model_ms,
+              parallel.value().metrics.model_ms);
+  }
+}
+
+TEST(ParallelEngine, BcDriverBitIdentical) {
+  Graph g = TestGraph();
+  for (uint32_t seg : kLayouts) {
+    CgrGraph cgr = EncodeLayout(g, seg);
+    auto serial = GcgtBc(cgr, 5, OptionsFor(GcgtLevel::kFull, 1));
+    auto parallel = GcgtBc(cgr, 5, OptionsFor(GcgtLevel::kFull, 4));
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial.value().depth, parallel.value().depth);
+    // sigma/delta are doubles accumulated in filter order; the serial replay
+    // makes even their addition order identical, so exact equality holds.
+    EXPECT_EQ(serial.value().sigma, parallel.value().sigma);
+    EXPECT_EQ(serial.value().dependency, parallel.value().dependency);
+    EXPECT_EQ(serial.value().metrics.warp, parallel.value().metrics.warp);
+    EXPECT_EQ(serial.value().metrics.model_ms,
+              parallel.value().metrics.model_ms);
+  }
+}
+
+TEST(ParallelEngine, RepeatedParallelRunsAreStable) {
+  Graph g = TestGraph();
+  CgrGraph cgr = EncodeLayout(g, 32);
+  auto first = GcgtBfs(cgr, 0, OptionsFor(GcgtLevel::kFull, 4));
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto again = GcgtBfs(cgr, 0, OptionsFor(GcgtLevel::kFull, 4));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(first.value().depth, again.value().depth);
+    EXPECT_EQ(first.value().metrics.warp, again.value().metrics.warp);
+    EXPECT_EQ(first.value().metrics.model_ms, again.value().metrics.model_ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool reentrancy guard.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolReentrancy, NestedParallelForRunsInlineUnderCallerTid) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, 1, [&](size_t outer_tid, size_t ob, size_t oe) {
+    for (size_t o = ob; o < oe; ++o) {
+      pool.ParallelFor(kInner, 8,
+                       [&](size_t inner_tid, size_t ib, size_t ie) {
+                         // The nested call must stay on the calling worker.
+                         EXPECT_EQ(inner_tid, outer_tid);
+                         for (size_t i = ib; i < ie; ++i) {
+                           hits[o * kInner + i].fetch_add(1);
+                         }
+                       });
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolReentrancy, DeeplyNestedAndRepeatedCallsDoNotDeadlock) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(12, 1, [&](size_t, size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        pool.ParallelFor(4, 1, [&](size_t, size_t b2, size_t e2) {
+          for (size_t j = b2; j < e2; ++j) {
+            pool.ParallelFor(2, 1, [&](size_t, size_t b3, size_t e3) {
+              total.fetch_add(e3 - b3, std::memory_order_relaxed);
+            });
+          }
+        });
+      }
+    });
+  }
+  EXPECT_EQ(total.load(), 50ull * 12 * 4 * 2);
+}
+
+TEST(ThreadPoolReentrancy, SequentialParallelForsFromMainThread) {
+  // The caller-participation path sets and clears the thread-local pool
+  // marker; back-to-back top-level calls must still fan out normally.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::atomic<int>> hits(257);
+    pool.ParallelFor(hits.size(), 16, [&](size_t tid, size_t b, size_t e) {
+      EXPECT_LT(tid, pool.num_threads());
+      for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace gcgt

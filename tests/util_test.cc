@@ -75,6 +75,181 @@ TEST(BitStream, OverflowIsSticky) {
   EXPECT_TRUE(r.overflowed());
 }
 
+// ---------------------------------------------------------------------------
+// Word-at-a-time reader paths. The reference below reproduces the original
+// bit-at-a-time semantics; the production reader must match it exactly,
+// including positions and overflow behavior.
+// ---------------------------------------------------------------------------
+
+/// Bit-at-a-time reference implementation of the BitReader contract.
+class ReferenceBitReader {
+ public:
+  ReferenceBitReader(const uint8_t* data, size_t num_bits, size_t start = 0)
+      : data_(data), num_bits_(num_bits), pos_(start) {}
+
+  bool GetBit() {
+    if (pos_ >= num_bits_) {
+      overflowed_ = true;
+      ++pos_;
+      return false;
+    }
+    bool bit = (data_[pos_ >> 3] >> (7 - (pos_ & 7))) & 1u;
+    ++pos_;
+    return bit;
+  }
+  uint64_t GetBits(int width) {
+    uint64_t v = 0;
+    for (int i = 0; i < width; ++i) v = (v << 1) | (GetBit() ? 1u : 0u);
+    return v;
+  }
+  int GetUnary() {
+    int zeros = 0;
+    while (!GetBit()) {
+      if (overflowed_) return zeros;
+      ++zeros;
+    }
+    return zeros;
+  }
+  size_t pos() const { return pos_; }
+  void Seek(size_t p) { pos_ = p; }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  const uint8_t* data_;
+  size_t num_bits_;
+  size_t pos_;
+  bool overflowed_ = false;
+};
+
+TEST(BitStreamWordPaths, CrossByteAndCrossWordReads) {
+  // 33 bytes of pseudo-random bits: enough for misaligned 64-bit reads that
+  // need the 9th byte.
+  Rng rng(42);
+  std::vector<uint8_t> bytes(33);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng.Next());
+  const size_t n = bytes.size() * 8;
+  for (size_t start : {0ul, 1ul, 3ul, 7ul, 8ul, 13ul, 63ul, 65ul}) {
+    for (int width : {1, 7, 8, 9, 17, 31, 32, 33, 56, 63, 64}) {
+      BitReader fast(bytes.data(), n, start);
+      ReferenceBitReader ref(bytes.data(), n, start);
+      EXPECT_EQ(fast.GetBits(width), ref.GetBits(width))
+          << "start " << start << " width " << width;
+      EXPECT_EQ(fast.pos(), ref.pos());
+      EXPECT_EQ(fast.overflowed(), ref.overflowed());
+    }
+  }
+}
+
+TEST(BitStreamWordPaths, UnaryRunsSpanningWords) {
+  // 70 zeros, a one, 200 zeros, a one, then 5 zeros to the end (no one bit).
+  BitWriter w;
+  w.PutZeros(70);
+  w.PutBit(true);
+  w.PutZeros(200);
+  w.PutBit(true);
+  w.PutZeros(5);
+  auto bytes = w.bytes();
+  BitReader r(bytes.data(), w.num_bits());
+  EXPECT_EQ(r.GetUnary(), 70);
+  EXPECT_EQ(r.pos(), 71u);
+  EXPECT_EQ(r.GetUnary(), 200);
+  EXPECT_EQ(r.pos(), 272u);
+  EXPECT_FALSE(r.overflowed());
+  // The tail has no terminating one bit: return zeros seen, set overflow,
+  // leave pos one past the end (like the failed GetBit would).
+  EXPECT_EQ(r.GetUnary(), 5);
+  EXPECT_TRUE(r.overflowed());
+  EXPECT_EQ(r.pos(), w.num_bits() + 1);
+}
+
+TEST(BitStreamWordPaths, GetBitsOverflowAtTailMatchesBitAtATime) {
+  BitWriter w;
+  w.PutBits(0b1011011, 7);
+  auto bytes = w.bytes();
+  for (size_t start : {0ul, 3ul, 6ul, 7ul}) {
+    for (int width : {1, 4, 8, 16, 64}) {
+      BitReader fast(bytes.data(), 7, start);
+      ReferenceBitReader ref(bytes.data(), 7, start);
+      EXPECT_EQ(fast.GetBits(width), ref.GetBits(width))
+          << "start " << start << " width " << width;
+      EXPECT_EQ(fast.pos(), ref.pos());
+      EXPECT_EQ(fast.overflowed(), ref.overflowed());
+    }
+  }
+}
+
+TEST(BitStreamWordPaths, RandomizedDifferentialAgainstReference) {
+  Rng rng(20190630);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t num_bytes = 1 + rng.Uniform(40);
+    std::vector<uint8_t> bytes(num_bytes);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.Next());
+    // Truncate to a ragged bit count so tail handling is exercised.
+    const size_t n = num_bytes * 8 - rng.Uniform(8);
+    BitReader fast(bytes.data(), n);
+    ReferenceBitReader ref(bytes.data(), n);
+    for (int op = 0; op < 200; ++op) {
+      switch (rng.Uniform(4)) {
+        case 0:
+          ASSERT_EQ(fast.GetBit(), ref.GetBit());
+          break;
+        case 1: {
+          int width = static_cast<int>(rng.Uniform(65));
+          ASSERT_EQ(fast.GetBits(width), ref.GetBits(width))
+              << "trial " << trial << " width " << width;
+          break;
+        }
+        case 2:
+          ASSERT_EQ(fast.GetUnary(), ref.GetUnary()) << "trial " << trial;
+          break;
+        case 3: {
+          size_t to = rng.Uniform(n + 4);
+          fast.Seek(to);
+          ref.Seek(to);
+          break;
+        }
+      }
+      ASSERT_EQ(fast.pos(), ref.pos()) << "trial " << trial << " op " << op;
+      ASSERT_EQ(fast.overflowed(), ref.overflowed());
+    }
+  }
+}
+
+TEST(BitStreamWordPaths, BatchedWriterMatchesBitAtATime) {
+  // Random PutBit/PutBits/PutZeros sequences must produce the same bytes as
+  // writing every bit individually.
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    BitWriter batched;
+    BitWriter single;
+    for (int op = 0; op < 60; ++op) {
+      switch (rng.Uniform(3)) {
+        case 0: {
+          bool bit = rng.Uniform(2) != 0;
+          batched.PutBit(bit);
+          single.PutBit(bit);
+          break;
+        }
+        case 1: {
+          int width = static_cast<int>(rng.Uniform(65));
+          uint64_t value = rng.Next();
+          batched.PutBits(value, width);
+          for (int i = width - 1; i >= 0; --i) single.PutBit((value >> i) & 1u);
+          break;
+        }
+        case 2: {
+          int count = static_cast<int>(rng.Uniform(20));
+          batched.PutZeros(count);
+          for (int i = 0; i < count; ++i) single.PutBit(false);
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(batched.num_bits(), single.num_bits()) << "trial " << trial;
+    ASSERT_EQ(batched.bytes(), single.bytes()) << "trial " << trial;
+  }
+}
+
 TEST(BitStream, AlignTo) {
   BitWriter w;
   w.PutBits(0b101, 3);
