@@ -211,6 +211,16 @@ std::string Cell(const std::string& s, int width) {
   return buf;
 }
 
+double ModelCycles(double model_ms, const simt::CostModel& cost) {
+  return model_ms * cost.clock_ghz * 1e6;
+}
+
+double NowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 double RateVsRaw(EdgeId raw_edges, uint64_t representation_bits) {
   return representation_bits
              ? 32.0 * static_cast<double>(raw_edges) /
@@ -219,9 +229,10 @@ double RateVsRaw(EdgeId raw_edges, uint64_t representation_bits) {
 }
 
 void RunCgrSweep(const std::vector<Dataset>& datasets,
-                 const std::vector<SweepVariant>& variants) {
+                 const std::vector<SweepVariant>& variants, JsonReport* json) {
   std::printf("%-10s %-10s %12s %12s\n", "dataset", "variant", "bfs_ms",
               "compr_rate");
+  GcgtOptions opt;
   for (const Dataset& d : datasets) {
     auto sources = BfsSources(d.graph);
     for (const SweepVariant& v : variants) {
@@ -231,9 +242,9 @@ void RunCgrSweep(const std::vector<Dataset>& datasets,
                     v.label.c_str(), "-", "-", cgr.status().ToString().c_str());
         continue;
       }
-      GcgtOptions opt;
       double total = 0;
       int ok_runs = 0;
+      const double t0 = NowNs();
       for (NodeId s : sources) {
         auto res = GcgtBfs(cgr.value(), s, opt);
         if (res.ok()) {
@@ -241,10 +252,16 @@ void RunCgrSweep(const std::vector<Dataset>& datasets,
           ++ok_runs;
         }
       }
+      const double wall_ns = NowNs() - t0;
       double rate = RateVsRaw(d.raw_edges, cgr.value().total_bits());
       std::printf("%-10s %-10s %12s %12s\n", d.name.c_str(), v.label.c_str(),
                   Cell(ok_runs ? total / ok_runs : 0.0, 12, 3).c_str(),
                   Cell(rate, 12, 2).c_str());
+      if (json != nullptr) {
+        json->Add(d.name + "/" + v.label, wall_ns,
+                  ModelCycles(total, opt.cost),
+                  {{"compr_rate", Cell(rate, 0, 2)}});
+      }
     }
     std::printf("\n");
   }

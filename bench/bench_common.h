@@ -86,16 +86,29 @@ struct TimedResult {
 /// preprocessing counted as compression).
 double RateVsRaw(EdgeId raw_edges, uint64_t representation_bits);
 
+/// Simulator model milliseconds -> modeled device cycles (CyclesToMs
+/// inverse), the unit bench JSON artifacts record for trend checking.
+double ModelCycles(double model_ms, const simt::CostModel& cost);
+
+/// Monotonic host clock in ns, for JsonReport wall_ns fields.
+double NowNs();
+
 /// One point of a CGR-parameter sweep (Figs. 11, 12, 14).
 struct SweepVariant {
   std::string label;
   CgrOptions options;
 };
 
+class JsonReport;
+
 /// Encodes every dataset with every variant, runs full-GCGT BFS, and prints
-/// "dataset  variant  bfs_ms  rate" rows.
+/// "dataset  variant  bfs_ms  rate" rows. When `json` is non-null, each
+/// (dataset, variant) point additionally becomes one JSON row
+/// ("dataset/variant", wall ns of the simulated runs, total modeled cycles,
+/// compression rate).
 void RunCgrSweep(const std::vector<Dataset>& datasets,
-                 const std::vector<SweepVariant>& variants);
+                 const std::vector<SweepVariant>& variants,
+                 JsonReport* json = nullptr);
 
 /// Machine-readable benchmark output. A bench main constructs one from its
 /// argv; when `--json <path>` (or `--json=<path>`) was passed, every Add()

@@ -4,7 +4,7 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcgt;
   std::printf("== Fig. 11: varying the VLC encoding scheme ==\n\n");
   auto datasets = bench::BuildDatasets();
@@ -15,6 +15,7 @@ int main() {
     o.scheme = s;
     variants.push_back({VlcSchemeName(s), o});
   }
-  bench::RunCgrSweep(datasets, variants);
+  bench::JsonReport json(argc, argv);
+  bench::RunCgrSweep(datasets, variants, &json);
   return 0;
 }

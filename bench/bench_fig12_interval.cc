@@ -4,7 +4,7 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcgt;
   std::printf("== Fig. 12: varying the minimum interval length ==\n\n");
   auto datasets = bench::BuildDatasets();
@@ -17,6 +17,7 @@ int main() {
   CgrOptions inf;
   inf.min_interval_len = CgrOptions::kNoIntervals;
   variants.push_back({"inf", inf});
-  bench::RunCgrSweep(datasets, variants);
+  bench::JsonReport json(argc, argv);
+  bench::RunCgrSweep(datasets, variants, &json);
   return 0;
 }

@@ -7,8 +7,9 @@
 #include "cgr/cgr_graph.h"
 #include "core/bfs.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcgt;
+  bench::JsonReport json(argc, argv);
   std::printf("== Fig. 13: varying the node reordering method ==\n\n");
   std::printf("%-10s %-10s %12s %12s\n", "dataset", "method", "bfs_ms",
               "compr_rate");
@@ -25,6 +26,7 @@ int main() {
       GcgtOptions opt;
       double total = 0;
       int runs = 0;
+      const double t0 = bench::NowNs();
       for (NodeId s : sources) {
         auto res = GcgtBfs(cgr.value(), s, opt);
         if (res.ok()) {
@@ -32,6 +34,8 @@ int main() {
           ++runs;
         }
       }
+      json.Add(name + "/" + ReorderMethodName(m), bench::NowNs() - t0,
+               bench::ModelCycles(total, opt.cost));
       std::printf("%-10s %-10s %12s %12s\n", name.c_str(),
                   ReorderMethodName(m),
                   bench::Cell(runs ? total / runs : 0.0, 12, 3).c_str(),

@@ -6,7 +6,7 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcgt;
   std::printf("== Fig. 14: varying the residual segment length (bytes) ==\n\n");
   auto datasets = bench::BuildDatasets();
@@ -19,6 +19,7 @@ int main() {
   CgrOptions inf;
   inf.segment_len_bytes = 0;
   variants.push_back({"inf", inf});
-  bench::RunCgrSweep(datasets, variants);
+  bench::JsonReport json(argc, argv);
+  bench::RunCgrSweep(datasets, variants, &json);
   return 0;
 }

@@ -11,9 +11,10 @@
 #include "core/bc.h"
 #include "core/cc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcgt;
   using bench::Cell;
+  bench::JsonReport json(argc, argv);
   std::printf("== Fig. 15: CC and BC elapsed model time (ms) ==\n\n");
 
   auto datasets = bench::BuildDatasets();
@@ -42,9 +43,24 @@ int main() {
       GcgtOptions gcgt_opt;
       gcgt_opt.device.memory_bytes = budget;
 
+      double t0 = bench::NowNs();
       auto a = CsrCc(d.graph, gunrock_opt);
+      double t1 = bench::NowNs();
       auto b = CsrCc(d.graph, gpucsr_opt);
+      double t2 = bench::NowNs();
       auto c = GcgtCc(cgr.value(), gcgt_opt);
+      double t3 = bench::NowNs();
+      auto add = [&](const char* eng, double wall,
+                     const Result<GcgtCcResult>& r) {
+        json.Add(d.name + "/CC/" + eng, wall,
+                 r.ok() ? bench::ModelCycles(r.value().metrics.model_ms,
+                                             gcgt_opt.cost)
+                        : 0.0,
+                 {{"oom", r.ok() ? "0" : "1"}});
+      };
+      add("Gunrock", t1 - t0, a);
+      add("GPUCSR", t2 - t1, b);
+      add("GCGT", t3 - t2, c);
       std::printf("%-10s %-4s %12s %12s %12s\n", d.name.c_str(), "CC",
                   fmt(a.ok() ? a.value().metrics.model_ms : 0, !a.ok()).c_str(),
                   fmt(b.ok() ? b.value().metrics.model_ms : 0, !b.ok()).c_str(),
@@ -60,9 +76,24 @@ int main() {
       GcgtOptions gcgt_opt;
       gcgt_opt.device.memory_bytes = budget;
 
+      double t0 = bench::NowNs();
       auto a = CsrBc(d.graph, bc_source, gunrock_opt);
+      double t1 = bench::NowNs();
       auto b = CsrBc(d.graph, bc_source, gpucsr_opt);
+      double t2 = bench::NowNs();
       auto c = GcgtBc(cgr.value(), bc_source, gcgt_opt);
+      double t3 = bench::NowNs();
+      auto add = [&](const char* eng, double wall,
+                     const Result<GcgtBcResult>& r) {
+        json.Add(d.name + "/BC/" + eng, wall,
+                 r.ok() ? bench::ModelCycles(r.value().metrics.model_ms,
+                                             gcgt_opt.cost)
+                        : 0.0,
+                 {{"oom", r.ok() ? "0" : "1"}});
+      };
+      add("Gunrock", t1 - t0, a);
+      add("GPUCSR", t2 - t1, b);
+      add("GCGT", t3 - t2, c);
       std::printf("%-10s %-4s %12s %12s %12s\n", d.name.c_str(), "BC",
                   fmt(a.ok() ? a.value().metrics.model_ms : 0, !a.ok()).c_str(),
                   fmt(b.ok() ? b.value().metrics.model_ms : 0, !b.ok()).c_str(),

@@ -7,7 +7,6 @@
 //
 // `--json out.json` additionally records one row per (dataset, approach)
 // with measured wall ns and modeled GPU cycles (see bench::JsonReport).
-#include <chrono>
 #include <cstdio>
 
 #include "baseline/byte_rle.h"
@@ -17,19 +16,10 @@
 #include "cgr/cgr_graph.h"
 #include "core/bfs.h"
 
-namespace {
-
-double NowNs() {
-  return std::chrono::duration<double, std::nano>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace gcgt;
   using bench::Cell;
+  using bench::NowNs;
 
   bench::JsonReport json(argc, argv);
 
@@ -116,9 +106,8 @@ int main(int argc, char** argv) {
       if (!gcgt.oom) gcgt.ms /= sources.size();
     }
 
-    // ms of simulator model time -> modeled cycles (CyclesToMs inverse).
     auto cycles_of = [&](double model_ms) {
-      return model_ms * gcgt_opt.cost.clock_ghz * 1e6;
+      return bench::ModelCycles(model_ms, gcgt_opt.cost);
     };
     auto row = [&](const char* name, double ms, bool oom, double rate,
                    double wall_ns, double model_cycles) {

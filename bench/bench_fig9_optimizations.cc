@@ -11,8 +11,9 @@
 #include "cgr/cgr_graph.h"
 #include "core/bfs.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcgt;
+  bench::JsonReport json(argc, argv);
   std::printf("== Fig. 9: optimization impact (BFS model ms, x = vs GCGT) ==\n\n");
 
   auto datasets = bench::BuildDatasets();
@@ -41,10 +42,13 @@ int main() {
       const CgrGraph& graph =
           level == GcgtLevel::kFull ? cgr_seg.value() : cgr_unseg.value();
       double total = 0;
+      const double t0 = bench::NowNs();
       for (NodeId s : sources) {
         auto res = GcgtBfs(graph, s, opt);
         if (res.ok()) total += res.value().metrics.model_ms;
       }
+      json.Add(d.name + "/" + GcgtLevelName(level), bench::NowNs() - t0,
+               bench::ModelCycles(total, opt.cost));
       ms.push_back(total / sources.size());
     }
     double full = ms.back();

@@ -1,7 +1,12 @@
 // Google-benchmark microbenchmarks: VLC encode/decode throughput per scheme,
 // CGR whole-graph encode, adjacency decode, and warp-centric window decode.
+//
+// `--json <path>` bypasses the Google Benchmark driver and instead times one
+// manual pass of each scenario family, emitting the standard bench JSON rows
+// (wall_ns per scenario, model_cycles 0 — these are host codec paths).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "cgr/cgr_decoder.h"
 #include "cgr/cgr_graph.h"
 #include "cgr/vlc.h"
@@ -97,7 +102,83 @@ void BM_WarpCentricWindow(benchmark::State& state) {
 }
 BENCHMARK(BM_WarpCentricWindow)->Unit(benchmark::kMillisecond);
 
+// One hand-timed pass per scenario family for the JSON artifact.
+void RunJsonScenarios(bench::JsonReport& json) {
+  const char* names[] = {"gamma", "zeta2", "zeta3", "zeta4", "zeta5"};
+  for (int si = 0; si <= 4; ++si) {
+    VlcScheme scheme = static_cast<VlcScheme>(si);
+    Rng rng(1);
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 4096; ++i) values.push_back(1 + rng.Uniform(1 << 20));
+    double t0 = bench::NowNs();
+    BitWriter w;
+    for (int rep = 0; rep < 64; ++rep) {
+      w = BitWriter();
+      for (uint64_t v : values) VlcEncode(scheme, v, &w);
+    }
+    json.Add(std::string("vlc_encode/") + names[si], bench::NowNs() - t0, 0.0);
+
+    auto bytes = w.bytes();
+    t0 = bench::NowNs();
+    uint64_t sum = 0;
+    for (int rep = 0; rep < 64; ++rep) {
+      BitReader r(bytes.data(), w.num_bits());
+      for (size_t i = 0; i < values.size(); ++i) sum += VlcDecode(scheme, &r);
+    }
+    benchmark::DoNotOptimize(sum);
+    json.Add(std::string("vlc_decode/") + names[si], bench::NowNs() - t0, 0.0);
+  }
+  {
+    WebGraphParams p;
+    p.num_nodes = 10000;
+    Graph g = GenerateWebGraph(p);
+    double t0 = bench::NowNs();
+    auto cgr = CgrGraph::Encode(g, CgrOptions{});
+    json.Add("cgr_encode_graph", bench::NowNs() - t0, 0.0);
+    t0 = bench::NowNs();
+    uint64_t total = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      total += DecodeAdjacency(cgr.value(), u).size();
+    }
+    benchmark::DoNotOptimize(total);
+    json.Add("cgr_decode_adjacency", bench::NowNs() - t0, 0.0);
+  }
+  {
+    Rng rng(3);
+    BitWriter w;
+    const int kCount = 8192;
+    for (int i = 0; i < kCount; ++i) {
+      VlcEncode(VlcScheme::kZeta3, 1 + rng.Uniform(64), &w);
+    }
+    auto bytes = w.bytes();
+    double t0 = bench::NowNs();
+    for (int rep = 0; rep < 16; ++rep) {
+      uint64_t pos = 0;
+      int decoded = 0;
+      while (decoded < kCount) {
+        auto r = WarpCentricDecodeWindow(bytes.data(), w.num_bits(), pos, 32,
+                                         VlcScheme::kZeta3, kCount - decoded);
+        decoded += static_cast<int>(r.values.size());
+        pos = r.next_bit_pos;
+      }
+      benchmark::DoNotOptimize(decoded);
+    }
+    json.Add("warp_centric_window", bench::NowNs() - t0, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace gcgt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  gcgt::bench::JsonReport json(argc, argv);
+  if (json.enabled()) {
+    gcgt::RunJsonScenarios(json);
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

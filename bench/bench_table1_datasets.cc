@@ -7,14 +7,19 @@
 #include "bench/bench_common.h"
 #include "graph/graph_stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcgt;
+  bench::JsonReport json(argc, argv);
   std::printf("== Table 1: Statistics of (scaled synthetic) datasets ==\n");
   std::printf("%-10s %10s %12s %8s %9s %9s %8s\n", "Dataset", "|V|", "|E|",
               "|E|/|V|", "maxdeg", "locality", "itv_cov");
   for (const std::string& name : bench::DatasetNames()) {
+    const double t0 = bench::NowNs();
     Graph g = bench::BuildRawGraph(name);
     GraphStats s = ComputeGraphStats(g);
+    json.Add(name, bench::NowNs() - t0, 0.0,
+             {{"nodes", std::to_string(s.num_nodes)},
+              {"edges", std::to_string(s.num_edges)}});
     std::printf("%-10s %10u %12llu %8.1f %9llu %9.2f %7.1f%%\n", name.c_str(),
                 s.num_nodes, static_cast<unsigned long long>(s.num_edges),
                 s.avg_degree, static_cast<unsigned long long>(s.max_degree),

@@ -1,18 +1,25 @@
 // Paper Table 3: example gamma / zeta codewords. The printed codewords are
 // pinned by unit tests (tests/vlc_test.cc) to the paper's exact bit strings.
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_common.h"
 #include "cgr/vlc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcgt;
+  bench::JsonReport json(argc, argv);
   std::printf("== Table 3: gamma-code and zeta-code examples ==\n");
   std::printf("%8s %16s %16s %16s\n", "integer", "gamma", "zeta2", "zeta3");
   for (uint64_t v : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull, 12ull, 34ull}) {
+    const double t0 = bench::NowNs();
+    const std::string gamma = VlcToString(VlcScheme::kGamma, v);
+    const std::string zeta2 = VlcToString(VlcScheme::kZeta2, v);
+    const std::string zeta3 = VlcToString(VlcScheme::kZeta3, v);
+    json.Add("vlc/" + std::to_string(v), bench::NowNs() - t0, 0.0,
+             {{"gamma", gamma}, {"zeta2", zeta2}, {"zeta3", zeta3}});
     std::printf("%8llu %16s %16s %16s\n", static_cast<unsigned long long>(v),
-                VlcToString(VlcScheme::kGamma, v).c_str(),
-                VlcToString(VlcScheme::kZeta2, v).c_str(),
-                VlcToString(VlcScheme::kZeta3, v).c_str());
+                gamma.c_str(), zeta2.c_str(), zeta3.c_str());
   }
   return 0;
 }

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Diff two bench JSON artifacts and fail on model-cycle regressions.
+
+Usage:
+  check_trend.py BASELINE.json CURRENT.json [--max-regress-pct N]
+                 [--metric model_cycles] [--require-all]
+
+Both files are arrays of rows as written by bench::JsonReport:
+  {"scenario": "...", "wall_ns": ..., "model_cycles": ..., ...}
+
+Scenarios present in both files with a positive baseline metric are
+compared; the tool exits non-zero when any scenario's metric regressed by
+more than --max-regress-pct percent. model_cycles is deterministic (the
+simulator is bit-exact), so regressions there are real code changes, not
+noise; wall_ns can be checked with a generous threshold instead.
+
+Scenarios only present in one file are reported as added/removed (and fail
+the check under --require-all, which guards against a bench silently
+dropping coverage).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        rows = json.load(f)
+    out = {}
+    for row in rows:
+        out[row["scenario"]] = row
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regress-pct", type=float, default=5.0,
+                        help="fail when metric grows more than this percent "
+                             "(default: 5)")
+    parser.add_argument("--metric", default="model_cycles",
+                        help="row field to compare (default: model_cycles)")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail when the current file is missing any "
+                             "baseline scenario")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    removed = sorted(set(base) - set(cur))
+    added = sorted(set(cur) - set(base))
+    for name in removed:
+        print(f"removed:   {name}")
+    for name in added:
+        print(f"added:     {name}")
+
+    regressions = []
+    improved = 0
+    unchanged = 0
+    for name in sorted(set(base) & set(cur)):
+        b = float(base[name].get(args.metric, 0))
+        c = float(cur[name].get(args.metric, 0))
+        if b <= 0:
+            continue  # no baseline signal (CPU rows, OOM rows)
+        if c <= 0:
+            # Metric collapsed to zero against a live baseline — typically a
+            # new OOM/failure row. The worst regression, not an improvement.
+            regressions.append((name, b, c, -100.0))
+            print(f"REGRESSED: {name}: {args.metric} {b:.0f} -> 0 "
+                  f"(scenario stopped producing a result)")
+            continue
+        delta_pct = 100.0 * (c - b) / b
+        if delta_pct > args.max_regress_pct:
+            regressions.append((name, b, c, delta_pct))
+            print(f"REGRESSED: {name}: {args.metric} {b:.0f} -> {c:.0f} "
+                  f"({delta_pct:+.2f}%)")
+        elif c < b:
+            improved += 1
+        else:
+            unchanged += 1
+
+    print(f"\n{len(base)} baseline / {len(cur)} current scenarios; "
+          f"{improved} improved, {unchanged} unchanged/within-threshold, "
+          f"{len(regressions)} regressed "
+          f"(metric={args.metric}, threshold={args.max_regress_pct}%)")
+
+    if regressions:
+        return 1
+    if args.require_all and removed:
+        print("FAIL: --require-all set and scenarios were removed")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -230,6 +230,7 @@ Result<GcgtCcResult> CsrCc(const Graph& g, const CsrEngineOptions& options) {
       warps.push_back(ctx.TakeStats());
     }
     timeline.AddKernel(warps);
+    filter.CommitRound();
     timeline.AddKernel(
         filter.PointerJump(options.lanes, options.cost.cache_line_bytes));
     if (!hooked) break;

@@ -1,9 +1,7 @@
 #include "core/bc.h"
 
-#include <algorithm>
-
 #include "core/bc_filters.h"
-#include "simt/machine.h"
+#include "core/traversal_pipeline.h"
 
 namespace gcgt {
 
@@ -12,13 +10,13 @@ Result<GcgtBcResult> GcgtBc(const CgrGraph& graph, NodeId source,
   if (source >= graph.num_nodes()) {
     return Status::InvalidArgument("BC source out of range");
   }
-  CgrTraversalEngine engine(graph, options);
+  TraversalPipeline pipeline(graph, options);
   const uint64_t v = graph.num_nodes();
   // depth + sigma + delta + queues + level lists.
-  uint64_t device_bytes =
-      engine.BaseDeviceBytes() + 4 * v + 8 * v + 8 * v + 2 * 4 * v + 4 * v;
-  if (device_bytes > options.device.memory_bytes) {
-    return Status::OutOfMemory("GCGT BC footprint exceeds device memory");
+  if (Status s = pipeline.ReserveDevice(
+          4 * v + 8 * v + 8 * v + 2 * 4 * v + 4 * v, "GCGT BC");
+      !s.ok()) {
+    return s;
   }
 
   GcgtBcResult result;
@@ -28,42 +26,19 @@ Result<GcgtBcResult> GcgtBc(const CgrGraph& graph, NodeId source,
   result.depth[source] = 0;
   result.sigma[source] = 1.0;
 
-  simt::KernelTimeline timeline(options.cost);
-  std::vector<std::vector<NodeId>> levels;
-  levels.push_back({source});
-
-  // Forward pass.
+  // Forward pass: capture every BFS level for the backward sweep.
   {
     BcForwardFilter filter(result.depth, result.sigma);
-    std::vector<simt::WarpStats> warps;
-    while (!levels.back().empty()) {
-      std::vector<NodeId> next;
-      warps.clear();
-      engine.ProcessFrontier(levels.back(), filter, &next, &warps);
-      timeline.AddKernel(warps);
-      levels.push_back(std::move(next));
-    }
-    levels.pop_back();  // drop the empty terminator
+    pipeline.Run({source}, filter, ContractionPolicy::kCaptureLevels);
   }
-
   // Backward pass, deepest level first.
   {
     BcBackwardFilter filter(result.depth, result.sigma, result.dependency);
-    std::vector<NodeId> unused;
-    std::vector<simt::WarpStats> warps;
-    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
-      if (it->empty()) continue;
-      warps.clear();
-      engine.ProcessFrontier(*it, filter, &unused, &warps);
-      timeline.AddKernel(warps);
-    }
+    pipeline.RunBackward(filter);
   }
   result.dependency[source] = 0.0;
 
-  result.metrics.model_ms = timeline.TotalMs();
-  result.metrics.kernels = timeline.num_kernels();
-  result.metrics.device_bytes = device_bytes;
-  result.metrics.warp = timeline.aggregate();
+  result.metrics = pipeline.Metrics();
   return result;
 }
 

@@ -3,9 +3,10 @@
 //
 // Label updates go through atomic CAS / CAS-add loops so the filters are
 // safe under concurrent warps. Level-synchronous semantics keep the depth
-// claims deterministic; sigma/delta additions are deterministic whenever the
-// engine serializes the decision order (the parallel traversal engine does —
-// see cgr_traversal.cc), and merely race-free otherwise.
+// claims deterministic; sigma/delta accumulation order is pinned to the
+// serial expansion order by the engine (serial path: inline Filter calls;
+// parallel path: the claim protocol's serial MergeBatch), so even the
+// floating-point sums are bit-identical across thread counts.
 #ifndef GCGT_CORE_BC_FILTERS_H_
 #define GCGT_CORE_BC_FILTERS_H_
 
@@ -31,6 +32,13 @@ inline void AtomicAddDouble(double& target, double value) {
 
 /// Forward pass: first visit sets depth and appends; every edge into the
 /// next level accumulates sigma (shortest-path counts).
+///
+/// Claim protocol: candidates are the edges that accumulate sigma — edges
+/// to nodes unvisited at round start (whose first serial claimant also sets
+/// the depth; resolved by minimum rank) and edges to nodes already at the
+/// next depth. The sigma additions themselves run in MergeBatch so the
+/// accumulation order (and thus every last bit of the doubles) matches the
+/// serial engine.
 class BcForwardFilter : public FrontierFilter {
  public:
   BcForwardFilter(std::vector<uint32_t>& depth, std::vector<double>& sigma)
@@ -56,9 +64,58 @@ class BcForwardFilter : public FrontierFilter {
     return atomics_.exchange(0, std::memory_order_relaxed);
   }
 
+  void PrepareClaims() override {
+    if (claim_.empty()) claim_.assign(depth_.size(), kUnclaimed);
+  }
+
+  void ClaimBatch(std::span<const EdgePair> edges,
+                  ClaimBatchWriter& writer) override {
+    for (const EdgePair& e : edges) {
+      const uint32_t d = depth_[e.v];  // stable: winners write in resolve
+      if (d == kBcUnvisited) {
+        AtomicMinU64(claim_[e.v], writer.NextRank());
+        writer.Push(e.u, e.v);
+      } else if (d == depth_[e.u] + 1) {
+        writer.Push(e.u, e.v);  // sigma contributor, no depth claim
+      }
+    }
+  }
+
+  void ResolveChunk(ChunkClaims& claims) override {
+    for (size_t b = 0; b < claims.num_batches(); ++b) {
+      std::span<NodeId> slots = claims.accepted_slots(b);
+      uint32_t n = 0;
+      for (const ClaimCandidate& c : claims.batch(b)) {
+        if (std::atomic_ref<uint64_t>(claim_[c.v])
+                .load(std::memory_order_relaxed) != c.rank) {
+          continue;
+        }
+        std::atomic_ref<uint64_t>(claim_[c.v])
+            .store(kUnclaimed, std::memory_order_relaxed);
+        depth_[c.v] = depth_[c.u] + 1;  // unique winner: race-free
+        slots[n++] = c.v;
+      }
+      claims.set_accepted_count(b, n);
+    }
+  }
+
+  int MergeBatch(const ChunkClaims& claims, size_t batch,
+                 std::vector<NodeId>* out) override {
+    int adds = 0;
+    for (const ClaimCandidate& c : claims.batch(batch)) {
+      AtomicAddDouble(sigma_[c.v], sigma_[c.u]);  // serial order
+      ++adds;
+    }
+    std::span<const NodeId> acc = claims.accepted(batch);
+    out->insert(out->end(), acc.begin(), acc.end());
+    return adds;
+  }
+
  private:
   std::vector<uint32_t>& depth_;
   std::vector<double>& sigma_;
+  /// Per-node minimum claimant rank this round; sized on first parallel use.
+  std::vector<uint64_t> claim_;
   std::atomic<int> atomics_{0};
 };
 
@@ -66,6 +123,10 @@ class BcForwardFilter : public FrontierFilter {
 /// accumulate u's dependency from v. Appends nothing; the backward frontiers
 /// are the recorded forward levels (sigma and the deeper level's delta are
 /// read-only at this point).
+///
+/// Claim protocol: the DAG-edge predicate reads only state that is stable
+/// within a backward round, so the claim pass prunes non-DAG edges in
+/// parallel and MergeBatch applies the delta additions in serial order.
 class BcBackwardFilter : public FrontierFilter {
  public:
   BcBackwardFilter(const std::vector<uint32_t>& depth,
@@ -73,9 +134,8 @@ class BcBackwardFilter : public FrontierFilter {
       : depth_(depth), sigma_(sigma), delta_(delta) {}
 
   bool Filter(NodeId u, NodeId v) override {
-    if (depth_[u] != kBcUnvisited && depth_[v] == depth_[u] + 1 &&
-        sigma_[v] > 0) {
-      AtomicAddDouble(delta_[u], sigma_[u] / sigma_[v] * (1.0 + delta_[v]));
+    if (IsDagEdge(u, v)) {
+      AtomicAddDouble(delta_[u], Contribution(u, v));
       atomics_.fetch_add(1, std::memory_order_relaxed);  // delta atomicAdd
     }
     return false;
@@ -85,7 +145,32 @@ class BcBackwardFilter : public FrontierFilter {
     return atomics_.exchange(0, std::memory_order_relaxed);
   }
 
+  void ClaimBatch(std::span<const EdgePair> edges,
+                  ClaimBatchWriter& writer) override {
+    for (const EdgePair& e : edges) {
+      if (IsDagEdge(e.u, e.v)) writer.Push(e.u, e.v);
+    }
+  }
+
+  int MergeBatch(const ChunkClaims& claims, size_t batch,
+                 std::vector<NodeId>* /*out*/) override {
+    int adds = 0;
+    for (const ClaimCandidate& c : claims.batch(batch)) {
+      AtomicAddDouble(delta_[c.u], Contribution(c.u, c.v));  // serial order
+      ++adds;
+    }
+    return adds;
+  }
+
  private:
+  bool IsDagEdge(NodeId u, NodeId v) const {
+    return depth_[u] != kBcUnvisited && depth_[v] == depth_[u] + 1 &&
+           sigma_[v] > 0;
+  }
+  double Contribution(NodeId u, NodeId v) const {
+    return sigma_[u] / sigma_[v] * (1.0 + delta_[v]);
+  }
+
   const std::vector<uint32_t>& depth_;
   const std::vector<double>& sigma_;
   std::vector<double>& delta_;

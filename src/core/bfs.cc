@@ -1,7 +1,7 @@
 #include "core/bfs.h"
 
 #include "core/frontier_filter.h"
-#include "simt/machine.h"
+#include "core/traversal_pipeline.h"
 
 namespace gcgt {
 
@@ -10,35 +10,21 @@ Result<GcgtBfsResult> GcgtBfs(const CgrGraph& graph, NodeId source,
   if (source >= graph.num_nodes()) {
     return Status::InvalidArgument("BFS source out of range");
   }
-  CgrTraversalEngine engine(graph, options);
+  TraversalPipeline pipeline(graph, options);
   const uint64_t v = graph.num_nodes();
-  uint64_t device_bytes = engine.BaseDeviceBytes() + 4 * v /* labels */ +
-                          2 * 4 * v /* ping-pong queues */;
-  if (device_bytes > options.device.memory_bytes) {
-    return Status::OutOfMemory("GCGT BFS footprint exceeds device memory");
+  if (Status s = pipeline.ReserveDevice(
+          4 * v /* labels */ + 2 * 4 * v /* ping-pong queues */, "GCGT BFS");
+      !s.ok()) {
+    return s;
   }
 
   BfsFilter filter(graph.num_nodes());
   filter.SetSource(source);
-  simt::KernelTimeline timeline(options.cost);
-
-  std::vector<NodeId> frontier{source};
-  std::vector<NodeId> next;
-  std::vector<simt::WarpStats> warps;
-  while (!frontier.empty()) {
-    next.clear();
-    warps.clear();
-    engine.ProcessFrontier(frontier, filter, &next, &warps, trace);
-    timeline.AddKernel(warps);
-    frontier.swap(next);
-  }
+  pipeline.Run({source}, filter, ContractionPolicy::kNone, trace);
 
   GcgtBfsResult result;
   result.depth = filter.TakeDepth();
-  result.metrics.model_ms = timeline.TotalMs();
-  result.metrics.kernels = timeline.num_kernels();
-  result.metrics.device_bytes = device_bytes;
-  result.metrics.warp = timeline.aggregate();
+  result.metrics = pipeline.Metrics();
   return result;
 }
 

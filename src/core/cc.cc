@@ -1,50 +1,37 @@
 #include "core/cc.h"
 
-#include <algorithm>
 #include <numeric>
 
 #include "core/cc_filter.h"
-#include "simt/machine.h"
+#include "core/traversal_pipeline.h"
 
 namespace gcgt {
 
 Result<GcgtCcResult> GcgtCc(const CgrGraph& graph, const GcgtOptions& options) {
-  CgrTraversalEngine engine(graph, options);
+  TraversalPipeline pipeline(graph, options);
   const uint64_t v = graph.num_nodes();
-  uint64_t device_bytes = engine.BaseDeviceBytes() + 4 * v /* parents */ +
-                          2 * 4 * v /* queues */;
-  if (device_bytes > options.device.memory_bytes) {
-    return Status::OutOfMemory("GCGT CC footprint exceeds device memory");
+  if (Status s = pipeline.ReserveDevice(
+          4 * v /* parents */ + 2 * 4 * v /* queues */, "GCGT CC");
+      !s.ok()) {
+    return s;
   }
 
   CcFilter filter(graph.num_nodes());
-  simt::KernelTimeline timeline(options.cost);
-
   std::vector<NodeId> frontier(graph.num_nodes());
   std::iota(frontier.begin(), frontier.end(), 0);
-  std::vector<NodeId> next;
-  std::vector<simt::WarpStats> warps;
-  int rounds = 0;
-  while (!frontier.empty()) {
-    ++rounds;
-    next.clear();
-    warps.clear();
-    engine.ProcessFrontier(frontier, filter, &next, &warps);
-    timeline.AddKernel(warps);
-    timeline.AddKernel(
-        filter.PointerJump(options.lanes, options.cost.cache_line_bytes));
-    std::sort(next.begin(), next.end());
-    next.erase(std::unique(next.begin(), next.end()), next.end());
-    frontier.swap(next);
-  }
 
+  // Each hooking round commits its claimed minima and then flattens the
+  // parent forest with the pointer-jumping kernel; the re-scan frontier is
+  // contracted to sorted unique nodes (paper Fig. 7(c)).
   GcgtCcResult result;
+  result.rounds = pipeline.Run(
+      std::move(frontier), filter, ContractionPolicy::kSortUnique,
+      /*trace=*/nullptr, [&] {
+        filter.CommitRound();
+        return filter.PointerJump(options.lanes, options.cost.cache_line_bytes);
+      });
   result.component = filter.parent();
-  result.rounds = rounds;
-  result.metrics.model_ms = timeline.TotalMs();
-  result.metrics.kernels = timeline.num_kernels();
-  result.metrics.device_bytes = device_bytes;
-  result.metrics.warp = timeline.aggregate();
+  result.metrics = pipeline.Metrics();
   return result;
 }
 

@@ -4,7 +4,6 @@
 #define GCGT_CORE_CC_FILTER_H_
 
 #include <algorithm>
-#include <atomic>
 #include <numeric>
 #include <vector>
 
@@ -14,46 +13,80 @@
 
 namespace gcgt {
 
-/// Links the component-tree roots of u and v when they differ (min-id root
-/// wins, making results deterministic) and keeps u in the re-scan frontier.
+/// Round-synchronous hooking (Soman et al. as run by the GCGT pipeline):
+/// within a round every edge resolves its endpoints' component roots against
+/// the parent state *frozen at round start*, and roots are hooked through a
+/// per-round claim table — claim[hi] keeps the smallest root proposed for hi
+/// so far, and a proposal charges a hooking CAS exactly when it improves
+/// that running minimum (the CAS that would have won on hardware). An edge
+/// whose roots differ keeps u in the re-scan frontier whether or not its
+/// proposal won. CommitRound() (called by the driver before the
+/// pointer-jumping kernel) installs the claimed minima into the parent
+/// array; min-id hooking keeps parents monotone decreasing, so the forest
+/// stays acyclic and results are deterministic.
+///
+/// Freezing reads at round start is what makes the decision for every edge
+/// a pure function of (round-start parents, running claim minima): the
+/// parallel engine computes the root finds concurrently in the claim pass
+/// and replays only the trivial running-minimum updates in the serial
+/// merge, bit-identical to the serial path.
 class CcFilter : public FrontierFilter {
  public:
-  explicit CcFilter(NodeId n) : parent_(n) {
+  explicit CcFilter(NodeId n) : parent_(n), claim_(n, kInvalidNode) {
     std::iota(parent_.begin(), parent_.end(), 0);
   }
 
+  /// Root of x in the committed (round-start) parent forest.
   NodeId Find(NodeId x) const {
-    for (;;) {
-      NodeId p = std::atomic_ref<NodeId>(const_cast<NodeId&>(parent_[x]))
-                     .load(std::memory_order_relaxed);
-      if (p == x) return x;
-      x = p;
-    }
+    while (parent_[x] != x) x = parent_[x];
+    return x;
   }
 
-  /// Hooks the larger root under the smaller via CAS. The retry loop makes
-  /// the filter safe under concurrent warps (a lost race re-reads the roots);
-  /// on the serial path the CAS always succeeds first try, so serial behavior
-  /// is unchanged.
   bool Filter(NodeId u, NodeId v) override {
-    for (;;) {
-      NodeId ru = Find(u);
-      NodeId rv = Find(v);
-      if (ru == rv) return false;
-      NodeId lo = std::min(ru, rv);
-      NodeId hi = std::max(ru, rv);
-      NodeId expected = hi;
-      if (std::atomic_ref<NodeId>(parent_[hi]).compare_exchange_strong(
-              expected, lo, std::memory_order_relaxed)) {
-        atomics_.fetch_add(1, std::memory_order_relaxed);  // the hooking CAS
-        return true;
-      }
-    }
+    NodeId ru = Find(u);
+    NodeId rv = Find(v);
+    if (ru == rv) return false;
+    if (Propose(std::min(ru, rv), std::max(ru, rv))) ++atomics_;
+    return true;  // u re-scans until its component stops growing
   }
 
   NodeId AppendTarget(NodeId u, NodeId /*v*/) override { return u; }
   int TakeAtomics() override {
-    return atomics_.exchange(0, std::memory_order_relaxed);
+    int n = atomics_;
+    atomics_ = 0;
+    return n;
+  }
+
+  void ClaimBatch(std::span<const EdgePair> edges,
+                  ClaimBatchWriter& writer) override {
+    // Parents are frozen this round, so the (expensive) root chases are safe
+    // to run concurrently; the claim table is only touched in MergeBatch.
+    for (const EdgePair& e : edges) {
+      NodeId ru = Find(e.u);
+      NodeId rv = Find(e.v);
+      if (ru == rv) continue;
+      writer.Push(e.u, e.v, std::min(ru, rv), std::max(ru, rv));
+    }
+  }
+
+  int MergeBatch(const ChunkClaims& claims, size_t batch,
+                 std::vector<NodeId>* out) override {
+    int atomics = 0;
+    for (const ClaimCandidate& c : claims.batch(batch)) {
+      if (Propose(c.a, c.b)) ++atomics;
+      out->push_back(c.u);
+    }
+    return atomics;
+  }
+
+  /// Installs this round's winning claims into the parent forest. Must run
+  /// after the round's traversal kernel and before PointerJump.
+  void CommitRound() {
+    for (NodeId hi : claimed_) {
+      parent_[hi] = claim_[hi];
+      claim_[hi] = kInvalidNode;
+    }
+    claimed_.clear();
   }
 
   /// Pointer-jumping kernel: flattens every node to its root; returns
@@ -89,8 +122,20 @@ class CcFilter : public FrontierFilter {
   const std::vector<NodeId>& parent() const { return parent_; }
 
  private:
+  /// Records lo as a hook proposal for root hi; returns true when it
+  /// improved the running minimum (the proposal's CAS would have landed).
+  bool Propose(NodeId lo, NodeId hi) {
+    NodeId cur = claim_[hi] == kInvalidNode ? hi : claim_[hi];
+    if (lo >= cur) return false;
+    if (claim_[hi] == kInvalidNode) claimed_.push_back(hi);
+    claim_[hi] = lo;
+    return true;
+  }
+
   std::vector<NodeId> parent_;
-  std::atomic<int> atomics_{0};
+  std::vector<NodeId> claim_;    // per-root best proposal this round
+  std::vector<NodeId> claimed_;  // roots with a live claim (commit list)
+  int atomics_ = 0;
 };
 
 }  // namespace gcgt

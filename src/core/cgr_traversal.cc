@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
-#include <map>
-#include <mutex>
 #include <optional>
 
 #include "core/memory_layout.h"
@@ -49,13 +47,6 @@ std::string ItemLabel(const AppendItem& it) {
   return buf;
 }
 
-/// One enumerated (frontier node, neighbor) pair awaiting its filter
-/// decision; recorded by the parallel enumeration pass and replayed serially.
-struct PendingEdge {
-  NodeId u = 0;
-  NodeId v = 0;
-};
-
 /// Per-lane traversal state.
 struct Lane {
   bool valid = false;
@@ -91,9 +82,11 @@ struct Lane {
 ///    appends and their memory charges happen inline, and a StepTrace may
 ///    record Fig. 4 tables.
 ///  - RunEnumerate: the parallel-phase engine. The decode/scheduling walk is
-///    identical (it never depends on the filter), but append slots record
-///    their (u, v) pairs into a per-thread arena; the filter decisions and
-///    the decision-dependent charges are replayed serially afterwards (see
+///    identical (it never depends on the filter), but each append slot hands
+///    its (u, v) pairs to the filter's chunk-scoped claim pass
+///    (FrontierFilter::ClaimBatch), which applies atomic claims and records
+///    the surviving candidates in the worker's claim arena; decisions are
+///    settled by ResolveChunk / the serial MergeBatch afterwards (see
 ///    CgrTraversalEngine::ProcessFrontier).
 class WarpSim {
  public:
@@ -105,19 +98,18 @@ class WarpSim {
     filter_ = &filter;
     out_ = out;
     trace_ = trace;
-    edge_arena_ = nullptr;
-    batch_arena_ = nullptr;
+    claim_filter_ = nullptr;
+    claim_writer_ = nullptr;
     return Run(chunk);
   }
 
-  WarpStats RunEnumerate(std::span<const NodeId> chunk,
-                         std::vector<PendingEdge>* edge_arena,
-                         std::vector<size_t>* batch_arena) {
+  WarpStats RunEnumerate(std::span<const NodeId> chunk, FrontierFilter& filter,
+                         ClaimBatchWriter& writer) {
     filter_ = nullptr;
     out_ = nullptr;
     trace_ = nullptr;
-    edge_arena_ = edge_arena;
-    batch_arena_ = batch_arena;
+    claim_filter_ = &filter;
+    claim_writer_ = &writer;
     return Run(chunk);
   }
 
@@ -153,12 +145,12 @@ class WarpSim {
   const GcgtOptions& o_;
   WarpContext ctx_;
 
-  // Per-run bindings (exactly one of filter_/edge_arena_ is set).
+  // Per-run bindings (exactly one of filter_/claim_writer_ is set).
   FrontierFilter* filter_ = nullptr;
   std::vector<NodeId>* out_ = nullptr;
   StepTrace* trace_ = nullptr;
-  std::vector<PendingEdge>* edge_arena_ = nullptr;
-  std::vector<size_t>* batch_arena_ = nullptr;
+  FrontierFilter* claim_filter_ = nullptr;
+  ClaimBatchWriter* claim_writer_ = nullptr;
 
   // Reusable scratch (capacity persists across chunks; no steady-state
   // allocation).
@@ -171,6 +163,7 @@ class WarpSim {
   std::vector<AppendItem> round_;
   std::vector<uint64_t> gather_addrs_;
   std::vector<uint64_t> write_addrs_;
+  std::vector<EdgePair> edge_pairs_;
   struct Task {
     int src_lane;
     uint32_t seg;
@@ -201,11 +194,14 @@ void WarpSim::AppendStep(std::vector<AppendItem>& items) {
   ctx_.MemAccess(gather_addrs_, 4);
   ctx_.SharedOp();  // exclusiveScan for the contraction offsets
   ctx_.Atomic(1);   // single queue-tail atomic per warp (Alg. 1 line 30)
-  if (edge_arena_ != nullptr) {
-    // Enumerate mode: defer the filter decision and its dependent charges
-    // (extra atomics, label writes, queue append) to the serial replay.
-    for (const auto& it : items) edge_arena_->push_back({it.u, it.v});
-    batch_arena_->push_back(edge_arena_->size());
+  if (claim_writer_ != nullptr) {
+    // Enumerate mode: run the filter's parallel claim pass for this slot;
+    // the dependent charges (extra atomics, queue append) are reconstructed
+    // from the claim buffers during the serial merge.
+    edge_pairs_.clear();
+    for (const auto& it : items) edge_pairs_.push_back({it.u, it.v});
+    claim_filter_->ClaimBatch(edge_pairs_, *claim_writer_);
+    claim_writer_->EndBatch();
     items.clear();
     return;
   }
@@ -933,47 +929,36 @@ WarpStats WarpSim::Run(std::span<const NodeId> chunk) {
   return ctx_.TakeStats();
 }
 
-/// Process-wide pools shared by all engines, keyed by requested thread
-/// count (0 = hardware concurrency). The BFS/CC/BC drivers construct one
-/// engine per query, so per-engine pools would spawn and join OS threads on
-/// every query; sharing amortizes that to once per process. Safe because
-/// ThreadPool serializes concurrent top-level ParallelFor callers.
-ThreadPool& SharedPool(int num_threads) {
-  static std::mutex mu;
-  static std::map<size_t, std::unique_ptr<ThreadPool>> pools;
-  const size_t key = num_threads <= 0 ? 0 : static_cast<size_t>(num_threads);
-  std::lock_guard<std::mutex> lock(mu);
-  std::unique_ptr<ThreadPool>& pool = pools[key];
-  if (!pool) pool = std::make_unique<ThreadPool>(key);
-  return *pool;
-}
-
 }  // namespace
 
 namespace internal {
 
-/// Worker-thread state: one reusable warp simulator plus the enumeration
-/// arenas it appends to. Arenas are cleared (capacity kept) every level.
+/// Worker-thread state: one reusable warp simulator plus the claim arena
+/// its chunks' ClaimBatch calls fill. Arenas are cleared (capacity kept)
+/// every level.
 struct WorkerState {
   WorkerState(const CgrGraph& g, const GcgtOptions& o) : sim(g, o) {}
   WarpSim sim;
-  std::vector<PendingEdge> edges;
-  std::vector<size_t> batch_ends;  // end offsets into `edges`, one per append slot
+  ClaimArena arena;
 };
 
-/// Result of enumerating one warp chunk, before the serial decision replay.
+/// Result of enumerating + claiming one warp chunk, before the resolve and
+/// merge phases.
 struct ChunkRecord {
   simt::WarpStats stats;    // decision-independent charges from the warp walk
-  uint32_t worker = 0;      // which WorkerState owns the arena spans below
+  uint32_t worker = 0;      // which WorkerState owns the arena slices below
   uint32_t chunk_size = 0;  // frontier nodes in this warp
-  size_t edge_begin = 0;
+  size_t cand_begin = 0;
   size_t batch_begin = 0;
   size_t batch_end = 0;
 };
 
 struct EngineScratch {
   EngineScratch(const CgrGraph& g, const GcgtOptions& o)
-      : pool(&SharedPool(o.num_threads)), serial_sim(g, o) {
+      : pool(&SharedThreadPool(o.num_threads <= 0
+                                   ? 0
+                                   : static_cast<size_t>(o.num_threads))),
+        serial_sim(g, o) {
     workers.reserve(pool->num_threads());
     for (size_t t = 0; t < pool->num_threads(); ++t) {
       workers.push_back(std::make_unique<WorkerState>(g, o));
@@ -1026,14 +1011,14 @@ void CgrTraversalEngine::ProcessFrontier(std::span<const NodeId> frontier,
     return;
   }
 
-  // Phase 1 (parallel): every worker enumerates its chunks' (u, v) pairs and
-  // charges all decision-independent costs. The warp walk never reads filter
-  // state, so this is exact regardless of scheduling.
+  // Phase 1 (parallel): every worker enumerates its chunks' (u, v) pairs,
+  // charges all decision-independent costs, and runs the filter's claim pass
+  // per append slot (atomic claims + candidate recording — see
+  // FrontierFilter::ClaimBatch). The warp walk never reads filter state, so
+  // this is exact regardless of scheduling.
+  filter.PrepareClaims();
   scratch.records.assign(num_chunks, internal::ChunkRecord{});
-  for (auto& w : scratch.workers) {
-    w->edges.clear();
-    w->batch_ends.clear();
-  }
+  for (auto& w : scratch.workers) w->arena.Clear();
   scratch.pool->ParallelFor(
       num_chunks, 1, [&](size_t worker, size_t begin, size_t end) {
         internal::WorkerState& ws = *scratch.workers[worker];
@@ -1043,60 +1028,53 @@ void CgrTraversalEngine::ProcessFrontier(std::span<const NodeId> frontier,
           internal::ChunkRecord& rec = scratch.records[ci];
           rec.worker = static_cast<uint32_t>(worker);
           rec.chunk_size = static_cast<uint32_t>(n);
-          rec.edge_begin = ws.edges.size();
-          rec.batch_begin = ws.batch_ends.size();
-          rec.stats = ws.sim.RunEnumerate(frontier.subspan(off, n), &ws.edges,
-                                          &ws.batch_ends);
-          rec.batch_end = ws.batch_ends.size();
+          rec.cand_begin = ws.arena.cands.size();
+          rec.batch_begin = ws.arena.batch_ends.size();
+          ClaimBatchWriter writer(ws.arena, static_cast<uint64_t>(ci) << 32);
+          rec.stats =
+              ws.sim.RunEnumerate(frontier.subspan(off, n), filter, writer);
+          rec.batch_end = ws.arena.batch_ends.size();
         }
       });
 
-  // Phase 2 (serial replay, chunk order): apply the filter to every
-  // enumerated pair exactly as the serial engine would, building the global
-  // out-frontier and charging the decision-dependent costs. Only two charge
-  // kinds depend on decisions:
-  //  - filter atomics (hooking CAS, sigma/delta atomicAdd);
-  //  - the queue-append line transactions. Label-write lines are always a
-  //    subset of the visited-check gather already charged in phase 1, and
-  //    the address regions of memory_layout.h are line-disjoint, so a warp's
-  //    queue lines are exactly its input-queue prefix plus one contiguous
-  //    output run — reconstructed here without the full line set.
+  // Phase 2 (parallel): with every chunk's claims in place, the filter
+  // settles the order-independent decisions per chunk — for claim-based
+  // filters the minimum-rank claimant of each label is exactly the edge the
+  // serial engine would have accepted, so winners apply their label writes
+  // and compact the accepted targets here, race-free.
+  for (auto& w : scratch.workers) w->arena.PrepareResolve();
+  scratch.pool->ParallelFor(
+      num_chunks, 1, [&](size_t /*worker*/, size_t begin, size_t end) {
+        for (size_t ci = begin; ci < end; ++ci) {
+          internal::ChunkRecord& rec = scratch.records[ci];
+          ChunkClaims claims(scratch.workers[rec.worker]->arena, rec.cand_begin,
+                             rec.batch_begin, rec.batch_end);
+          filter.ResolveChunk(claims);
+        }
+      });
+
+  // Phase 3 (serial prefix-sum merge, chunk order): concatenate the
+  // per-chunk claim buffers into the global out-frontier and charge the
+  // decision-dependent costs. Only two charge kinds depend on decisions:
+  //  - filter atomics (hooking CAS, sigma/delta atomicAdd), reported by
+  //    MergeBatch per append slot;
+  //  - the queue-append line transactions, reconstructed from each slot's
+  //    queue tail + accepted count (simt::QueueAppendCharges; label-write
+  //    lines are always a subset of the visited-check gather already charged
+  //    in phase 1). Order-dependent filter effects (running claim minima,
+  //    float accumulation) also run here, in serial order.
   const int line_bytes = options_.cost.cache_line_bytes;
   for (size_t ci = 0; ci < num_chunks; ++ci) {
     internal::ChunkRecord& rec = scratch.records[ci];
-    internal::WorkerState& ws = *scratch.workers[rec.worker];
-    const uint64_t in_queue_last =
-        (kQueueBase + 4ull * rec.chunk_size - 1) / line_bytes;
-    uint64_t out_lo = 0, out_hi = 0;
-    bool out_any = false;
-    size_t edge_it = rec.edge_begin;
-    for (size_t b = rec.batch_begin; b < rec.batch_end; ++b) {
-      const size_t batch_end = ws.batch_ends[b];
+    ChunkClaims claims(scratch.workers[rec.worker]->arena, rec.cand_begin,
+                       rec.batch_begin, rec.batch_end);
+    simt::QueueAppendCharges charges(kQueueBase, 4, line_bytes, rec.chunk_size);
+    for (size_t b = 0; b < claims.num_batches(); ++b) {
       const size_t tail = out_frontier->size();
-      for (; edge_it < batch_end; ++edge_it) {
-        const PendingEdge& e = ws.edges[edge_it];
-        if (filter.Filter(e.u, e.v)) {
-          out_frontier->push_back(filter.AppendTarget(e.u, e.v));
-        }
-      }
-      if (int extra = filter.TakeAtomics(); extra > 0) {
+      if (int extra = filter.MergeBatch(claims, b, out_frontier); extra > 0) {
         rec.stats.atomics += static_cast<uint64_t>(extra);
       }
-      const size_t appended = out_frontier->size() - tail;
-      if (appended == 0) continue;
-      const uint64_t lo = (kQueueBase + 4ull * tail) / line_bytes;
-      const uint64_t hi =
-          (kQueueBase + 4ull * tail + 4ull * appended - 1) / line_bytes;
-      for (uint64_t l = lo; l <= hi; ++l) {
-        const bool touched =
-            l <= in_queue_last || (out_any && l >= out_lo && l <= out_hi);
-        if (!touched) rec.stats.mem_txns += 1;
-      }
-      if (!out_any) {
-        out_lo = lo;
-        out_any = true;
-      }
-      out_hi = std::max(out_hi, hi);
+      rec.stats.mem_txns += charges.Charge(tail, out_frontier->size() - tail);
     }
     warp_stats->push_back(rec.stats);
   }

@@ -5,12 +5,17 @@
 //
 // Execution model: warp chunks are simulated concurrently across a host
 // thread pool (GcgtOptions::num_threads), each worker owning one reusable
-// WarpSim and scratch arena. The decode/scheduling walk of a warp is
+// WarpSim and claim arena. The decode/scheduling walk of a warp is
 // independent of the frontier filter, so workers enumerate (frontier,
-// neighbor) pairs and charge all decode costs in parallel; the filter
-// decisions (visited checks, hooks, sigma/delta updates) and the
-// decision-dependent queue-write charges are then replayed serially in
-// chunk order. Results — frontier contents and order, labels, per-warp
+// neighbor) pairs, charge all decode costs, and run the filter's
+// chunk-scoped claim pass (atomic CAS / rank-min claims into per-chunk
+// claim buffers) in parallel; a second parallel pass settles the
+// order-independent decisions (the minimum-rank claimant of a label is the
+// edge the serial engine would have accepted) and applies the label writes;
+// the only sequential stage left is the prefix-sum merge of the per-chunk
+// claim buffers into the global out-frontier, which also charges the
+// decision-dependent costs and applies order-dependent filter effects (see
+// FrontierFilter). Results — frontier contents and order, labels, per-warp
 // stats, modeled cycles — are bit-identical to the serial engine
 // (num_threads == 1), which is also the path used whenever a StepTrace is
 // requested.

@@ -3,21 +3,171 @@
 // hands each (frontier, neighbor) pair to a filter, which updates the
 // application state and decides whether a node enters the next frontier.
 // BFS, Connected Component and Betweenness Centrality are all filters.
+//
+// Filters expose two decision interfaces:
+//  - Filter(u, v): the serial contract. The engine's reference path
+//    (num_threads == 1, StepTrace) calls it inline in expansion order.
+//  - the chunk-scoped claim protocol (ClaimBatch / ResolveChunk /
+//    MergeBatch): the parallel contract. Workers enumerate warp chunks
+//    concurrently and call ClaimBatch for every append slot, which inspects
+//    the slot's edges against the stable pre-round label state, applies
+//    atomic claims (CAS / atomic-min keyed by the edge's serial rank) and
+//    records surviving candidates in a per-chunk claim buffer. After every
+//    chunk has claimed, ResolveChunk (still parallel) settles the
+//    order-independent decisions — the minimum-rank claimant of a label is
+//    exactly the edge the serial engine would have accepted — and compacts
+//    the accepted targets. Finally MergeBatch runs serially in global batch
+//    order and applies whatever must happen in serial order (queue appends,
+//    ordered floating-point accumulation, running claim minima), making the
+//    whole parallel path bit-identical to the serial one.
+//
+// The default implementations defer every decision to MergeBatch, which
+// replays Filter() — so any third-party filter is automatically correct
+// under the parallel engine, just without parallel claiming.
 #ifndef GCGT_CORE_FRONTIER_FILTER_H_
 #define GCGT_CORE_FRONTIER_FILTER_H_
 
 #include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "graph/graph.h"
 
 namespace gcgt {
+
+/// One expanded (frontier node, neighbor) pair of an append slot.
+struct EdgePair {
+  NodeId u = 0;
+  NodeId v = 0;
+};
+
+/// A filter-decision candidate surviving the parallel claim pass. `rank` is
+/// the edge's global serial order (chunk-major: chunk index in the high 32
+/// bits, the candidate's index within its chunk below), so comparing ranks
+/// reproduces the order in which the serial engine would have reached the
+/// two edges. `a`/`b` carry filter-specific payload computed during the
+/// claim pass (e.g. the frozen component roots for CC).
+struct ClaimCandidate {
+  NodeId u = 0;
+  NodeId v = 0;
+  NodeId a = 0;
+  NodeId b = 0;
+  uint64_t rank = 0;
+};
+
+/// Sentinel larger than every real rank ((chunk << 32) | index with chunk
+/// counts far below 2^31).
+inline constexpr uint64_t kUnclaimed = ~uint64_t{0};
+
+/// atomic fetch-min on a uint64 slot (CUDA atomicMin equivalent).
+inline void AtomicMinU64(uint64_t& target, uint64_t value) {
+  std::atomic_ref<uint64_t> ref(target);
+  uint64_t cur = ref.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Per-worker claim arena. Chunk records reference contiguous slices;
+/// capacity persists across rounds so the steady-state hot path does not
+/// allocate.
+struct ClaimArena {
+  std::vector<ClaimCandidate> cands;
+  std::vector<size_t> batch_ends;  ///< end offset into `cands` per append slot
+  /// Phase-B compaction output: `accepted` is index-aligned with `cands`
+  /// (capacity per batch equals its candidate count); `accepted_count` holds
+  /// one entry per append slot.
+  std::vector<NodeId> accepted;
+  std::vector<uint32_t> accepted_count;
+
+  void Clear() {
+    cands.clear();
+    batch_ends.clear();
+  }
+  void PrepareResolve() {
+    accepted.resize(cands.size());
+    accepted_count.assign(batch_ends.size(), 0);
+  }
+};
+
+/// Writer handed to ClaimBatch: pushes candidates into the chunk's slice of
+/// the arena and mints their serial ranks.
+class ClaimBatchWriter {
+ public:
+  ClaimBatchWriter(ClaimArena& arena, uint64_t chunk_rank_base)
+      : arena_(arena),
+        chunk_base_(chunk_rank_base),
+        cand_begin_(arena.cands.size()) {}
+
+  /// Rank the next Push() will receive (claim with it *before* pushing).
+  uint64_t NextRank() const {
+    return chunk_base_ | (arena_.cands.size() - cand_begin_);
+  }
+  void Push(NodeId u, NodeId v, NodeId a = 0, NodeId b = 0) {
+    arena_.cands.push_back({u, v, a, b, NextRank()});
+  }
+  /// Called by the engine after each append slot's ClaimBatch.
+  void EndBatch() { arena_.batch_ends.push_back(arena_.cands.size()); }
+
+ private:
+  ClaimArena& arena_;
+  uint64_t chunk_base_;
+  size_t cand_begin_;
+};
+
+/// View over one chunk's claim-buffer slices, used by ResolveChunk (phase B,
+/// parallel) and MergeBatch (phase C, serial).
+class ChunkClaims {
+ public:
+  ChunkClaims(ClaimArena& arena, size_t cand_begin, size_t batch_begin,
+              size_t batch_end)
+      : arena_(&arena),
+        cand_begin_(cand_begin),
+        batch_begin_(batch_begin),
+        batch_end_(batch_end) {}
+
+  size_t num_batches() const { return batch_end_ - batch_begin_; }
+
+  std::span<const ClaimCandidate> batch(size_t i) const {
+    auto [lo, hi] = BatchRange(i);
+    return std::span<const ClaimCandidate>(arena_->cands).subspan(lo, hi - lo);
+  }
+  /// Phase-B output slots for batch i (capacity = the batch's candidates).
+  std::span<NodeId> accepted_slots(size_t i) {
+    auto [lo, hi] = BatchRange(i);
+    return std::span<NodeId>(arena_->accepted).subspan(lo, hi - lo);
+  }
+  void set_accepted_count(size_t i, uint32_t n) {
+    arena_->accepted_count[batch_begin_ + i] = n;
+  }
+  std::span<const NodeId> accepted(size_t i) const {
+    auto [lo, hi] = BatchRange(i);
+    (void)hi;
+    return std::span<const NodeId>(arena_->accepted)
+        .subspan(lo, arena_->accepted_count[batch_begin_ + i]);
+  }
+
+ private:
+  std::pair<size_t, size_t> BatchRange(size_t i) const {
+    const size_t b = batch_begin_ + i;
+    const size_t lo = b == batch_begin_ ? cand_begin_ : arena_->batch_ends[b - 1];
+    return {lo, arena_->batch_ends[b]};
+  }
+
+  ClaimArena* arena_;
+  size_t cand_begin_;
+  size_t batch_begin_;
+  size_t batch_end_;
+};
 
 class FrontierFilter {
  public:
   virtual ~FrontierFilter() = default;
 
   /// Called once per expanded edge (u, v); returns true when a node should
-  /// be appended to the out-frontier.
+  /// be appended to the out-frontier. Serial contract only — the parallel
+  /// engine goes through the claim protocol below.
   virtual bool Filter(NodeId u, NodeId v) = 0;
 
   /// Which node is appended when Filter returned true (v for BFS/BC,
@@ -26,14 +176,57 @@ class FrontierFilter {
 
   /// Global atomics the filter actually issued since the last drain (e.g.
   /// hooking CAS, sigma atomicAdd). The engine drains this after every
-  /// append slot and charges the simulator accordingly.
+  /// append slot on the serial path and charges the simulator accordingly.
   virtual int TakeAtomics() { return 0; }
+
+  // ---- chunk-scoped claim protocol (parallel engine) ----
+
+  /// Called once, from a serial context, before each parallel round's claim
+  /// pass. Size lazy claim-side state here (ClaimBatch runs concurrently,
+  /// so it must not allocate shared state itself). Default: nothing.
+  virtual void PrepareClaims() {}
+
+  /// Phase A (parallel, one call per append slot, concurrent across chunks):
+  /// inspect the slot's edges against stable pre-round state, apply atomic
+  /// claims, and push surviving candidates. Label state may only be READ
+  /// here (writes happen in ResolveChunk/MergeBatch after the barrier).
+  /// Default: every edge survives; decisions are deferred to MergeBatch.
+  virtual void ClaimBatch(std::span<const EdgePair> edges,
+                          ClaimBatchWriter& writer) {
+    for (const EdgePair& e : edges) writer.Push(e.u, e.v);
+  }
+
+  /// Phase B (parallel, one call per chunk, after every ClaimBatch of the
+  /// round completed): settle order-independent decisions, apply winner
+  /// label writes (race-free — one winner per label), and compact accepted
+  /// targets into the chunk's slots. Default: nothing resolved (all
+  /// decisions deferred).
+  virtual void ResolveChunk(ChunkClaims& /*claims*/) {}
+
+  /// Phase C (serial, batches in global serial order): append the slot's
+  /// accepted targets to `out` and return the global atomics to charge for
+  /// it. Order-dependent effects (running claim minima, floating-point
+  /// accumulation) happen here. Default: replay Filter() per candidate.
+  virtual int MergeBatch(const ChunkClaims& claims, size_t batch,
+                         std::vector<NodeId>* out) {
+    for (const ClaimCandidate& c : claims.batch(batch)) {
+      if (Filter(c.u, c.v)) out->push_back(AppendTarget(c.u, c.v));
+    }
+    return TakeAtomics();
+  }
 };
 
 /// BFS visited-check filter: unvisited neighbors get depth u+1 and enter the
 /// next frontier. The visited-check/claim is an atomic CAS, so the filter is
 /// safe under concurrent warps; level-synchronous semantics make the written
 /// depth identical no matter which warp wins the claim.
+///
+/// Claim protocol: edges to already-visited nodes are pruned during the
+/// parallel pass; the rest atomic-min their serial rank into a claim slot.
+/// The minimum-rank claimant is precisely the edge whose CAS would have
+/// succeeded on the serial path, so ResolveChunk can write depths and
+/// compact the out-frontier fully in parallel and MergeBatch reduces to an
+/// append of the pre-compacted run.
 class BfsFilter : public FrontierFilter {
  public:
   static constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
@@ -48,11 +241,55 @@ class BfsFilter : public FrontierFilter {
         expected, depth_[u] + 1, std::memory_order_relaxed);
   }
 
+  void PrepareClaims() override {
+    if (claim_.empty()) claim_.assign(depth_.size(), kUnclaimed);
+  }
+
+  void ClaimBatch(std::span<const EdgePair> edges,
+                  ClaimBatchWriter& writer) override {
+    for (const EdgePair& e : edges) {
+      // depth_ is stable during the claim pass (winners write in resolve).
+      if (depth_[e.v] != kUnvisited) continue;
+      AtomicMinU64(claim_[e.v], writer.NextRank());
+      writer.Push(e.u, e.v);
+    }
+  }
+
+  void ResolveChunk(ChunkClaims& claims) override {
+    for (size_t b = 0; b < claims.num_batches(); ++b) {
+      std::span<NodeId> slots = claims.accepted_slots(b);
+      uint32_t n = 0;
+      for (const ClaimCandidate& c : claims.batch(b)) {
+        // Relaxed atomics: the winner resets the slot while losers (in other
+        // chunks) may still be comparing against their own rank.
+        if (std::atomic_ref<uint64_t>(claim_[c.v])
+                .load(std::memory_order_relaxed) != c.rank) {
+          continue;
+        }
+        std::atomic_ref<uint64_t>(claim_[c.v])
+            .store(kUnclaimed, std::memory_order_relaxed);
+        depth_[c.v] = depth_[c.u] + 1;  // unique winner: race-free
+        slots[n++] = c.v;
+      }
+      claims.set_accepted_count(b, n);
+    }
+  }
+
+  int MergeBatch(const ChunkClaims& claims, size_t batch,
+                 std::vector<NodeId>* out) override {
+    std::span<const NodeId> acc = claims.accepted(batch);
+    out->insert(out->end(), acc.begin(), acc.end());
+    return 0;
+  }
+
   const std::vector<uint32_t>& depth() const { return depth_; }
   std::vector<uint32_t> TakeDepth() { return std::move(depth_); }
 
  private:
   std::vector<uint32_t> depth_;
+  /// Per-node minimum claimant rank this round; sized on first parallel use
+  /// (the serial engine never touches it).
+  std::vector<uint64_t> claim_;
 };
 
 }  // namespace gcgt

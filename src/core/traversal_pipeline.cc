@@ -1,0 +1,50 @@
+#include "core/traversal_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gcgt {
+
+int TraversalPipeline::Run(std::vector<NodeId> frontier, FrontierFilter& filter,
+                           ContractionPolicy contraction, StepTrace* trace,
+                           const PostRoundKernel& post_round) {
+  int rounds = 0;
+  std::vector<NodeId> next;
+  std::vector<simt::WarpStats> warps;
+  while (!frontier.empty()) {
+    ++rounds;
+    next.clear();
+    warps.clear();
+    engine_.ProcessFrontier(frontier, filter, &next, &warps, trace);
+    timeline_.AddKernel(warps);
+    if (post_round) timeline_.AddKernel(post_round());
+    switch (contraction) {
+      case ContractionPolicy::kNone:
+        break;
+      case ContractionPolicy::kSortUnique:
+        std::sort(next.begin(), next.end());
+        next.erase(std::unique(next.begin(), next.end()), next.end());
+        break;
+      case ContractionPolicy::kCaptureLevels:
+        levels_.push_back(std::move(frontier));
+        frontier = std::move(next);
+        next = std::vector<NodeId>();
+        continue;
+    }
+    frontier.swap(next);
+  }
+  return rounds;
+}
+
+void TraversalPipeline::RunBackward(FrontierFilter& filter) {
+  std::vector<NodeId> unused;
+  std::vector<simt::WarpStats> warps;
+  for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
+    if (it->empty()) continue;
+    warps.clear();
+    engine_.ProcessFrontier(*it, filter, &unused, &warps);
+    timeline_.AddKernel(warps);
+  }
+}
+
+}  // namespace gcgt

@@ -1,0 +1,96 @@
+// The expansion–filtering–contraction pipeline of paper §6 (Fig. 7) as an
+// explicit, reusable layer. A TraversalPipeline owns the pieces every GCGT
+// workload driver used to re-implement by hand:
+//  - the frontier ping-pong loop over CgrTraversalEngine::ProcessFrontier,
+//  - the KernelTimeline collecting one kernel per round (plus any per-round
+//    auxiliary kernels, e.g. CC's pointer jumping),
+//  - the modeled device-footprint accounting and budget check,
+//  - the per-round contraction policy applied to the out-frontier.
+//
+// BFS, Connected Components and Betweenness Centrality are thin
+// configurations of this class: BFS runs to fixpoint with no contraction,
+// CC with sort-unique contraction and a pointer-jump post-round kernel, and
+// BC captures each forward level and then replays them backward.
+#ifndef GCGT_CORE_TRAVERSAL_PIPELINE_H_
+#define GCGT_CORE_TRAVERSAL_PIPELINE_H_
+
+#include <functional>
+#include <vector>
+
+#include "cgr/cgr_graph.h"
+#include "core/cgr_traversal.h"
+#include "core/frontier_filter.h"
+#include "core/gcgt_options.h"
+#include "core/trace.h"
+#include "simt/machine.h"
+#include "util/status.h"
+
+namespace gcgt {
+
+/// What happens to a round's out-frontier before it becomes the next
+/// round's input (paper Fig. 7 "contraction").
+enum class ContractionPolicy {
+  kNone,        ///< out-frontier is used as-is (BFS)
+  kSortUnique,  ///< sort + deduplicate (CC's node-centric re-scan set)
+  kCaptureLevels,  ///< additionally record every round's input frontier (BC)
+};
+
+class TraversalPipeline {
+ public:
+  /// Extra kernels to model after each round's traversal kernel (e.g. CC's
+  /// commit + pointer jump). The returned per-warp stats are added to the
+  /// timeline as one kernel.
+  using PostRoundKernel = std::function<std::vector<simt::WarpStats>()>;
+
+  TraversalPipeline(const CgrGraph& graph, const GcgtOptions& options)
+      : engine_(graph, options), timeline_(options.cost) {}
+
+  /// Models the device footprint as the engine's base bytes (compressed
+  /// adjacency + offsets) plus `aux_bytes` (labels, queues, sigma/delta...)
+  /// and checks it against the configured device memory.
+  Status ReserveDevice(uint64_t aux_bytes, const char* workload) {
+    device_bytes_ = engine_.BaseDeviceBytes() + aux_bytes;
+    if (device_bytes_ > engine_.options().device.memory_bytes) {
+      return Status::OutOfMemory(std::string(workload) +
+                                 " footprint exceeds device memory");
+    }
+    return Status::OK();
+  }
+
+  /// Runs the expand–filter–contract loop until the frontier drains.
+  /// Each round: ProcessFrontier -> one timeline kernel -> optional
+  /// `post_round` kernel -> contraction policy. Returns rounds executed.
+  /// `trace` (Fig. 4 tables) forces the engine's serial path.
+  int Run(std::vector<NodeId> frontier, FrontierFilter& filter,
+          ContractionPolicy contraction, StepTrace* trace = nullptr,
+          const PostRoundKernel& post_round = nullptr);
+
+  /// Replays the levels captured by kCaptureLevels deepest-first through
+  /// `filter`, discarding any out-frontier (BC's backward sweep).
+  void RunBackward(FrontierFilter& filter);
+
+  /// Input frontiers of each round, recorded under kCaptureLevels.
+  const std::vector<std::vector<NodeId>>& levels() const { return levels_; }
+
+  /// Aggregated metrics of everything run through this pipeline so far.
+  TraversalMetrics Metrics() const {
+    TraversalMetrics m;
+    m.model_ms = timeline_.TotalMs();
+    m.kernels = timeline_.num_kernels();
+    m.device_bytes = device_bytes_;
+    m.warp = timeline_.aggregate();
+    return m;
+  }
+
+  const CgrTraversalEngine& engine() const { return engine_; }
+
+ private:
+  CgrTraversalEngine engine_;
+  simt::KernelTimeline timeline_;
+  uint64_t device_bytes_ = 0;
+  std::vector<std::vector<NodeId>> levels_;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_CORE_TRAVERSAL_PIPELINE_H_

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/random.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace gcgt {
 
@@ -48,6 +50,17 @@ std::vector<NodeId> InvertPermutation(const std::vector<NodeId>& perm);
 
 /// Convenience: relabels g with the method's ordering.
 Graph ApplyReordering(const Graph& g, ReorderMethod method, uint64_t seed = 42);
+
+namespace internal {
+
+/// One LLP label-propagation layer (exposed for tests). `pool == nullptr`
+/// runs the historical serial loop; any pool produces bit-identical labels
+/// via the chunked speculate-then-validate schedule (see reorder.cc).
+std::vector<NodeId> PropagateLabels(const Graph& g, const Graph& reverse,
+                                    double gamma, int iterations, Rng& rng,
+                                    ThreadPool* pool);
+
+}  // namespace internal
 
 }  // namespace gcgt
 

@@ -144,6 +144,51 @@ struct WarpStats {
 uint64_t CountCacheLines(std::span<const uint64_t> addrs, uint32_t width,
                          int line_bytes);
 
+/// Reconstructs one warp's decision-dependent queue-append transactions
+/// without replaying its full LineSet. Valid because the nominal address
+/// regions (memory_layout.h) are line-disjoint, so of a warp's queue-region
+/// lines exactly two runs can already be warm when an append happens: the
+/// input-queue prefix it loaded at chunk start, and the contiguous output
+/// run of its earlier appends. Feed every append (in slot order) through
+/// Charge(); it returns the cold-line transactions to add to WarpStats.
+class QueueAppendCharges {
+ public:
+  QueueAppendCharges(uint64_t queue_base, uint32_t elem_bytes, int line_bytes,
+                     uint64_t in_queue_elems)
+      : base_(queue_base),
+        elem_(elem_bytes),
+        line_(line_bytes),
+        in_last_((queue_base + elem_bytes * in_queue_elems - 1) / line_bytes) {}
+
+  /// `count` elements appended at global queue offset `tail` (elements).
+  uint64_t Charge(uint64_t tail, uint64_t count) {
+    if (count == 0) return 0;
+    const uint64_t lo = (base_ + elem_ * tail) / line_;
+    const uint64_t hi = (base_ + elem_ * tail + elem_ * count - 1) / line_;
+    uint64_t txns = 0;
+    for (uint64_t l = lo; l <= hi; ++l) {
+      const bool touched =
+          l <= in_last_ || (out_any_ && l >= out_lo_ && l <= out_hi_);
+      if (!touched) ++txns;
+    }
+    if (!out_any_) {
+      out_lo_ = lo;
+      out_any_ = true;
+    }
+    out_hi_ = std::max(out_hi_, hi);
+    return txns;
+  }
+
+ private:
+  uint64_t base_;
+  uint64_t elem_;
+  uint64_t line_;
+  uint64_t in_last_;
+  uint64_t out_lo_ = 0;
+  uint64_t out_hi_ = 0;
+  bool out_any_ = false;
+};
+
 /// Per-warp accounting + warp-synchronous primitives. `num_lanes` is 32 in
 /// production; tests reproducing the paper's figures use 8 or 16.
 class WarpContext {

@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <map>
+#include <memory>
 
 namespace gcgt {
 namespace {
@@ -130,6 +132,15 @@ void ThreadPool::ParallelFor(
     });
   }
   job_ = nullptr;
+}
+
+ThreadPool& SharedThreadPool(size_t num_threads) {
+  static std::mutex mu;
+  static std::map<size_t, std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<ThreadPool>& pool = pools[num_threads];
+  if (!pool) pool = std::make_unique<ThreadPool>(num_threads);
+  return *pool;
 }
 
 }  // namespace gcgt

@@ -70,6 +70,13 @@ class ThreadPool {
   std::atomic<size_t> done_workers_{0};
 };
 
+/// Process-wide pools shared by every subsystem (traversal engine, LLP
+/// reordering), keyed by requested thread count (0 = hardware concurrency).
+/// Callers construct short-lived engines per query; sharing the pool
+/// amortizes OS-thread spawn/join to once per process. Safe because
+/// ThreadPool serializes concurrent top-level ParallelFor callers.
+ThreadPool& SharedThreadPool(size_t num_threads = 0);
+
 }  // namespace gcgt
 
 #endif  // GCGT_UTIL_THREAD_POOL_H_

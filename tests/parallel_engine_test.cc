@@ -145,6 +145,25 @@ TEST(ParallelEngine, BcDriverBitIdentical) {
   }
 }
 
+// The claim protocol must not depend on how chunks land on workers: any
+// thread count produces the serial results.
+TEST(ParallelEngine, ThreadCountSweepBitIdentical) {
+  Graph g = TestGraph();
+  CgrGraph cgr = EncodeLayout(g, 32);
+  auto serial = GcgtBfs(cgr, 0, OptionsFor(GcgtLevel::kFull, 1));
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {2, 3, 8}) {
+    auto parallel = GcgtBfs(cgr, 0, OptionsFor(GcgtLevel::kFull, threads));
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial.value().depth, parallel.value().depth) << threads;
+    EXPECT_EQ(serial.value().metrics.warp, parallel.value().metrics.warp)
+        << threads;
+    EXPECT_EQ(serial.value().metrics.model_ms,
+              parallel.value().metrics.model_ms)
+        << threads;
+  }
+}
+
 TEST(ParallelEngine, RepeatedParallelRunsAreStable) {
   Graph g = TestGraph();
   CgrGraph cgr = EncodeLayout(g, 32);
