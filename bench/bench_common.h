@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/gcgt_session.h"
 #include "cgr/cgr_graph.h"
 #include "graph/graph.h"
 #include "reorder/reorder.h"
@@ -56,6 +57,18 @@ Dataset BuildDataset(const std::string& name,
 Graph BuildRawGraph(const std::string& name);
 
 std::vector<std::string> DatasetNames();
+
+/// Query session over an already-preprocessed dataset graph (BuildDataset
+/// has applied VNC + reordering, so the session only encodes): serves
+/// GCGT/GPUCSR/Gunrock/CPU queries. `device_budget_bytes` == 0 keeps the
+/// DeviceSpec default; `level` selects the GCGT scheduling ladder rung.
+Result<GcgtSession> PreparedSession(const Graph& graph,
+                                    uint64_t device_budget_bytes = 0,
+                                    const CgrOptions& cgr = {},
+                                    GcgtLevel level = GcgtLevel::kFull);
+
+/// One BfsQuery per source, ready for GcgtSession::RunBatch.
+std::vector<Query> BfsBatch(const std::vector<NodeId>& sources);
 
 /// Simulated device-memory budget: the paper's 12 GB scaled by the ratio
 /// 12 GB / (twitter CSR bytes), applied to the scaled twitter dataset, so

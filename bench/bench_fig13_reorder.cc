@@ -5,7 +5,6 @@
 
 #include "bench/bench_common.h"
 #include "cgr/cgr_graph.h"
-#include "core/bfs.h"
 
 int main(int argc, char** argv) {
   using namespace gcgt;
@@ -20,29 +19,29 @@ int main(int argc, char** argv) {
   for (const std::string& name : bench::DatasetNames()) {
     for (ReorderMethod m : methods) {
       bench::Dataset d = bench::BuildDataset(name, m);
-      auto cgr = CgrGraph::Encode(d.graph, CgrOptions{});
-      if (!cgr.ok()) continue;
-      auto sources = bench::BfsSources(d.graph);
-      GcgtOptions opt;
+      auto session = bench::PreparedSession(d.graph);
+      if (!session.ok()) continue;
+      auto batch = bench::BfsBatch(bench::BfsSources(d.graph));
+      const simt::CostModel cost;
       double total = 0;
       int runs = 0;
       const double t0 = bench::NowNs();
-      for (NodeId s : sources) {
-        auto res = GcgtBfs(cgr.value(), s, opt);
-        if (res.ok()) {
-          total += res.value().metrics.model_ms;
+      auto results = session.value().RunBatch(batch);
+      if (results.ok()) {
+        for (const QueryResult& r : results.value()) {
+          total += r.metrics().model_ms;
           ++runs;
         }
       }
       json.Add(name + "/" + ReorderMethodName(m), bench::NowNs() - t0,
-               bench::ModelCycles(total, opt.cost));
-      std::printf("%-10s %-10s %12s %12s\n", name.c_str(),
-                  ReorderMethodName(m),
-                  bench::Cell(runs ? total / runs : 0.0, 12, 3).c_str(),
-                  bench::Cell(
-                      bench::RateVsRaw(d.raw_edges, cgr.value().total_bits()),
+               bench::ModelCycles(total, cost));
+      std::printf(
+          "%-10s %-10s %12s %12s\n", name.c_str(), ReorderMethodName(m),
+          bench::Cell(runs ? total / runs : 0.0, 12, 3).c_str(),
+          bench::Cell(bench::RateVsRaw(
+                          d.raw_edges, session.value().cgr().total_bits()),
                       12, 2)
-                      .c_str());
+              .c_str());
     }
     std::printf("\n");
   }

@@ -3,13 +3,12 @@
 // memory budget (Gunrock OOMs on the two large datasets). GPUCSR CC is
 // edge-centric (Soman et al.), which the paper notes is friendlier to
 // twitter's super nodes than GCGT's node-centric frontier.
+//
+// One GcgtSession per dataset; the three engines are the session's backends
+// answering the same CcQuery / BcQuery.
 #include <cstdio>
 
-#include "baseline/csr_gpu_engine.h"
 #include "bench/bench_common.h"
-#include "cgr/cgr_graph.h"
-#include "core/bc.h"
-#include "core/cc.h"
 
 int main(int argc, char** argv) {
   using namespace gcgt;
@@ -24,81 +23,36 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-4s %12s %12s %12s\n", "dataset", "app", "Gunrock",
               "GPUCSR", "GCGT");
 
+  // JSON/table order matches the printed columns.
+  const Backend backends[] = {Backend::kCsrGunrock, Backend::kCsrBaseline,
+                              Backend::kCgrSimt};
+
   for (const auto& d : datasets) {
-    auto cgr = CgrGraph::Encode(d.graph, CgrOptions{});
-    if (!cgr.ok()) continue;
+    auto prepared = bench::PreparedSession(d.graph, budget);
+    if (!prepared.ok()) continue;
+    GcgtSession& session = prepared.value();
+    const simt::CostModel cost = session.options().gcgt.cost;
     NodeId bc_source = bench::BfsSources(d.graph, 1)[0];
 
-    auto fmt = [](double ms, bool oom) {
-      return oom ? Cell("OOM", 12) : Cell(ms, 12, 3);
+    auto run_app = [&](const char* app, const Query& query) {
+      std::printf("%-10s %-4s", d.name.c_str(), app);
+      for (Backend backend : backends) {
+        const double t0 = bench::NowNs();
+        auto r = session.Run(query, {.backend = backend});
+        const double wall = bench::NowNs() - t0;
+        json.Add(d.name + "/" + app + "/" + BackendName(backend), wall,
+                 r.ok() ? bench::ModelCycles(r.value().metrics().model_ms,
+                                             cost)
+                        : 0.0,
+                 {{"oom", r.ok() ? "0" : "1"}});
+        std::printf(" %12s",
+                    r.ok() ? Cell(r.value().metrics().model_ms, 12, 3).c_str()
+                           : Cell("OOM", 12).c_str());
+      }
+      std::printf("\n");
     };
-
-    // --- CC ---
-    {
-      CsrEngineOptions gunrock_opt;
-      gunrock_opt.gunrock = true;
-      gunrock_opt.device.memory_bytes = budget;
-      CsrEngineOptions gpucsr_opt;
-      gpucsr_opt.device.memory_bytes = budget;
-      GcgtOptions gcgt_opt;
-      gcgt_opt.device.memory_bytes = budget;
-
-      double t0 = bench::NowNs();
-      auto a = CsrCc(d.graph, gunrock_opt);
-      double t1 = bench::NowNs();
-      auto b = CsrCc(d.graph, gpucsr_opt);
-      double t2 = bench::NowNs();
-      auto c = GcgtCc(cgr.value(), gcgt_opt);
-      double t3 = bench::NowNs();
-      auto add = [&](const char* eng, double wall,
-                     const Result<GcgtCcResult>& r) {
-        json.Add(d.name + "/CC/" + eng, wall,
-                 r.ok() ? bench::ModelCycles(r.value().metrics.model_ms,
-                                             gcgt_opt.cost)
-                        : 0.0,
-                 {{"oom", r.ok() ? "0" : "1"}});
-      };
-      add("Gunrock", t1 - t0, a);
-      add("GPUCSR", t2 - t1, b);
-      add("GCGT", t3 - t2, c);
-      std::printf("%-10s %-4s %12s %12s %12s\n", d.name.c_str(), "CC",
-                  fmt(a.ok() ? a.value().metrics.model_ms : 0, !a.ok()).c_str(),
-                  fmt(b.ok() ? b.value().metrics.model_ms : 0, !b.ok()).c_str(),
-                  fmt(c.ok() ? c.value().metrics.model_ms : 0, !c.ok()).c_str());
-    }
-    // --- BC ---
-    {
-      CsrEngineOptions gunrock_opt;
-      gunrock_opt.gunrock = true;
-      gunrock_opt.device.memory_bytes = budget;
-      CsrEngineOptions gpucsr_opt;
-      gpucsr_opt.device.memory_bytes = budget;
-      GcgtOptions gcgt_opt;
-      gcgt_opt.device.memory_bytes = budget;
-
-      double t0 = bench::NowNs();
-      auto a = CsrBc(d.graph, bc_source, gunrock_opt);
-      double t1 = bench::NowNs();
-      auto b = CsrBc(d.graph, bc_source, gpucsr_opt);
-      double t2 = bench::NowNs();
-      auto c = GcgtBc(cgr.value(), bc_source, gcgt_opt);
-      double t3 = bench::NowNs();
-      auto add = [&](const char* eng, double wall,
-                     const Result<GcgtBcResult>& r) {
-        json.Add(d.name + "/BC/" + eng, wall,
-                 r.ok() ? bench::ModelCycles(r.value().metrics.model_ms,
-                                             gcgt_opt.cost)
-                        : 0.0,
-                 {{"oom", r.ok() ? "0" : "1"}});
-      };
-      add("Gunrock", t1 - t0, a);
-      add("GPUCSR", t2 - t1, b);
-      add("GCGT", t3 - t2, c);
-      std::printf("%-10s %-4s %12s %12s %12s\n", d.name.c_str(), "BC",
-                  fmt(a.ok() ? a.value().metrics.model_ms : 0, !a.ok()).c_str(),
-                  fmt(b.ok() ? b.value().metrics.model_ms : 0, !b.ok()).c_str(),
-                  fmt(c.ok() ? c.value().metrics.model_ms : 0, !c.ok()).c_str());
-    }
+    run_app("CC", CcQuery{});
+    run_app("BC", BcQuery{{bc_source}});
     std::printf("\n");
   }
   return 0;

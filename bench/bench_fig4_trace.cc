@@ -2,8 +2,12 @@
 // scheduling strategies on the paper's worked example (8-lane warp) and the
 // parallel VLC decoding example. The step counts (26 / 12 / 10 and marking
 // rounds = 3) are pinned by unit tests.
+//
+// `--json out.json` records one row per strategy with the paper-table step
+// count as the trend metric (deterministic, like model_cycles elsewhere).
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "cgr/cgr_graph.h"
 #include "core/cgr_traversal.h"
 #include "core/frontier_filter.h"
@@ -30,44 +34,63 @@ Graph MakeFig4Graph() {
   return Graph::FromEdges(128, edges);
 }
 
-void RunAndPrint(GcgtLevel level, const char* title) {
+void RunAndPrint(GcgtLevel level, const char* title,
+                 bench::JsonReport* json) {
   Graph g = MakeFig4Graph();
   CgrOptions copt;
   copt.min_interval_len = 4;
   copt.segment_len_bytes = 0;
-  auto cgr = CgrGraph::Encode(g, copt);
   GcgtOptions opt;
   opt.level = level;
   opt.lanes = 8;
-  CgrTraversalEngine engine(cgr.value(), opt);
+
+  // The trace drives the engine below the query API, so prepare a session
+  // and borrow its persistent engine instead of constructing one by hand.
+  PrepareOptions popt;
+  popt.cgr = copt;
+  popt.gcgt = opt;
+  auto session = GcgtSession::Prepare(g, popt);
+  const CgrTraversalEngine& engine = session.value().engine();
+
   BfsFilter filter(g.num_nodes());
   std::vector<NodeId> frontier = {0, 1, 2, 3, 4, 5, 6, 7};
   for (NodeId u : frontier) filter.SetSource(u);
   std::vector<NodeId> out;
   std::vector<simt::WarpStats> warps;
   StepTrace trace;
+  // wall_ns times the traced traversal only (like every other bench row).
+  const double t0 = bench::NowNs();
   engine.ProcessFrontier(frontier, filter, &out, &warps, &trace);
+  const double wall_ns = bench::NowNs() - t0;
   std::printf("---- %s: %zu steps ----\n%s\n", title, trace.PaperStepCount(),
               trace.ToTable(8).c_str());
+  if (json != nullptr) {
+    json->Add(std::string("fig4/") + GcgtLevelName(level), wall_ns,
+              static_cast<double>(trace.PaperStepCount()));
+  }
 }
 
 }  // namespace
 }  // namespace gcgt
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcgt;
+  bench::JsonReport json(argc, argv);
   std::printf("== Fig. 4: instruction flow of the scheduling strategies ==\n");
-  RunAndPrint(GcgtLevel::kIntuitive, "(b) Intuitive approach");
-  RunAndPrint(GcgtLevel::kTwoPhase, "(c) Two-Phase Traversal");
-  RunAndPrint(GcgtLevel::kTaskStealing, "(d) Task Stealing");
+  RunAndPrint(GcgtLevel::kIntuitive, "(b) Intuitive approach", &json);
+  RunAndPrint(GcgtLevel::kTwoPhase, "(c) Two-Phase Traversal", &json);
+  RunAndPrint(GcgtLevel::kTaskStealing, "(d) Task Stealing", &json);
 
   std::printf("== Fig. 5: parallel VLC decoding (gamma codes of 1..5) ==\n");
+  const double t0 = bench::NowNs();
   BitWriter w;
   for (uint64_t v = 1; v <= 5; ++v) VlcEncode(VlcScheme::kGamma, v, &w);
   w.PutBits(0b10100, 5);
   auto bytes = w.bytes();
   ParallelDecodeResult r = WarpCentricDecodeWindow(bytes.data(), w.num_bits(),
                                                    0, 16, VlcScheme::kGamma, 5);
+  json.Add("fig5/marking_rounds", bench::NowNs() - t0,
+           static_cast<double>(r.rounds));
   std::printf("valid start offsets:");
   for (uint32_t o : r.valid_offsets) std::printf(" %u", o);
   std::printf("\ndecoded values:");

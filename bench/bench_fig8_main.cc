@@ -5,16 +5,17 @@
 // interest is the *shape*: GPU >> CPU, GCGT within a small factor of GPUCSR,
 // Gunrock OOM on the two large datasets, CGR rates 2x-18x.
 //
+// Each dataset is prepared ONCE into a GcgtSession; the three simulated-GPU
+// approaches are the session's backends (kCgrSimt / kCsrBaseline /
+// kCsrGunrock) answering the same BFS batch.
+//
 // `--json out.json` additionally records one row per (dataset, approach)
 // with measured wall ns and modeled GPU cycles (see bench::JsonReport).
 #include <cstdio>
 
 #include "baseline/byte_rle.h"
 #include "baseline/cpu_bfs.h"
-#include "baseline/csr_gpu_engine.h"
 #include "bench/bench_common.h"
-#include "cgr/cgr_graph.h"
-#include "core/bfs.h"
 
 int main(int argc, char** argv) {
   using namespace gcgt;
@@ -39,20 +40,24 @@ int main(int argc, char** argv) {
   for (const auto& d : datasets) {
     const Graph& g = d.graph;
     auto sources = bench::BfsSources(g);
+    auto batch = bench::BfsBatch(sources);
     ThreadPool pool(2);
-    Graph rev = g.Reversed();
-    ByteRleGraph rle = ByteRleGraph::Encode(g);
-    ByteRleGraph rle_rev = ByteRleGraph::Encode(rev);
-    auto cgr = CgrGraph::Encode(g, CgrOptions{});
-    if (!cgr.ok()) {
-      std::printf("%-10s CGR encode failed: %s\n", d.name.c_str(),
-                  cgr.status().ToString().c_str());
+
+    auto prepared = bench::PreparedSession(g, budget);
+    if (!prepared.ok()) {
+      std::printf("%-10s session prepare failed: %s\n", d.name.c_str(),
+                  prepared.status().ToString().c_str());
       continue;
     }
+    GcgtSession& session = prepared.value();
+    const Graph& rev = session.reversed();
+    ByteRleGraph rle = ByteRleGraph::Encode(g);
+    ByteRleGraph rle_rev = ByteRleGraph::Encode(rev);
 
     double csr_rate = bench::RateVsRaw(d.raw_edges, 32ull * g.num_edges());
     double rle_rate = bench::RateVsRaw(d.raw_edges, 8ull * rle.DataBytes());
-    double cgr_rate = bench::RateVsRaw(d.raw_edges, cgr.value().total_bits());
+    double cgr_rate =
+        bench::RateVsRaw(d.raw_edges, session.cgr().total_bits());
 
     // CPU approaches (wall clock, median of 3).
     double naive_ms = bench::WallMs([&] {
@@ -65,49 +70,35 @@ int main(int argc, char** argv) {
       for (NodeId s : sources) LigraPlusBfs(rle, rle_rev, s, pool);
     }) / sources.size();
 
-    // GPU approaches (simulator model time, averaged over sources; wall time
-    // of the simulation itself recorded for the JSON perf trajectory).
-    double gunrock_wall_ns = 0, gpucsr_wall_ns = 0, gcgt_wall_ns = 0;
-    auto run_csr = [&](bool gunrock, double* wall_ns) -> bench::TimedResult {
-      CsrEngineOptions opt;
-      opt.gunrock = gunrock;
-      opt.device.memory_bytes = budget;
+    // GPU approaches: the same query batch routed through each backend
+    // (simulator model time averaged over sources; wall time of the
+    // simulation itself recorded for the JSON perf trajectory).
+    auto run_backend = [&](Backend backend,
+                           double* wall_ns) -> bench::TimedResult {
       bench::TimedResult r;
-      double t0 = NowNs();
-      for (NodeId s : sources) {
-        auto res = CsrBfs(g, s, opt);
-        if (!res.ok()) {
-          r.oom = res.status().IsOutOfMemory();
-          *wall_ns = NowNs() - t0;
-          return r;
-        }
-        r.ms += res.value().metrics.model_ms;
-      }
+      const double t0 = NowNs();
+      auto results = session.RunBatch(batch, {.backend = backend});
       *wall_ns = NowNs() - t0;
+      if (!results.ok()) {
+        r.oom = results.status().IsOutOfMemory();
+        return r;
+      }
+      for (const QueryResult& q : results.value()) {
+        r.ms += q.metrics().model_ms;
+      }
       r.ms /= sources.size();
       return r;
     };
-    bench::TimedResult gunrock = run_csr(true, &gunrock_wall_ns);
-    bench::TimedResult gpucsr = run_csr(false, &gpucsr_wall_ns);
-    bench::TimedResult gcgt;
-    GcgtOptions gcgt_opt;
-    {
-      gcgt_opt.device.memory_bytes = budget;
-      double t0 = NowNs();
-      for (NodeId s : sources) {
-        auto res = GcgtBfs(cgr.value(), s, gcgt_opt);
-        if (!res.ok()) {
-          gcgt.oom = res.status().IsOutOfMemory();
-          break;
-        }
-        gcgt.ms += res.value().metrics.model_ms;
-      }
-      gcgt_wall_ns = NowNs() - t0;
-      if (!gcgt.oom) gcgt.ms /= sources.size();
-    }
+    double gunrock_wall_ns = 0, gpucsr_wall_ns = 0, gcgt_wall_ns = 0;
+    bench::TimedResult gunrock =
+        run_backend(Backend::kCsrGunrock, &gunrock_wall_ns);
+    bench::TimedResult gpucsr =
+        run_backend(Backend::kCsrBaseline, &gpucsr_wall_ns);
+    bench::TimedResult gcgt = run_backend(Backend::kCgrSimt, &gcgt_wall_ns);
 
+    const simt::CostModel cost = session.options().gcgt.cost;
     auto cycles_of = [&](double model_ms) {
-      return bench::ModelCycles(model_ms, gcgt_opt.cost);
+      return bench::ModelCycles(model_ms, cost);
     };
     auto row = [&](const char* name, double ms, bool oom, double rate,
                    double wall_ns, double model_cycles) {

@@ -9,7 +9,6 @@
 
 #include "bench/bench_common.h"
 #include "cgr/cgr_graph.h"
-#include "core/bfs.h"
 
 int main(int argc, char** argv) {
   using namespace gcgt;
@@ -28,28 +27,33 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   for (const auto& d : datasets) {
+    // Encode each layout once; every ladder rung is a session attached to
+    // the shared encoding (one engine per rung serving the whole batch).
     CgrOptions unseg;
     unseg.segment_len_bytes = 0;
     auto cgr_unseg = CgrGraph::Encode(d.graph, unseg);
     auto cgr_seg = CgrGraph::Encode(d.graph, CgrOptions{});
     if (!cgr_unseg.ok() || !cgr_seg.ok()) continue;
-    auto sources = bench::BfsSources(d.graph);
+    auto batch = bench::BfsBatch(bench::BfsSources(d.graph));
 
     std::vector<double> ms;
     for (GcgtLevel level : levels) {
       GcgtOptions opt;
       opt.level = level;
-      const CgrGraph& graph =
-          level == GcgtLevel::kFull ? cgr_seg.value() : cgr_unseg.value();
+      GcgtSession session = GcgtSession::Attach(
+          level == GcgtLevel::kFull ? cgr_seg.value() : cgr_unseg.value(),
+          opt);
       double total = 0;
       const double t0 = bench::NowNs();
-      for (NodeId s : sources) {
-        auto res = GcgtBfs(graph, s, opt);
-        if (res.ok()) total += res.value().metrics.model_ms;
+      auto results = session.RunBatch(batch);
+      if (results.ok()) {
+        for (const QueryResult& r : results.value()) {
+          total += r.metrics().model_ms;
+        }
       }
       json.Add(d.name + "/" + GcgtLevelName(level), bench::NowNs() - t0,
                bench::ModelCycles(total, opt.cost));
-      ms.push_back(total / sources.size());
+      ms.push_back(total / batch.size());
     }
     double full = ms.back();
     std::printf("%-10s", d.name.c_str());

@@ -1,14 +1,14 @@
 // Memory-budget planner: the paper's motivating scenario — which graphs fit
 // on a GPU with a fixed device memory, uncompressed (CSR) vs compressed
 // (CGR)? Reports per-format footprints and the largest traversable graph
-// under several device budgets.
+// under several device budgets, using one GcgtSession per budget whose
+// backends answer the same BFS feasibility query.
 //
 //   $ ./examples/memory_budget_planner
 #include <cstdio>
 
+#include "api/gcgt_session.h"
 #include "baseline/csr_gpu_engine.h"
-#include "cgr/cgr_graph.h"
-#include "core/bfs.h"
 #include "graph/generators.h"
 
 using namespace gcgt;
@@ -28,25 +28,27 @@ int main() {
   }
 
   for (const Graph& g : graphs) {
-    auto cgr = CgrGraph::Encode(g, CgrOptions{});
+    auto session = GcgtSession::Prepare(g, PrepareOptions{});
     double csr_mb = CsrBytes32(g) / 1048576.0;
-    double cgr_mb = cgr.value().DeviceBytes() / 1048576.0;
+    double cgr_mb = session.value().cgr().DeviceBytes() / 1048576.0;
     std::printf("%10u %12llu %12.2f %12.2f %7.1fx\n", g.num_nodes(),
                 (unsigned long long)g.num_edges(), csr_mb, cgr_mb,
                 csr_mb / cgr_mb);
   }
 
-  // What actually fits: try a BFS under shrinking budgets.
+  // What actually fits: the same BFS query against both backends under
+  // shrinking budgets. The encode is shared — each budget is a session
+  // attached to the same CgrGraph (and the already-uncompressed graph, so
+  // the CSR backend skips the lazy decode).
   std::printf("\nBFS feasibility of the largest graph under device budgets:\n");
   const Graph& big = graphs.back();
-  auto cgr = CgrGraph::Encode(big, CgrOptions{});
+  auto encoded = CgrGraph::Encode(big, CgrOptions{});
   for (uint64_t budget_kb : {8192u, 2048u, 1024u, 512u, 256u}) {
-    CsrEngineOptions csr_opt;
-    csr_opt.device.memory_bytes = budget_kb * 1024;
-    GcgtOptions gcgt_opt;
-    gcgt_opt.device.memory_bytes = budget_kb * 1024;
-    auto csr_res = CsrBfs(big, 0, csr_opt);
-    auto gcgt_res = GcgtBfs(cgr.value(), 0, gcgt_opt);
+    GcgtOptions opt;
+    opt.device.memory_bytes = budget_kb * 1024;
+    GcgtSession session = GcgtSession::Attach(encoded.value(), big, opt);
+    auto csr_res = session.Run(BfsQuery{0}, {.backend = Backend::kCsrBaseline});
+    auto gcgt_res = session.Run(BfsQuery{0});
     std::printf("  %6llu KB budget: GPUCSR %-14s GCGT %s\n",
                 (unsigned long long)budget_kb,
                 csr_res.ok() ? "fits" : csr_res.status().ToString().c_str(),

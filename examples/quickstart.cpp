@@ -1,12 +1,13 @@
-// Quickstart: build a graph, compress it to CGR, run GCGT BFS on the
-// simulated GPU, and inspect compression + execution metrics.
+// Quickstart: prepare a graph once into a GcgtSession (CGR compression +
+// persistent traversal engine), then serve queries against it — the
+// prepare-once / query-many shape the paper's compressed traversal is
+// designed for.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
 
+#include "api/gcgt_session.h"
 #include "cgr/cgr_decoder.h"
-#include "cgr/cgr_graph.h"
-#include "core/bfs.h"
 #include "graph/generators.h"
 
 using namespace gcgt;
@@ -18,42 +19,64 @@ int main() {
   std::printf("graph: %u nodes, %llu edges\n", g.num_nodes(),
               (unsigned long long)g.num_edges());
 
-  // 2. Compress it into the CGR format (paper Table 2 defaults: zeta3 codes,
-  //    min interval length 4, 32-byte residual segments).
-  CgrOptions options;
-  auto cgr = CgrGraph::Encode(g, options);
-  if (!cgr.ok()) {
-    std::fprintf(stderr, "encode failed: %s\n", cgr.status().ToString().c_str());
+  // 2. Prepare the session ONCE: compresses the graph into CGR (paper
+  //    Table 2 defaults: zeta3 codes, min interval length 4, 32-byte
+  //    residual segments) and builds the persistent traversal engine every
+  //    query reuses. PrepareOptions can also apply virtual-node compression
+  //    and node reordering first.
+  auto session = GcgtSession::Prepare(g, PrepareOptions{});
+  if (!session.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 session.status().ToString().c_str());
     return 1;
   }
+  const CgrGraph& cgr = session.value().cgr();
   std::printf("CGR: %.2f bits/edge (CSR uses 32), compression rate %.2fx\n",
-              cgr.value().BitsPerEdge(), cgr.value().CompressionRate());
+              cgr.BitsPerEdge(), cgr.CompressionRate());
 
   // 3. Adjacency lists decode on demand — nothing is ever decompressed into
   //    device memory.
   std::printf("neighbors of node 1:");
-  for (NodeId v : DecodeAdjacency(cgr.value(), 1)) std::printf(" %u", v);
+  for (NodeId v : DecodeAdjacency(cgr, 1)) std::printf(" %u", v);
   std::printf("\n");
 
-  // 4. Run BFS with the full GCGT scheduling (two-phase + task stealing +
-  //    warp-centric decoding + residual segmentation).
-  auto bfs = GcgtBfs(cgr.value(), /*source=*/0, GcgtOptions{});
+  // 4. Queries are typed values. Run BFS with the full GCGT scheduling
+  //    (two-phase + task stealing + warp-centric decoding + residual
+  //    segmentation) — no per-query engine or scratch construction.
+  auto bfs = session.value().Run(BfsQuery{/*source=*/0});
   if (!bfs.ok()) {
     std::fprintf(stderr, "bfs failed: %s\n", bfs.status().ToString().c_str());
     return 1;
   }
   std::printf("BFS depths from node 0:");
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (bfs.value().depth[v] == BfsFilter::kUnvisited) {
+    if (bfs.value().bfs().depth[v] == BfsFilter::kUnvisited) {
       std::printf(" -");
     } else {
-      std::printf(" %u", bfs.value().depth[v]);
+      std::printf(" %u", bfs.value().bfs().depth[v]);
     }
   }
+  const TraversalMetrics& m = bfs.value().metrics();
   std::printf("\nmodel time: %.4f ms over %d level-kernels; "
               "%llu warp steps, %llu memory transactions\n",
-              bfs.value().metrics.model_ms, bfs.value().metrics.kernels,
-              (unsigned long long)bfs.value().metrics.warp.steps,
-              (unsigned long long)bfs.value().metrics.warp.mem_txns);
+              m.model_ms, m.kernels, (unsigned long long)m.warp.steps,
+              (unsigned long long)m.warp.mem_txns);
+
+  // 5. Batches amortize buffer allocation across queries, and backends route
+  //    the same query through the uncompressed-CSR baseline or the serial
+  //    CPU reference for cross-checks.
+  std::vector<Query> batch = {BfsQuery{0}, CcQuery{}, BcQuery{{0}}};
+  auto results = session.value().RunBatch(batch);
+  auto check = session.value().Run(BfsQuery{0},
+                                   {.backend = Backend::kCpuReference});
+  if (results.ok() && check.ok()) {
+    std::printf("batch: BFS + CC + BC in %.4f model ms; CPU cross-check %s\n",
+                results.value()[0].metrics().model_ms +
+                    results.value()[1].metrics().model_ms +
+                    results.value()[2].metrics().model_ms,
+                check.value().bfs().depth == bfs.value().bfs().depth
+                    ? "matches"
+                    : "MISMATCH");
+  }
   return 0;
 }

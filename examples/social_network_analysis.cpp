@@ -1,18 +1,15 @@
 // Social-network analysis on a compressed follower graph: BFS reachability,
 // community structure via connected components, and influencer detection via
-// betweenness centrality — all executed directly on CGR through the GCGT
-// engine, plus the effect of each scheduling strategy on this hub-skewed
-// workload (the paper's twitter story).
+// betweenness centrality — one prepared GcgtSession serving all three query
+// types on CGR, plus the effect of each scheduling strategy on this
+// hub-skewed workload (the paper's twitter story).
 //
 //   $ ./examples/social_network_analysis
 #include <algorithm>
 #include <cstdio>
 #include <map>
 
-#include "cgr/cgr_graph.h"
-#include "core/bc.h"
-#include "core/bfs.h"
-#include "core/cc.h"
+#include "api/gcgt_session.h"
 #include "graph/generators.h"
 #include "graph/graph_stats.h"
 
@@ -31,16 +28,18 @@ int main() {
               (unsigned long long)stats.max_degree,
               stats.max_degree / stats.avg_degree);
 
-  auto cgr = CgrGraph::Encode(g, CgrOptions{});
+  // Prepare once; every analysis below is a query against this session.
+  auto prepared = GcgtSession::Prepare(g, PrepareOptions{});
+  GcgtSession& session = prepared.value();
   std::printf("compressed to %.2f bits/edge (%.2fx)\n\n",
-              cgr.value().BitsPerEdge(), cgr.value().CompressionRate());
+              session.cgr().BitsPerEdge(), session.cgr().CompressionRate());
 
   // Reachability from a random user.
   NodeId source = 42;
-  auto bfs = GcgtBfs(cgr.value(), source, GcgtOptions{});
+  auto bfs = session.Run(BfsQuery{source});
   uint64_t reached = 0;
   uint32_t max_depth = 0;
-  for (uint32_t d : bfs.value().depth) {
+  for (uint32_t d : bfs.value().bfs().depth) {
     if (d != BfsFilter::kUnvisited) {
       ++reached;
       max_depth = std::max(max_depth, d);
@@ -48,34 +47,38 @@ int main() {
   }
   std::printf("BFS from user %u: reaches %llu users, %u hops, %.4f model ms\n",
               source, (unsigned long long)reached, max_depth,
-              bfs.value().metrics.model_ms);
+              bfs.value().metrics().model_ms);
 
   // Community structure.
-  auto cc = GcgtCc(cgr.value(), GcgtOptions{});
+  auto cc = session.Run(CcQuery{});
   std::map<NodeId, uint64_t> sizes;
-  for (NodeId root : cc.value().component) ++sizes[root];
+  for (NodeId root : cc.value().cc().component) ++sizes[root];
   uint64_t largest = 0;
   for (const auto& [root, size] : sizes) largest = std::max(largest, size);
   std::printf("connected components: %zu (largest holds %.1f%% of users), "
               "%d hooking rounds, %.4f model ms\n",
               sizes.size(), 100.0 * largest / g.num_nodes(),
-              cc.value().rounds, cc.value().metrics.model_ms);
+              cc.value().cc().rounds, cc.value().metrics().model_ms);
 
-  // Influencers: highest single-source dependency from `source`.
-  auto bc = GcgtBc(cgr.value(), source, GcgtOptions{});
+  // Influencers: a multi-source BC query accumulates every source's
+  // dependency into one vector — here, brokers on shortest paths out of the
+  // biggest hubs.
+  std::vector<NodeId> seeds = {source, 0, 1};
+  auto bc = session.Run(BcQuery{seeds});
+  const std::vector<double>& dependency = bc.value().bc().dependency;
   std::vector<NodeId> by_dependency(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) by_dependency[v] = v;
-  std::sort(by_dependency.begin(), by_dependency.end(), [&](NodeId a, NodeId b) {
-    return bc.value().dependency[a] > bc.value().dependency[b];
-  });
-  std::printf("top brokers on shortest paths from user %u:", source);
+  std::sort(by_dependency.begin(), by_dependency.end(),
+            [&](NodeId a, NodeId b) { return dependency[a] > dependency[b]; });
+  std::printf("top brokers on shortest paths from %zu seed users:",
+              seeds.size());
   for (int i = 0; i < 5; ++i) {
-    std::printf(" %u(%.0f)", by_dependency[i],
-                bc.value().dependency[by_dependency[i]]);
+    std::printf(" %u(%.0f)", by_dependency[i], dependency[by_dependency[i]]);
   }
-  std::printf("  [%.4f model ms]\n\n", bc.value().metrics.model_ms);
+  std::printf("  [%.4f model ms total]\n\n", bc.value().metrics().model_ms);
 
   // Why scheduling matters on this graph: strategy ladder (paper Fig. 9).
+  // The encodings are shared; each rung is a session attached to one.
   std::printf("scheduling ladder on this hub-skewed graph (BFS model ms):\n");
   CgrOptions unseg;
   unseg.segment_len_bytes = 0;
@@ -85,11 +88,13 @@ int main() {
                           GcgtLevel::kFull}) {
     GcgtOptions opt;
     opt.level = level;
-    const CgrGraph& graph =
-        level == GcgtLevel::kFull ? cgr.value() : cgr_unseg.value();
-    auto res = GcgtBfs(graph, source, opt);
+    GcgtSession rung =
+        level == GcgtLevel::kFull
+            ? GcgtSession::Attach(session.cgr(), opt)
+            : GcgtSession::Attach(cgr_unseg.value(), opt);
+    auto res = rung.Run(BfsQuery{source});
     std::printf("  %-28s %8.4f ms\n", GcgtLevelName(level),
-                res.value().metrics.model_ms);
+                res.value().metrics().model_ms);
   }
   return 0;
 }

@@ -1,0 +1,315 @@
+#include "api/gcgt_session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "baseline/cpu_bfs.h"
+#include "baseline/cpu_reference.h"
+#include "cgr/cgr_decoder.h"
+
+namespace gcgt {
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kCgrSimt: return "GCGT";
+    case Backend::kCsrBaseline: return "GPUCSR";
+    case Backend::kCsrGunrock: return "Gunrock";
+    case Backend::kCpuReference: return "CPU";
+  }
+  return "?";
+}
+
+Result<GcgtSession> GcgtSession::Prepare(const Graph& graph,
+                                         const PrepareOptions& options) {
+  if (Status s = options.cgr.Validate(); !s.ok()) return s;
+
+  GcgtSession session;
+  session.options_ = options;
+
+  session.caller_nodes_ = graph.num_nodes();
+  Graph prepared;
+  if (options.apply_vnc) {
+    VncResult vnc = VirtualNodeCompress(graph, options.vnc);
+    session.vnc_reduction_ = vnc.EdgeReduction();
+    session.vnc_virtual_nodes_ = vnc.num_virtual_nodes();
+    prepared = std::move(vnc.graph);
+  } else {
+    prepared = graph;
+  }
+  if (options.reorder != ReorderMethod::kOriginal) {
+    // Keep the permutation: queries stay in the caller's id space and the
+    // session translates sources/results across it.
+    session.perm_ =
+        ComputeOrdering(prepared, options.reorder, options.reorder_seed);
+    prepared = prepared.Relabeled(session.perm_);
+  }
+
+  auto cgr = CgrGraph::Encode(prepared, options.cgr);
+  if (!cgr.ok()) return cgr.status();
+
+  // The uncompressed `prepared` copy is NOT retained: a session serving only
+  // compressed (kCgrSimt) queries holds nothing but the CgrGraph, and the
+  // baseline backends rebuild the CSR losslessly on first use via graph().
+  session.owned_cgr_ =
+      std::make_unique<const CgrGraph>(std::move(cgr.value()));
+  session.cgr_ = session.owned_cgr_.get();
+  session.InitEngine();
+  return session;
+}
+
+GcgtSession GcgtSession::Attach(const CgrGraph& cgr,
+                                const GcgtOptions& options) {
+  GcgtSession session;
+  session.options_.gcgt = options;
+  session.options_.cgr = cgr.options();
+  session.cgr_ = &cgr;
+  session.caller_nodes_ = cgr.num_nodes();
+  session.InitEngine();
+  return session;
+}
+
+GcgtSession GcgtSession::Attach(const CgrGraph& cgr, const Graph& graph,
+                                const GcgtOptions& options) {
+  GcgtSession session = Attach(cgr, options);
+  session.graph_ = std::make_unique<Graph>(graph);
+  return session;
+}
+
+void GcgtSession::InitEngine() {
+  engine_ = std::make_unique<CgrTraversalEngine>(*cgr_, options_.gcgt);
+  pipeline_ = std::make_unique<TraversalPipeline>(*engine_);
+}
+
+const Graph& GcgtSession::graph() const {
+  if (!graph_) {
+    // Rebuild the uncompressed CSR from the codec (the CGR encoding is
+    // lossless); cached for the session's lifetime.
+    EdgeList edges;
+    edges.reserve(cgr_->num_edges());
+    for (NodeId u = 0; u < cgr_->num_nodes(); ++u) {
+      for (NodeId v : DecodeAdjacency(*cgr_, u)) edges.emplace_back(u, v);
+    }
+    graph_ = std::make_unique<Graph>(
+        Graph::FromEdges(cgr_->num_nodes(), edges));
+  }
+  return *graph_;
+}
+
+const Graph& GcgtSession::reversed() const {
+  if (!reversed_) reversed_ = std::make_unique<Graph>(graph().Reversed());
+  return *reversed_;
+}
+
+CsrEngineOptions GcgtSession::CsrOptions(bool gunrock) const {
+  CsrEngineOptions o;
+  o.lanes = options_.gcgt.lanes;
+  o.cost = options_.gcgt.cost;
+  o.device = options_.gcgt.device;
+  o.gunrock = gunrock;
+  o.gunrock_memory_factor = options_.gunrock_memory_factor;
+  return o;
+}
+
+Status GcgtSession::TranslateQuery(Query& query) const {
+  if (auto* bfs = std::get_if<BfsQuery>(&query)) {
+    if (bfs->source >= caller_nodes_) {
+      return Status::InvalidArgument("BFS source out of range");
+    }
+    bfs->source = ToPrepared(bfs->source);
+    return Status::OK();
+  }
+  if (auto* bc = std::get_if<BcQuery>(&query)) {
+    if (bc->sources.empty()) {
+      return Status::InvalidArgument("BC query needs at least one source");
+    }
+    for (NodeId& s : bc->sources) {
+      if (s >= caller_nodes_) {
+        return Status::InvalidArgument("BC source out of range");
+      }
+      s = ToPrepared(s);
+    }
+  }
+  return Status::OK();
+}
+
+void GcgtSession::RemapResult(QueryResult& result) const {
+  if (IdentityIdSpace()) return;
+
+  // label_out[u] = label_prepared[ToPrepared(u)], truncated to real nodes.
+  auto remap = [&](auto& labels) {
+    std::remove_reference_t<decltype(labels)> out(caller_nodes_);
+    for (NodeId u = 0; u < caller_nodes_; ++u) out[u] = labels[ToPrepared(u)];
+    labels = std::move(out);
+  };
+
+  if (auto* bfs = std::get_if<GcgtBfsResult>(&result.value_)) {
+    remap(bfs->depth);
+    return;
+  }
+  if (auto* bc = std::get_if<GcgtBcResult>(&result.value_)) {
+    remap(bc->dependency);
+    remap(bc->depth);
+    remap(bc->sigma);
+    return;
+  }
+  // CC: component labels are node ids; canonicalize each component to the
+  // smallest caller id it contains (virtual nodes fold into the components
+  // they connect, so the partition over real nodes is preserved).
+  auto& cc = std::get<GcgtCcResult>(result.value_);
+  std::vector<NodeId> canonical(cgr_->num_nodes(), kInvalidNode);
+  std::vector<NodeId> out(caller_nodes_);
+  for (NodeId u = 0; u < caller_nodes_; ++u) {
+    NodeId rep = cc.component[ToPrepared(u)];
+    if (canonical[rep] == kInvalidNode) canonical[rep] = u;  // u ascends: min
+    out[u] = canonical[rep];
+  }
+  cc.component = std::move(out);
+}
+
+Result<QueryResult> GcgtSession::Run(const Query& query,
+                                     const RunOptions& run) {
+  Query translated = query;
+  if (Status s = TranslateQuery(translated); !s.ok()) return s;
+
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    switch (run.backend) {
+      case Backend::kCgrSimt: return RunCgr(translated, run.trace);
+      case Backend::kCsrBaseline: return RunCsr(translated, /*gunrock=*/false);
+      case Backend::kCsrGunrock: return RunCsr(translated, /*gunrock=*/true);
+      case Backend::kCpuReference: return RunCpu(translated);
+    }
+    return Status::InvalidArgument("unknown backend");
+  }();
+  if (!result.ok()) return result;
+  RemapResult(result.value());
+  return result;
+}
+
+Result<std::vector<QueryResult>> GcgtSession::RunBatch(
+    std::span<const Query> queries, const RunOptions& run) {
+  std::vector<QueryResult> out;
+  out.reserve(queries.size());
+  for (const Query& query : queries) {
+    auto result = Run(query, run);
+    if (!result.ok()) return result.status();
+    out.push_back(std::move(result.value()));
+  }
+  return out;
+}
+
+namespace {
+
+/// Folds per-source metrics of a multi-source BC into one aggregate.
+void AccumulateMetrics(TraversalMetrics& total, const TraversalMetrics& one) {
+  total.model_ms += one.model_ms;
+  total.kernels += one.kernels;
+  total.device_bytes = std::max(total.device_bytes, one.device_bytes);
+  total.warp += one.warp;
+}
+
+/// Shared multi-source BC accumulation of the baseline backends:
+/// dependency sums across sources, depth/sigma keep the last source's
+/// labels, metrics aggregate. `run_source`: NodeId -> Result<GcgtBcResult>.
+template <typename RunSource>
+Result<QueryResult> AccumulateBcSources(const BcQuery& bc, NodeId num_nodes,
+                                        RunSource&& run_source) {
+  GcgtBcResult total;
+  total.dependency.assign(num_nodes, 0.0);
+  for (NodeId source : bc.sources) {
+    Result<GcgtBcResult> r = run_source(source);
+    if (!r.ok()) return r.status();
+    GcgtBcResult one = std::move(r.value());
+    for (NodeId i = 0; i < num_nodes; ++i) {
+      total.dependency[i] += one.dependency[i];
+    }
+    total.depth = std::move(one.depth);
+    total.sigma = std::move(one.sigma);
+    AccumulateMetrics(total.metrics, one.metrics);
+  }
+  return QueryResult(std::move(total));
+}
+
+}  // namespace
+
+Result<QueryResult> GcgtSession::RunCgr(const Query& query, StepTrace* trace) {
+  if (const auto* bfs = std::get_if<BfsQuery>(&query)) {
+    auto r = GcgtBfs(*pipeline_, bfs->source, trace);
+    if (!r.ok()) return r.status();
+    return QueryResult(std::move(r.value()));
+  }
+  if (std::holds_alternative<CcQuery>(query)) {
+    auto r = GcgtCc(*pipeline_);
+    if (!r.ok()) return r.status();
+    return QueryResult(std::move(r.value()));
+  }
+
+  // Sources were validated and translated by Run().
+  const auto& bc = std::get<BcQuery>(query);
+  const uint64_t v = cgr_->num_nodes();
+  pipeline_->Reset();
+  if (Status s = pipeline_->ReserveDevice(BcAuxBytes(v), "GCGT BC"); !s.ok()) {
+    return s;
+  }
+  GcgtBcResult result;
+  result.dependency.assign(v, 0.0);
+  for (NodeId source : bc.sources) {
+    if (Status s = GcgtBcAccumulate(*pipeline_, source, bc_scratch_,
+                                    result.dependency);
+        !s.ok()) {
+      return s;
+    }
+  }
+  result.depth = bc_scratch_.depth;
+  result.sigma = bc_scratch_.sigma;
+  result.metrics = pipeline_->Metrics();
+  return QueryResult(std::move(result));
+}
+
+Result<QueryResult> GcgtSession::RunCsr(const Query& query, bool gunrock) {
+  const Graph& g = graph();
+  const CsrEngineOptions opt = CsrOptions(gunrock);
+
+  if (const auto* bfs = std::get_if<BfsQuery>(&query)) {
+    auto r = CsrBfs(g, bfs->source, opt);
+    if (!r.ok()) return r.status();
+    return QueryResult(std::move(r.value()));
+  }
+  if (std::holds_alternative<CcQuery>(query)) {
+    auto r = CsrCc(g, opt);
+    if (!r.ok()) return r.status();
+    return QueryResult(std::move(r.value()));
+  }
+
+  const auto& bc = std::get<BcQuery>(query);
+  return AccumulateBcSources(bc, g.num_nodes(), [&](NodeId source) {
+    return CsrBc(g, source, opt);
+  });
+}
+
+Result<QueryResult> GcgtSession::RunCpu(const Query& query) {
+  const Graph& g = graph();
+
+  if (const auto* bfs = std::get_if<BfsQuery>(&query)) {
+    GcgtBfsResult r;
+    r.depth = SerialBfs(g, bfs->source);  // kBfsUnreached == kUnvisited
+    return QueryResult(std::move(r));
+  }
+  if (std::holds_alternative<CcQuery>(query)) {
+    GcgtCcResult r;
+    r.component = SerialCc(g);
+    return QueryResult(std::move(r));
+  }
+
+  const auto& bc = std::get<BcQuery>(query);
+  return AccumulateBcSources(
+      bc, g.num_nodes(), [&](NodeId source) -> Result<GcgtBcResult> {
+        SerialBcResult r = SerialBc(g, source);
+        GcgtBcResult one;  // no simulated device: metrics stay zero
+        one.dependency = std::move(r.dependency);
+        one.depth = std::move(r.depth);
+        one.sigma = std::move(r.sigma);
+        return one;
+      });
+}
+
+}  // namespace gcgt

@@ -1,0 +1,241 @@
+// GcgtSession: the prepare-once / query-many facade of the library.
+//
+// The paper's headline claim is that compressed traversal pays off when one
+// prepared graph serves many traversals. A session is built once from a
+// Graph + PrepareOptions — it runs the reorder → VNC → CGR-encode pipeline
+// of §7.2 and owns the prepared artifacts: the encoded CgrGraph, the
+// lazily-built uncompressed/reversed variants the baseline backends and
+// direction-optimizing consumers need, and ONE persistent CgrTraversalEngine
+// whose warp scratch is reused across queries (zero engine constructions per
+// query; CgrTraversalEngine::ConstructedCount() makes that testable).
+//
+// Queries are typed values (BfsQuery/CcQuery/BcQuery) submitted through
+// Run() or RunBatch(); a batch amortizes frontier/label buffer allocation
+// across queries, and a multi-source BcQuery accumulates every source into
+// one dependency vector (the betweenness-centrality sum).
+//
+// The `Backend` selector routes the same query types through the simulated
+// GPU baselines (GPUCSR / Gunrock on uncompressed CSR) and the serial CPU
+// references, so compressed-vs-uncompressed comparisons and correctness
+// cross-checks are one flag, not three codebases — the Gunrock
+// problem/enactor separation (Wang et al.) with an EMOGI-style storage seam
+// (Min et al.).
+#ifndef GCGT_API_GCGT_SESSION_H_
+#define GCGT_API_GCGT_SESSION_H_
+
+#include <memory>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "baseline/csr_gpu_engine.h"
+#include "cgr/cgr_graph.h"
+#include "core/bc.h"
+#include "core/bfs.h"
+#include "core/cc.h"
+#include "core/cgr_traversal.h"
+#include "core/gcgt_options.h"
+#include "core/trace.h"
+#include "core/traversal_pipeline.h"
+#include "graph/graph.h"
+#include "reorder/reorder.h"
+#include "util/status.h"
+#include "vnc/virtual_node.h"
+
+namespace gcgt {
+
+/// Execution backend a query is routed through. All backends answer the same
+/// query types with the same result semantics; BFS depths and CC partitions
+/// are identical across backends, BC doubles agree to accumulation-order
+/// rounding.
+enum class Backend {
+  kCgrSimt,       ///< GCGT engine on the compressed graph (the paper's system)
+  kCsrBaseline,   ///< GPUCSR: Merrill/Soman/Sriram kernels on uncompressed CSR
+  kCsrGunrock,    ///< Gunrock-modeled CSR (extra filter kernel + memory factor)
+  kCpuReference,  ///< serial CPU oracles (no simulated-GPU metrics)
+};
+
+const char* BackendName(Backend b);
+
+/// Everything Prepare() needs to turn a raw Graph into a query-ready
+/// session: the unified preprocessing of §7.2 (virtual-node compression,
+/// then node reordering), the CGR encoder parameters, and the traversal
+/// engine configuration shared by all backends.
+struct PrepareOptions {
+  /// Apply virtual-node compression before reordering.
+  bool apply_vnc = false;
+  VncOptions vnc;
+  /// Node reordering applied to the (possibly VNC-transformed) graph.
+  ReorderMethod reorder = ReorderMethod::kOriginal;
+  uint64_t reorder_seed = 42;
+  /// CGR encoder parameters (paper Table 2 defaults).
+  CgrOptions cgr;
+  /// Engine configuration: scheduling level, lanes, host threads, cost model
+  /// and device budget. lanes/cost/device are shared with the CSR backends.
+  GcgtOptions gcgt;
+  /// Memory overhead factor of the kCsrGunrock backend.
+  double gunrock_memory_factor = 2.6;
+};
+
+struct BfsQuery {
+  NodeId source = 0;
+};
+
+struct CcQuery {};
+
+struct BcQuery {
+  /// Brandes sources; the per-source dependencies are accumulated into one
+  /// vector (their sum over all nodes is betweenness centrality).
+  std::vector<NodeId> sources;
+};
+
+/// A typed query value. Order matches QueryKind.
+using Query = std::variant<BfsQuery, CcQuery, BcQuery>;
+
+enum class QueryKind { kBfs = 0, kCc = 1, kBc = 2 };
+
+/// The result of one query: the matching driver result plus its metrics.
+/// For a multi-source BcQuery, bc().dependency is the accumulated sum,
+/// bc().metrics aggregates all sources, and bc().depth/sigma hold the last
+/// source's labels.
+///
+/// Id space: query sources and result vectors use the CALLER's node ids —
+/// the ids of the graph handed to Prepare(). The session translates across
+/// its reordering permutation in both directions, and with VNC restricts
+/// results to the original (real) nodes; cc().component labels are
+/// canonicalized to the smallest caller id in each component. Traversal
+/// *quantities* (BFS depths, BC sigma/delta, all metrics) are those of the
+/// prepared graph the engines actually run on — with VNC that includes
+/// virtual-node hops, exactly like the paper's unified preprocessing (§7.2).
+class QueryResult {
+ public:
+  explicit QueryResult(GcgtBfsResult r) : value_(std::move(r)) {}
+  explicit QueryResult(GcgtCcResult r) : value_(std::move(r)) {}
+  explicit QueryResult(GcgtBcResult r) : value_(std::move(r)) {}
+
+  QueryKind kind() const { return static_cast<QueryKind>(value_.index()); }
+
+  const GcgtBfsResult& bfs() const { return std::get<GcgtBfsResult>(value_); }
+  const GcgtCcResult& cc() const { return std::get<GcgtCcResult>(value_); }
+  const GcgtBcResult& bc() const { return std::get<GcgtBcResult>(value_); }
+
+  const TraversalMetrics& metrics() const {
+    return std::visit([](const auto& r) -> const TraversalMetrics& {
+      return r.metrics;
+    }, value_);
+  }
+
+ private:
+  friend class GcgtSession;  // result remapping into the caller's id space
+  std::variant<GcgtBfsResult, GcgtCcResult, GcgtBcResult> value_;
+};
+
+struct RunOptions {
+  Backend backend = Backend::kCgrSimt;
+  /// Fig. 4 step-table recording; honored by kCgrSimt BFS queries only
+  /// (recording forces the engine's serial path).
+  StepTrace* trace = nullptr;
+};
+
+class GcgtSession {
+ public:
+  /// Builds a session from a raw graph: VNC (optional) → reordering
+  /// (optional) → CGR encoding → persistent engine. Fails on invalid CGR
+  /// options. The input graph is not retained — the session holds only the
+  /// encoded CgrGraph (baseline backends rebuild the uncompressed view
+  /// lazily). Queries keep speaking the input graph's node ids — the
+  /// session retains the reordering permutation and translates sources and
+  /// results (see QueryResult).
+  static Result<GcgtSession> Prepare(const Graph& graph,
+                                     const PrepareOptions& options = {});
+
+  /// Wraps an already-encoded, externally-owned CgrGraph (which must outlive
+  /// the session) — the single-query-wrapper and parameter-sweep path where
+  /// the encode is shared across several engine configurations. Baseline
+  /// backends decode the uncompressed graph lazily on first use.
+  static GcgtSession Attach(const CgrGraph& cgr,
+                            const GcgtOptions& options = {});
+
+  /// Attach with the uncompressed graph `cgr` encodes supplied up front
+  /// (copied), so baseline backends skip the lazy decode — for callers that
+  /// share one encode across many sessions (e.g. one per device budget).
+  static GcgtSession Attach(const CgrGraph& cgr, const Graph& graph,
+                            const GcgtOptions& options);
+
+  GcgtSession(GcgtSession&&) = default;
+  GcgtSession& operator=(GcgtSession&&) = default;
+
+  /// Runs one query. OutOfMemory when the backend's modeled footprint
+  /// exceeds the device budget; InvalidArgument on bad sources.
+  Result<QueryResult> Run(const Query& query, const RunOptions& run = {});
+
+  /// Runs the queries in order through the persistent engine, amortizing
+  /// frontier/label buffer allocation across the batch. Fails on the first
+  /// failing query.
+  Result<std::vector<QueryResult>> RunBatch(std::span<const Query> queries,
+                                            const RunOptions& run = {});
+
+  /// The encoded graph every kCgrSimt query traverses.
+  const CgrGraph& cgr() const { return *cgr_; }
+
+  /// The prepared (post-VNC/reordering) uncompressed graph in PREPARED id
+  /// space: what the CSR and CPU backends traverse. Decoded lazily from the
+  /// (lossless) CGR encoding on first use, then cached.
+  const Graph& graph() const;
+
+  /// Number of nodes in the caller's id space — what query sources refer to
+  /// and what result vectors are indexed by (the input graph's node count;
+  /// virtual nodes added by VNC are excluded).
+  NodeId num_query_nodes() const { return caller_nodes_; }
+
+  /// Lazily-built reversed variant (in-edges), for direction-optimizing
+  /// consumers (e.g. Ligra-style pull iterations).
+  const Graph& reversed() const;
+
+  /// The persistent engine. Its address is stable for the session's
+  /// lifetime — queries never construct another one.
+  const CgrTraversalEngine& engine() const { return *engine_; }
+
+  const PrepareOptions& options() const { return options_; }
+
+  /// VNC statistics of Prepare() (1.0 / 0 when VNC was off).
+  double vnc_reduction() const { return vnc_reduction_; }
+  NodeId vnc_virtual_nodes() const { return vnc_virtual_nodes_; }
+
+ private:
+  GcgtSession() = default;
+
+  void InitEngine();
+  CsrEngineOptions CsrOptions(bool gunrock) const;
+
+  /// Caller id -> prepared id (identity when no reordering was applied).
+  NodeId ToPrepared(NodeId u) const { return perm_.empty() ? u : perm_[u]; }
+  bool IdentityIdSpace() const {
+    return perm_.empty() && caller_nodes_ == cgr_->num_nodes();
+  }
+  /// Validates caller-space sources and rewrites them to prepared ids.
+  Status TranslateQuery(Query& query) const;
+  /// Rewrites a prepared-space result into the caller's id space.
+  void RemapResult(QueryResult& result) const;
+
+  Result<QueryResult> RunCgr(const Query& query, StepTrace* trace);
+  Result<QueryResult> RunCsr(const Query& query, bool gunrock);
+  Result<QueryResult> RunCpu(const Query& query);
+
+  PrepareOptions options_;
+  std::vector<NodeId> perm_;   // reorder permutation; empty = identity
+  NodeId caller_nodes_ = 0;    // size of the caller's id space
+  std::unique_ptr<const CgrGraph> owned_cgr_;  // null for Attach sessions
+  const CgrGraph* cgr_ = nullptr;              // never null once built
+  mutable std::unique_ptr<Graph> graph_;       // lazy for Attach sessions
+  mutable std::unique_ptr<Graph> reversed_;    // lazy
+  std::unique_ptr<CgrTraversalEngine> engine_;
+  std::unique_ptr<TraversalPipeline> pipeline_;  // borrows *engine_
+  BcBatchScratch bc_scratch_;  // reused across BC sources and queries
+  double vnc_reduction_ = 1.0;
+  NodeId vnc_virtual_nodes_ = 0;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_API_GCGT_SESSION_H_

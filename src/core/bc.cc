@@ -1,45 +1,77 @@
 #include "core/bc.h"
 
+#include <utility>
+
 #include "core/bc_filters.h"
 #include "core/traversal_pipeline.h"
 
 namespace gcgt {
 
-Result<GcgtBcResult> GcgtBc(const CgrGraph& graph, NodeId source,
-                            const GcgtOptions& options) {
+/// Modeled auxiliary footprint of one BC run:
+/// depth + sigma + delta + queues + level lists.
+uint64_t BcAuxBytes(uint64_t v) {
+  return 4 * v + 8 * v + 8 * v + 2 * 4 * v + 4 * v;
+}
+
+Status GcgtBcAccumulate(TraversalPipeline& pipeline, NodeId source,
+                        BcBatchScratch& scratch,
+                        std::vector<double>& dependency) {
+  const CgrGraph& graph = pipeline.engine().graph();
+  const uint64_t v = graph.num_nodes();
+  if (source >= v) {
+    return Status::InvalidArgument("BC source out of range");
+  }
+  if (dependency.size() != v) dependency.assign(v, 0.0);
+  scratch.depth.assign(v, kBcUnvisited);
+  scratch.sigma.assign(v, 0.0);
+  scratch.delta.assign(v, 0.0);
+  scratch.depth[source] = 0;
+  scratch.sigma[source] = 1.0;
+
+  // Forward pass: capture every BFS level for the backward sweep.
+  {
+    BcForwardFilter filter(scratch.depth, scratch.sigma);
+    pipeline.Run({source}, filter, ContractionPolicy::kCaptureLevels);
+  }
+  // Backward pass, deepest level first.
+  {
+    BcBackwardFilter filter(scratch.depth, scratch.sigma, scratch.delta);
+    pipeline.RunBackward(filter);
+  }
+  scratch.delta[source] = 0.0;
+  for (NodeId i = 0; i < v; ++i) dependency[i] += scratch.delta[i];
+  return Status::OK();
+}
+
+Result<GcgtBcResult> GcgtBc(TraversalPipeline& pipeline, NodeId source) {
+  const CgrGraph& graph = pipeline.engine().graph();
   if (source >= graph.num_nodes()) {
     return Status::InvalidArgument("BC source out of range");
   }
-  TraversalPipeline pipeline(graph, options);
-  const uint64_t v = graph.num_nodes();
-  // depth + sigma + delta + queues + level lists.
-  if (Status s = pipeline.ReserveDevice(
-          4 * v + 8 * v + 8 * v + 2 * 4 * v + 4 * v, "GCGT BC");
+  pipeline.Reset();
+  if (Status s = pipeline.ReserveDevice(BcAuxBytes(graph.num_nodes()),
+                                        "GCGT BC");
       !s.ok()) {
     return s;
   }
 
   GcgtBcResult result;
-  result.depth.assign(v, kBcUnvisited);
-  result.sigma.assign(v, 0.0);
-  result.dependency.assign(v, 0.0);
-  result.depth[source] = 0;
-  result.sigma[source] = 1.0;
-
-  // Forward pass: capture every BFS level for the backward sweep.
-  {
-    BcForwardFilter filter(result.depth, result.sigma);
-    pipeline.Run({source}, filter, ContractionPolicy::kCaptureLevels);
+  result.dependency.assign(graph.num_nodes(), 0.0);
+  BcBatchScratch scratch;
+  if (Status s = GcgtBcAccumulate(pipeline, source, scratch, result.dependency);
+      !s.ok()) {
+    return s;
   }
-  // Backward pass, deepest level first.
-  {
-    BcBackwardFilter filter(result.depth, result.sigma, result.dependency);
-    pipeline.RunBackward(filter);
-  }
-  result.dependency[source] = 0.0;
-
+  result.depth = std::move(scratch.depth);
+  result.sigma = std::move(scratch.sigma);
   result.metrics = pipeline.Metrics();
   return result;
+}
+
+Result<GcgtBcResult> GcgtBc(const CgrGraph& graph, NodeId source,
+                            const GcgtOptions& options) {
+  TraversalPipeline pipeline(graph, options);
+  return GcgtBc(pipeline, source);
 }
 
 }  // namespace gcgt

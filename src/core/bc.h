@@ -14,14 +14,46 @@
 
 namespace gcgt {
 
+class TraversalPipeline;
+
 struct GcgtBcResult {
-  /// Single-source dependency (Brandes delta) of each node w.r.t. `source`.
+  /// Single-source dependency (Brandes delta) of each node w.r.t. `source`;
+  /// for multi-source session queries, the sum over the query's sources.
   std::vector<double> dependency;
   std::vector<uint32_t> depth;
   std::vector<double> sigma;
   TraversalMetrics metrics;
 };
 
+/// Per-source label buffers of a multi-source BC batch, reused (reset, not
+/// reallocated) across sources. After a batch, depth/sigma hold the values
+/// of the last source run.
+struct BcBatchScratch {
+  std::vector<uint32_t> depth;
+  std::vector<double> sigma;
+  std::vector<double> delta;
+};
+
+/// Modeled auxiliary device footprint of one BC run over `num_nodes` nodes
+/// (labels, sigma/delta, queues, level lists) — what a driver reserves
+/// before running sources.
+uint64_t BcAuxBytes(uint64_t num_nodes);
+
+/// Batch building block: runs one Brandes source through `pipeline` WITHOUT
+/// resetting it (kernel timelines accumulate across the batch), reusing
+/// `scratch`, and adds the source's dependency into `dependency` (sized to
+/// the graph on first use). The caller reserves device memory once per
+/// batch. The accumulation order matches running the sources one at a time,
+/// so sums are bit-identical to sequential single-source runs.
+Status GcgtBcAccumulate(TraversalPipeline& pipeline, NodeId source,
+                        BcBatchScratch& scratch,
+                        std::vector<double>& dependency);
+
+/// Single-source BC through a caller-owned pipeline (no engine construction;
+/// see GcgtBfs). Resets the pipeline first.
+Result<GcgtBcResult> GcgtBc(TraversalPipeline& pipeline, NodeId source);
+
+/// Single-query convenience wrapper (one-shot engine over `graph`).
 Result<GcgtBcResult> GcgtBc(const CgrGraph& graph, NodeId source,
                             const GcgtOptions& options);
 

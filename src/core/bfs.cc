@@ -5,12 +5,13 @@
 
 namespace gcgt {
 
-Result<GcgtBfsResult> GcgtBfs(const CgrGraph& graph, NodeId source,
-                              const GcgtOptions& options, StepTrace* trace) {
+Result<GcgtBfsResult> GcgtBfs(TraversalPipeline& pipeline, NodeId source,
+                              StepTrace* trace) {
+  const CgrGraph& graph = pipeline.engine().graph();
   if (source >= graph.num_nodes()) {
     return Status::InvalidArgument("BFS source out of range");
   }
-  TraversalPipeline pipeline(graph, options);
+  pipeline.Reset();
   const uint64_t v = graph.num_nodes();
   if (Status s = pipeline.ReserveDevice(
           4 * v /* labels */ + 2 * 4 * v /* ping-pong queues */, "GCGT BFS");
@@ -26,6 +27,12 @@ Result<GcgtBfsResult> GcgtBfs(const CgrGraph& graph, NodeId source,
   result.depth = filter.TakeDepth();
   result.metrics = pipeline.Metrics();
   return result;
+}
+
+Result<GcgtBfsResult> GcgtBfs(const CgrGraph& graph, NodeId source,
+                              const GcgtOptions& options, StepTrace* trace) {
+  TraversalPipeline pipeline(graph, options);
+  return GcgtBfs(pipeline, source, trace);
 }
 
 }  // namespace gcgt

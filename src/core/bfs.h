@@ -13,14 +13,25 @@
 
 namespace gcgt {
 
+class TraversalPipeline;
+
 struct GcgtBfsResult {
   /// BFS depth per node; BfsFilter::kUnvisited when unreachable.
   std::vector<uint32_t> depth;
   TraversalMetrics metrics;
 };
 
-/// Runs BFS from `source`. Fails with OutOfMemory when the modeled device
-/// footprint exceeds options.device.memory_bytes.
+/// Runs BFS from `source` through a caller-owned pipeline — the
+/// prepare-once/query-many path (GcgtSession): no engine is constructed and
+/// the engine's scratch is reused. Resets the pipeline first; the engine
+/// supplies graph and options. Fails with OutOfMemory when the modeled
+/// device footprint exceeds the engine's device memory.
+Result<GcgtBfsResult> GcgtBfs(TraversalPipeline& pipeline, NodeId source,
+                              StepTrace* trace = nullptr);
+
+/// Single-query convenience: a one-shot session over `graph` (constructs a
+/// fresh engine, runs, tears down). Semantics identical to the pipeline
+/// overload.
 Result<GcgtBfsResult> GcgtBfs(const CgrGraph& graph, NodeId source,
                               const GcgtOptions& options,
                               StepTrace* trace = nullptr);

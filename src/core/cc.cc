@@ -7,8 +7,10 @@
 
 namespace gcgt {
 
-Result<GcgtCcResult> GcgtCc(const CgrGraph& graph, const GcgtOptions& options) {
-  TraversalPipeline pipeline(graph, options);
+Result<GcgtCcResult> GcgtCc(TraversalPipeline& pipeline) {
+  const CgrGraph& graph = pipeline.engine().graph();
+  const GcgtOptions& options = pipeline.engine().options();
+  pipeline.Reset();
   const uint64_t v = graph.num_nodes();
   if (Status s = pipeline.ReserveDevice(
           4 * v /* parents */ + 2 * 4 * v /* queues */, "GCGT CC");
@@ -33,6 +35,11 @@ Result<GcgtCcResult> GcgtCc(const CgrGraph& graph, const GcgtOptions& options) {
   result.component = filter.parent();
   result.metrics = pipeline.Metrics();
   return result;
+}
+
+Result<GcgtCcResult> GcgtCc(const CgrGraph& graph, const GcgtOptions& options) {
+  TraversalPipeline pipeline(graph, options);
+  return GcgtCc(pipeline);
 }
 
 }  // namespace gcgt

@@ -13,6 +13,8 @@
 
 namespace gcgt {
 
+class TraversalPipeline;
+
 struct GcgtCcResult {
   /// Component representative per node (smallest node id in the component
   /// tree's root position after convergence).
@@ -21,6 +23,11 @@ struct GcgtCcResult {
   TraversalMetrics metrics;
 };
 
+/// Connected components through a caller-owned pipeline (no engine
+/// construction; see GcgtBfs). Resets the pipeline first.
+Result<GcgtCcResult> GcgtCc(TraversalPipeline& pipeline);
+
+/// Single-query convenience wrapper (one-shot engine over `graph`).
 Result<GcgtCcResult> GcgtCc(const CgrGraph& graph, const GcgtOptions& options);
 
 }  // namespace gcgt

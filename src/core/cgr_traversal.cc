@@ -1,6 +1,7 @@
 #include "core/cgr_traversal.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 #include <optional>
@@ -973,9 +974,19 @@ struct EngineScratch {
 
 }  // namespace internal
 
+namespace {
+std::atomic<uint64_t> g_engines_constructed{0};
+}  // namespace
+
+uint64_t CgrTraversalEngine::ConstructedCount() {
+  return g_engines_constructed.load(std::memory_order_relaxed);
+}
+
 CgrTraversalEngine::CgrTraversalEngine(const CgrGraph& graph,
                                        const GcgtOptions& options)
-    : graph_(graph), options_(options) {}
+    : graph_(graph), options_(options) {
+  g_engines_constructed.fetch_add(1, std::memory_order_relaxed);
+}
 
 CgrTraversalEngine::~CgrTraversalEngine() = default;
 

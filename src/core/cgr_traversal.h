@@ -67,6 +67,11 @@ class CgrTraversalEngine {
                        std::vector<simt::WarpStats>* warp_stats,
                        StepTrace* trace = nullptr) const;
 
+  /// Process-wide count of engines constructed so far. The session layer's
+  /// prepare-once/query-many contract is "zero engine constructions per
+  /// query"; tests assert this counter stays flat across a query batch.
+  static uint64_t ConstructedCount();
+
   /// Device bytes of the compressed adjacency data + bitStart offsets.
   uint64_t BaseDeviceBytes() const {
     return graph_.bits().size() +

@@ -8,42 +8,42 @@ namespace gcgt {
 int TraversalPipeline::Run(std::vector<NodeId> frontier, FrontierFilter& filter,
                            ContractionPolicy contraction, StepTrace* trace,
                            const PostRoundKernel& post_round) {
+  // A reused pipeline may still hold the previous capture (e.g. the previous
+  // BC source of a batch); the backward sweep must only see this run's levels.
+  if (contraction == ContractionPolicy::kCaptureLevels) levels_.clear();
   int rounds = 0;
-  std::vector<NodeId> next;
-  std::vector<simt::WarpStats> warps;
   while (!frontier.empty()) {
     ++rounds;
-    next.clear();
-    warps.clear();
-    engine_.ProcessFrontier(frontier, filter, &next, &warps, trace);
-    timeline_.AddKernel(warps);
+    next_.clear();
+    warps_.clear();
+    engine_->ProcessFrontier(frontier, filter, &next_, &warps_, trace);
+    timeline_.AddKernel(warps_);
     if (post_round) timeline_.AddKernel(post_round());
     switch (contraction) {
       case ContractionPolicy::kNone:
         break;
       case ContractionPolicy::kSortUnique:
-        std::sort(next.begin(), next.end());
-        next.erase(std::unique(next.begin(), next.end()), next.end());
+        std::sort(next_.begin(), next_.end());
+        next_.erase(std::unique(next_.begin(), next_.end()), next_.end());
         break;
       case ContractionPolicy::kCaptureLevels:
         levels_.push_back(std::move(frontier));
-        frontier = std::move(next);
-        next = std::vector<NodeId>();
+        frontier = std::move(next_);
+        next_ = std::vector<NodeId>();
         continue;
     }
-    frontier.swap(next);
+    frontier.swap(next_);
   }
   return rounds;
 }
 
 void TraversalPipeline::RunBackward(FrontierFilter& filter) {
   std::vector<NodeId> unused;
-  std::vector<simt::WarpStats> warps;
   for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
     if (it->empty()) continue;
-    warps.clear();
-    engine_.ProcessFrontier(*it, filter, &unused, &warps);
-    timeline_.AddKernel(warps);
+    warps_.clear();
+    engine_->ProcessFrontier(*it, filter, &unused, &warps_);
+    timeline_.AddKernel(warps_);
   }
 }
 

@@ -15,6 +15,7 @@
 #define GCGT_CORE_TRAVERSAL_PIPELINE_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cgr/cgr_graph.h"
@@ -42,15 +43,34 @@ class TraversalPipeline {
   /// timeline as one kernel.
   using PostRoundKernel = std::function<std::vector<simt::WarpStats>()>;
 
+  /// Owns a fresh engine — the one-shot path used by the free-function
+  /// drivers (GcgtBfs/GcgtCc/GcgtBc on a CgrGraph).
   TraversalPipeline(const CgrGraph& graph, const GcgtOptions& options)
-      : engine_(graph, options), timeline_(options.cost) {}
+      : owned_engine_(std::make_unique<CgrTraversalEngine>(graph, options)),
+        engine_(owned_engine_.get()),
+        timeline_(options.cost) {}
+
+  /// Borrows a caller-owned persistent engine — the prepare-once/query-many
+  /// path (GcgtSession): queries through this pipeline construct no engine
+  /// and reuse its warp scratch. The engine must outlive the pipeline.
+  explicit TraversalPipeline(const CgrTraversalEngine& engine)
+      : engine_(&engine), timeline_(engine.options().cost) {}
+
+  /// Clears per-query state (timeline, captured levels, footprint) while
+  /// keeping frontier-buffer and engine-scratch capacity, so one pipeline
+  /// serves many queries without reallocating. Call between queries.
+  void Reset() {
+    timeline_.Reset();
+    levels_.clear();
+    device_bytes_ = 0;
+  }
 
   /// Models the device footprint as the engine's base bytes (compressed
   /// adjacency + offsets) plus `aux_bytes` (labels, queues, sigma/delta...)
   /// and checks it against the configured device memory.
   Status ReserveDevice(uint64_t aux_bytes, const char* workload) {
-    device_bytes_ = engine_.BaseDeviceBytes() + aux_bytes;
-    if (device_bytes_ > engine_.options().device.memory_bytes) {
+    device_bytes_ = engine_->BaseDeviceBytes() + aux_bytes;
+    if (device_bytes_ > engine_->options().device.memory_bytes) {
       return Status::OutOfMemory(std::string(workload) +
                                  " footprint exceeds device memory");
     }
@@ -82,13 +102,17 @@ class TraversalPipeline {
     return m;
   }
 
-  const CgrTraversalEngine& engine() const { return engine_; }
+  const CgrTraversalEngine& engine() const { return *engine_; }
 
  private:
-  CgrTraversalEngine engine_;
+  std::unique_ptr<CgrTraversalEngine> owned_engine_;  // null when borrowing
+  const CgrTraversalEngine* engine_;                  // never null
   simt::KernelTimeline timeline_;
   uint64_t device_bytes_ = 0;
   std::vector<std::vector<NodeId>> levels_;
+  // Reused across rounds and queries (capacity persists through Reset()).
+  std::vector<NodeId> next_;
+  std::vector<simt::WarpStats> warps_;
 };
 
 }  // namespace gcgt

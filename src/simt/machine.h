@@ -25,6 +25,14 @@ class KernelTimeline {
   /// Records one kernel launch with the given per-warp stats.
   void AddKernel(const std::vector<WarpStats>& warps);
 
+  /// Forgets everything recorded so far (the cost model stays). Lets one
+  /// timeline be reused across queries without reconstruction.
+  void Reset() {
+    total_cycles_ = 0;
+    num_kernels_ = 0;
+    aggregate_ = WarpStats{};
+  }
+
   double total_cycles() const { return total_cycles_; }
   double TotalMs() const { return model_.CyclesToMs(total_cycles_); }
   int num_kernels() const { return num_kernels_; }

@@ -1,8 +1,7 @@
 #include "vnc/virtual_node.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
+#include <utility>
 
 #include "util/random.h"
 
@@ -33,19 +32,34 @@ uint64_t PrefixShingle(std::span<const NodeId> nbrs, size_t k) {
 
 // One mining pass over `adj` (adjacency lists indexed by node id, including
 // virtual nodes created earlier). Returns the number of virtual nodes added.
+//
+// Buckets are mined as sorted runs of (shingle, node) pairs rather than a
+// hash map: clusters created by earlier buckets shrink the adjacency lists
+// later buckets intersect, so the bucket visit order is observable — sorting
+// pins it to ascending shingle value (deterministic across standard
+// libraries), keeps members of a bucket in ascending node order like the
+// insertion-ordered map did, and replaces per-node hashing/rehashing with
+// one contiguous sort on the cold-start path.
 int MinePass(std::vector<std::vector<NodeId>>& adj, const VncOptions& o,
              uint64_t salt, bool prefix_pass) {
-  std::unordered_map<uint64_t, std::vector<NodeId>> buckets;
+  std::vector<std::pair<uint64_t, NodeId>> keyed;
+  keyed.reserve(adj.size());
   for (NodeId u = 0; u < adj.size(); ++u) {
     if (adj[u].size() < static_cast<size_t>(o.min_pattern_size)) continue;
-    uint64_t key = prefix_pass
-                       ? PrefixShingle(adj[u], o.min_pattern_size)
-                       : Shingle(adj[u], salt);
-    buckets[key].push_back(u);
+    keyed.emplace_back(prefix_pass ? PrefixShingle(adj[u], o.min_pattern_size)
+                                   : Shingle(adj[u], salt),
+                       u);
   }
+  std::sort(keyed.begin(), keyed.end());
 
   int created = 0;
-  for (auto& [shingle, members] : buckets) {
+  std::vector<NodeId> members;
+  for (size_t run = 0; run < keyed.size();) {
+    size_t end = run;
+    while (end < keyed.size() && keyed[end].first == keyed[run].first) ++end;
+    members.clear();
+    for (size_t i = run; i < end; ++i) members.push_back(keyed[i].second);
+    run = end;
     if (members.size() < static_cast<size_t>(o.min_cluster_size)) continue;
     // Grow the cluster greedily from the first member: admit a member only
     // if the running common set stays above the pattern threshold. This is
