@@ -40,7 +40,10 @@ int main(int argc, char** argv) {
         const double t0 = bench::NowNs();
         auto r = session.Run(query, {.backend = backend});
         const double wall = bench::NowNs() - t0;
-        json.Add(d.name + "/" + app + "/" + BackendName(backend), wall,
+        // OOM rows carry no measurement: zero both metrics and mark the row
+        // so check_trend.py skips it explicitly.
+        json.Add(d.name + "/" + app + "/" + BackendName(backend),
+                 r.ok() ? wall : 0.0,
                  r.ok() ? bench::ModelCycles(r.value().metrics().model_ms,
                                              cost)
                         : 0.0,

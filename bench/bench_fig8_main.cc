@@ -105,7 +105,11 @@ int main(int argc, char** argv) {
       std::printf("%-10s %-12s %12s %12s\n", d.name.c_str(), name,
                   oom ? Cell("OOM", 12).c_str() : Cell(ms, 12, 3).c_str(),
                   Cell(rate, 12, 2).c_str());
-      json.Add(d.name + "/" + name, wall_ns, oom ? 0.0 : model_cycles,
+      // OOM rows carry no measurement: both metrics are zeroed and the row
+      // is marked so check_trend.py skips it explicitly instead of
+      // comparing the few microseconds the failed attempt took.
+      json.Add(d.name + "/" + name, oom ? 0.0 : wall_ns,
+               oom ? 0.0 : model_cycles,
                {{"oom", oom ? "1" : "0"},
                 {"compr_rate", Cell(rate, 0, 2)},
                 {"bfs_model_ms", oom ? "OOM" : Cell(ms, 0, 3)}});

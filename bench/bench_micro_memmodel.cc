@@ -1,0 +1,222 @@
+// Microbenchmark of the SIMT cost model's memory-accounting hot path: the
+// throughput of MemAccess / MemAccessRange / MemAccessRanges / LineSet /
+// DenseRegionFilter under the address streams the traversal engines actually
+// produce (contiguous lane runs, strided one-line-per-lane gathers, scattered
+// gathers, re-touched L1-warm streams). This is the layer every modeled
+// transaction of every backend runs through (see README "Cost model"), so it
+// gets its own trend line: `--json` emits one row per (pattern, line size)
+// with wall_ns = measured time and model_cycles = the total mem_txns counted
+// (deterministic, so the trend checker can also gate accounting semantics).
+#include <cstdint>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/memory_layout.h"
+#include "simt/warp.h"
+
+namespace {
+
+using gcgt::bench::Cell;
+using gcgt::bench::JsonReport;
+using gcgt::bench::NowNs;
+using gcgt::simt::DenseRegionFilter;
+using gcgt::simt::LineSet;
+using gcgt::simt::WarpContext;
+
+constexpr int kLanes = 32;
+constexpr int kWarps = 20000;        // simulated warp epochs per pattern
+constexpr int kAccessesPerWarp = 24; // warp-wide accesses between TakeStats
+
+/// Deterministic 64-bit mix (SplitMix64); the bench must count the same
+/// mem_txns on every run so the JSON row can gate accounting semantics.
+uint64_t Mix(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct PatternResult {
+  double wall_ns = 0;
+  uint64_t mem_txns = 0;
+  uint64_t accesses = 0;
+};
+
+/// Runs `fn(ctx, warp_index)` for kWarps warp epochs and totals mem_txns.
+template <typename Fn>
+PatternResult RunPattern(int line_bytes, Fn fn) {
+  WarpContext ctx(kLanes, line_bytes);
+  PatternResult r;
+  const double t0 = NowNs();
+  for (int w = 0; w < kWarps; ++w) {
+    r.accesses += fn(ctx, w);
+    r.mem_txns += ctx.TakeStats().mem_txns;
+  }
+  r.wall_ns = NowNs() - t0;
+  return r;
+}
+
+void Report(JsonReport& json, const char* name, int line_bytes,
+            const PatternResult& r) {
+  const double ns_per_access = r.wall_ns / static_cast<double>(r.accesses);
+  std::printf("%-28s line=%-3d %10.2f ns/lane-access %12llu txns\n", name,
+              line_bytes, ns_per_access,
+              static_cast<unsigned long long>(r.mem_txns));
+  json.Add(std::string(name) + "/line" + std::to_string(line_bytes),
+           r.wall_ns, static_cast<double>(r.mem_txns),
+           {{"ns_per_access", Cell(ns_per_access, 0, 3)},
+            {"lane_accesses", std::to_string(r.accesses)}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gcgt;
+  JsonReport json(argc, argv);
+  std::printf("== micro: SIMT memory-accounting throughput ==\n");
+  std::printf("%d warps x %d warp-wide accesses x %d lanes per pattern\n\n",
+              kWarps, kAccessesPerWarp, kLanes);
+
+  std::vector<uint64_t> addrs(kLanes);
+  std::vector<std::pair<uint64_t, uint64_t>> ranges(kLanes);
+
+  for (int line_bytes : {32, 128}) {
+    // Contiguous: all lanes read adjacent 4B words (coalesced frontier /
+    // interval-expansion shape); advancing base => cold lines each access.
+    auto contiguous = RunPattern(line_bytes, [&](WarpContext& ctx, int w) {
+      uint64_t base = kQueueBase + uint64_t(w) * kAccessesPerWarp * 4 * kLanes;
+      for (int a = 0; a < kAccessesPerWarp; ++a) {
+        for (int l = 0; l < kLanes; ++l) addrs[l] = base + 4ull * l;
+        ctx.MemAccess(addrs, 4);
+        base += 4ull * kLanes;
+      }
+      return kLanes * kAccessesPerWarp;
+    });
+    Report(json, "mem_access/contiguous", line_bytes, contiguous);
+
+    // Retouched: the same contiguous window every access — the L1-warm case
+    // the one-entry filters and the recent-run cache must make nearly free.
+    auto retouched = RunPattern(line_bytes, [&](WarpContext& ctx, int w) {
+      const uint64_t base = kQueueBase + uint64_t(w % 7) * 64;
+      for (int a = 0; a < kAccessesPerWarp; ++a) {
+        for (int l = 0; l < kLanes; ++l) addrs[l] = base + 4ull * l;
+        ctx.MemAccess(addrs, 4);
+      }
+      return kLanes * kAccessesPerWarp;
+    });
+    Report(json, "mem_access/retouched", line_bytes, retouched);
+
+    // Strided: every lane its own line (worst-case coalescing), fresh lines
+    // per access.
+    auto strided = RunPattern(line_bytes, [&](WarpContext& ctx, int w) {
+      uint64_t base = kLabelBase + uint64_t(w) * kAccessesPerWarp * kLanes *
+                                       uint64_t(line_bytes);
+      for (int a = 0; a < kAccessesPerWarp; ++a) {
+        for (int l = 0; l < kLanes; ++l) {
+          addrs[l] = base + uint64_t(l) * line_bytes;
+        }
+        ctx.MemAccess(addrs, 4);
+        base += uint64_t(kLanes) * line_bytes;
+      }
+      return kLanes * kAccessesPerWarp;
+    });
+    Report(json, "mem_access/strided", line_bytes, strided);
+
+    // Scattered: random 4B gathers over a 1 GiB window (label-gather shape,
+    // exercising the LineSet's open-addressed fallback).
+    auto scattered = RunPattern(line_bytes, [&](WarpContext& ctx, int w) {
+      uint64_t seed = 0x1234 + uint64_t(w);
+      for (int a = 0; a < kAccessesPerWarp; ++a) {
+        for (int l = 0; l < kLanes; ++l) {
+          addrs[l] = kLabelBase + (Mix(seed) & ((1ull << 30) - 1));
+        }
+        ctx.MemAccess(addrs, 4);
+      }
+      return kLanes * kAccessesPerWarp;
+    });
+    Report(json, "mem_access/scattered", line_bytes, scattered);
+
+    // Variable byte ranges: VLC-decode shape — per-lane short ranges that
+    // mostly re-touch the lane's previous line, occasionally straddling.
+    auto vlranges = RunPattern(line_bytes, [&](WarpContext& ctx, int w) {
+      uint64_t seed = 0x5678 + uint64_t(w);
+      uint64_t cursor[kLanes];
+      for (int l = 0; l < kLanes; ++l) {
+        cursor[l] = kBitsBase + (Mix(seed) & ((1ull << 24) - 1));
+      }
+      for (int a = 0; a < kAccessesPerWarp; ++a) {
+        for (int l = 0; l < kLanes; ++l) {
+          const uint64_t len = 1 + (Mix(seed) & 7);
+          ranges[l] = {cursor[l], cursor[l] + len - 1};
+          cursor[l] += len;
+        }
+        ctx.MemAccessRanges(ranges);
+      }
+      return kLanes * kAccessesPerWarp;
+    });
+    Report(json, "mem_access_ranges/decode", line_bytes, vlranges);
+
+    // Long contiguous ranges: queue-append shape through InsertRun's
+    // interval fast path.
+    auto runs = RunPattern(line_bytes, [&](WarpContext& ctx, int w) {
+      uint64_t base = kQueueBase + uint64_t(w) * 1024;
+      for (int a = 0; a < kAccessesPerWarp; ++a) {
+        ctx.MemAccessRange(base, 4096);
+        base += 512;
+      }
+      return kAccessesPerWarp;
+    });
+    Report(json, "mem_access_range/append", line_bytes, runs);
+  }
+
+  // LineSet primitives, outside WarpContext: scattered single inserts with
+  // epoch Clear() boundaries, and run inserts through the interval path.
+  {
+    LineSet set;
+    uint64_t seed = 42, txns = 0, ops = 0;
+    const double t0 = NowNs();
+    for (int w = 0; w < kWarps; ++w) {
+      for (int i = 0; i < kLanes * 4; ++i) {
+        txns += set.Insert(Mix(seed) & ((1ull << 22) - 1)) ? 1 : 0;
+        ++ops;
+      }
+      set.Clear();
+    }
+    PatternResult r{NowNs() - t0, txns, ops};
+    Report(json, "line_set/insert_scattered", 0, r);
+  }
+  {
+    LineSet set;
+    uint64_t txns = 0, ops = 0;
+    const double t0 = NowNs();
+    for (int w = 0; w < kWarps; ++w) {
+      uint64_t first = uint64_t(w) * 11;
+      for (int i = 0; i < kLanes * 4; ++i) {
+        txns += set.InsertRun(first, 32);
+        first += 16;  // half-overlapping runs: extend the same interval
+        ++ops;
+      }
+      set.Clear();
+    }
+    PatternResult r{NowNs() - t0, txns, ops};
+    Report(json, "line_set/insert_runs", 0, r);
+  }
+  {
+    DenseRegionFilter filter;
+    filter.Configure(32, 1u << 22);
+    uint64_t seed = 7, txns = 0, ops = 0;
+    const double t0 = NowNs();
+    for (int w = 0; w < kWarps; ++w) {
+      filter.NextWarp();
+      for (int i = 0; i < kLanes * 4; ++i) {
+        txns += filter.Touch(Mix(seed) & ((1u << 22) - 1));
+        ++ops;
+      }
+    }
+    PatternResult r{NowNs() - t0, txns, ops};
+    Report(json, "dense_filter/touch", 0, r);
+  }
+  return 0;
+}

@@ -17,6 +17,13 @@ noise; wall_ns can be checked with a generous threshold instead.
 Scenarios only present in one file are reported as added/removed (and fail
 the check under --require-all, which guards against a bench silently
 dropping coverage).
+
+Rows marked "oom": "1" are scenarios whose engine exceeded the simulated
+device-memory budget: they carry no measurement (the benches emit wall_ns 0
+and model_cycles 0 for them). A scenario OOM in BOTH files is skipped
+explicitly; a scenario that newly became OOM against a live baseline is a
+regression; one that recovered from a baseline OOM is reported but has no
+baseline signal to compare against.
 """
 
 import argparse
@@ -31,6 +38,10 @@ def load(path):
     for row in rows:
         out[row["scenario"]] = row
     return out
+
+
+def is_oom(row):
+    return str(row.get("oom", "0")) == "1"
 
 
 def main():
@@ -60,14 +71,35 @@ def main():
     regressions = []
     improved = 0
     unchanged = 0
+    skipped_oom = 0
+    recovered = 0
     for name in sorted(set(base) & set(cur)):
-        b = float(base[name].get(args.metric, 0))
-        c = float(cur[name].get(args.metric, 0))
+        b_row, c_row = base[name], cur[name]
+        if is_oom(b_row) and is_oom(c_row):
+            skipped_oom += 1  # expected OOM in both runs: nothing to compare
+            continue
+        if is_oom(c_row) and not is_oom(b_row):
+            b = float(b_row.get(args.metric, 0))
+            if b > 0:
+                regressions.append((name, b, 0.0, -100.0))
+                print(f"REGRESSED: {name}: scenario became OOM against a "
+                      f"live baseline ({args.metric} {b:.0f} -> OOM)")
+            else:
+                skipped_oom += 1  # baseline had no signal anyway (CPU row)
+            continue
+        if is_oom(b_row) and not is_oom(c_row):
+            recovered += 1
+            print(f"recovered: {name} (baseline OOM, now produces "
+                  f"{args.metric}={float(c_row.get(args.metric, 0)):.0f}; "
+                  f"no baseline to compare)")
+            continue
+        b = float(b_row.get(args.metric, 0))
+        c = float(c_row.get(args.metric, 0))
         if b <= 0:
-            continue  # no baseline signal (CPU rows, OOM rows)
+            continue  # no baseline signal (CPU rows)
         if c <= 0:
-            # Metric collapsed to zero against a live baseline — typically a
-            # new OOM/failure row. The worst regression, not an improvement.
+            # Metric collapsed to zero against a live baseline — typically an
+            # unmarked failure row. The worst regression, not an improvement.
             regressions.append((name, b, c, -100.0))
             print(f"REGRESSED: {name}: {args.metric} {b:.0f} -> 0 "
                   f"(scenario stopped producing a result)")
@@ -84,6 +116,7 @@ def main():
 
     print(f"\n{len(base)} baseline / {len(cur)} current scenarios; "
           f"{improved} improved, {unchanged} unchanged/within-threshold, "
+          f"{skipped_oom} skipped (OOM), {recovered} recovered, "
           f"{len(regressions)} regressed "
           f"(metric={args.metric}, threshold={args.max_regress_pct}%)")
 

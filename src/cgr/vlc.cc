@@ -35,19 +35,6 @@ int VlcLength(VlcScheme scheme, uint64_t value) {
   return (j + 1) + (j + 1) * k;
 }
 
-uint64_t VlcDecode(VlcScheme scheme, BitReader* reader) {
-  int prefix = reader->GetUnary();
-  if (reader->overflowed()) return 0;
-  if (scheme == VlcScheme::kGamma) {
-    // Guard absurd prefixes from garbage bits (speculative decoding).
-    if (prefix > 63) return 0;
-    return (uint64_t(1) << prefix) | reader->GetBits(prefix);
-  }
-  int k = VlcZetaK(scheme);
-  if ((prefix + 1) * k > 63) return 0;
-  return reader->GetBits((prefix + 1) * k);
-}
-
 std::string VlcToString(VlcScheme scheme, uint64_t value) {
   BitWriter w;
   VlcEncode(scheme, value, &w);

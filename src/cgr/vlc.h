@@ -59,8 +59,20 @@ int VlcLength(VlcScheme scheme, uint64_t value);
 
 /// Decodes one codeword. On malformed input (e.g. running off the end of the
 /// buffer) the reader's overflowed() flag is set and the return value is
-/// unspecified; structured decoders check reader state.
-uint64_t VlcDecode(VlcScheme scheme, BitReader* reader);
+/// unspecified; structured decoders check reader state. Inline: this is the
+/// innermost call of the traversal simulators (one per decoded value).
+inline uint64_t VlcDecode(VlcScheme scheme, BitReader* reader) {
+  int prefix = reader->GetUnary();
+  if (reader->overflowed()) return 0;
+  if (scheme == VlcScheme::kGamma) {
+    // Guard absurd prefixes from garbage bits (speculative decoding).
+    if (prefix > 63) return 0;
+    return (uint64_t(1) << prefix) | reader->GetBits(prefix);
+  }
+  int k = VlcZetaK(scheme);
+  if ((prefix + 1) * k > 63) return 0;
+  return reader->GetBits((prefix + 1) * k);
+}
 
 /// Codeword as a bit string, e.g. VlcToString(kZeta3, 12) == "01001100".
 std::string VlcToString(VlcScheme scheme, uint64_t value);

@@ -39,10 +39,12 @@ inline void AtomicAddDouble(double& target, double value) {
 /// next depth. The sigma additions themselves run in MergeBatch so the
 /// accumulation order (and thus every last bit of the doubles) matches the
 /// serial engine.
-class BcForwardFilter : public FrontierFilter {
+class BcForwardFilter final : public FrontierFilter {
  public:
   BcForwardFilter(std::vector<uint32_t>& depth, std::vector<double>& sigma)
       : depth_(depth), sigma_(sigma) {}
+
+  Kind kind() const override { return Kind::kBcForward; }
 
   bool Filter(NodeId u, NodeId v) override {
     uint32_t expected = kBcUnvisited;
@@ -127,11 +129,13 @@ class BcForwardFilter : public FrontierFilter {
 /// Claim protocol: the DAG-edge predicate reads only state that is stable
 /// within a backward round, so the claim pass prunes non-DAG edges in
 /// parallel and MergeBatch applies the delta additions in serial order.
-class BcBackwardFilter : public FrontierFilter {
+class BcBackwardFilter final : public FrontierFilter {
  public:
   BcBackwardFilter(const std::vector<uint32_t>& depth,
                    const std::vector<double>& sigma, std::vector<double>& delta)
       : depth_(depth), sigma_(sigma), delta_(delta) {}
+
+  Kind kind() const override { return Kind::kBcBackward; }
 
   bool Filter(NodeId u, NodeId v) override {
     if (IsDagEdge(u, v)) {

@@ -30,11 +30,13 @@ namespace gcgt {
 /// parallel engine computes the root finds concurrently in the claim pass
 /// and replays only the trivial running-minimum updates in the serial
 /// merge, bit-identical to the serial path.
-class CcFilter : public FrontierFilter {
+class CcFilter final : public FrontierFilter {
  public:
   explicit CcFilter(NodeId n) : parent_(n), claim_(n, kInvalidNode) {
     std::iota(parent_.begin(), parent_.end(), 0);
   }
+
+  Kind kind() const override { return Kind::kCc; }
 
   /// Root of x in the committed (round-start) parent forest.
   NodeId Find(NodeId x) const {
@@ -94,16 +96,28 @@ class CcFilter : public FrontierFilter {
   std::vector<simt::WarpStats> PointerJump(int lanes, int line_bytes) {
     std::vector<simt::WarpStats> warps;
     const NodeId n = static_cast<NodeId>(parent_.size());
+    simt::WarpContext ctx(lanes, line_bytes);
+    // Parent words are a dense 4B array: the chase and flatten-write charges
+    // deduplicate through one exact region filter per warp instead of
+    // per-address LineSet walks (see simt::DenseRegionFilter).
+    simt::DenseRegionFilter labels;
+    labels.Configure(static_cast<uint64_t>(line_bytes) / 4, n);
+    std::vector<uint64_t> addrs;
     for (NodeId begin = 0; begin < n; begin += lanes) {
       NodeId end = std::min<NodeId>(n, begin + lanes);
-      simt::WarpContext ctx(lanes, line_bytes);
+      labels.NextWarp();
       uint64_t max_depth = 0;
-      std::vector<uint64_t> addrs;
+      uint64_t novel = 0;
+      addrs.clear();
       for (NodeId x = begin; x < end; ++x) {
         uint64_t depth = 0;
         NodeId r = x;
         while (parent_[r] != r) {
-          addrs.push_back(kLabelBase + 4ull * r);
+          if (labels.enabled()) {
+            novel += labels.Touch(r);
+          } else {
+            addrs.push_back(kLabelBase + 4ull * r);
+          }
           r = parent_[r];
           ++depth;
         }
@@ -111,9 +125,14 @@ class CcFilter : public FrontierFilter {
       }
       ctx.Step(end - begin);
       for (uint64_t d = 1; d < max_depth; ++d) ctx.Step(end - begin);
-      ctx.MemAccess(addrs, 4);
       for (NodeId x = begin; x < end; ++x) parent_[x] = Find(x);
-      ctx.MemAccessRange(kLabelBase + 4ull * begin, 4ull * (end - begin));
+      if (labels.enabled()) {
+        novel += labels.TouchRange(begin, end - 1);
+        if (novel > 0) ctx.ChargeTransactions(novel);
+      } else {
+        ctx.MemAccess(addrs, 4);
+        ctx.MemAccessRange(kLabelBase + 4ull * begin, 4ull * (end - begin));
+      }
       warps.push_back(ctx.TakeStats());
     }
     return warps;

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <optional>
 
+#include "core/bc_filters.h"
+#include "core/cc_filter.h"
 #include "core/memory_layout.h"
 #include "core/warp_centric.h"
 #include "util/thread_pool.h"
@@ -52,6 +54,10 @@ std::string ItemLabel(const AppendItem& it) {
 struct Lane {
   bool valid = false;
   NodeId u = 0;
+  // Cache lines of this lane's last charged decode read (see
+  // WarpSim::PushRange); empty when lo > hi.
+  uint64_t chg_lo = 1;
+  uint64_t chg_hi = 0;
   std::optional<CgrNodeDecoder> dec;
   uint64_t deg = 0;        // unsegmented degree header
   uint32_t itv_total = 0;  // intervals announced by the header
@@ -92,11 +98,24 @@ struct Lane {
 class WarpSim {
  public:
   WarpSim(const CgrGraph& g, const GcgtOptions& o)
-      : g_(g), o_(o), ctx_(o.lanes, o.cost.cache_line_bytes) {}
+      : g_(g),
+        o_(o),
+        ctx_(o.lanes, o.cost.cache_line_bytes),
+        line_shift_(std::has_single_bit(
+                        static_cast<uint64_t>(o.cost.cache_line_bytes))
+                        ? std::countr_zero(
+                              static_cast<uint64_t>(o.cost.cache_line_bytes))
+                        : -1) {
+    const uint64_t line = static_cast<uint64_t>(o.cost.cache_line_bytes);
+    label_filter_.Configure(line / 4, g.num_nodes());
+    offset_filter_.Configure(line / 8, g.num_nodes() + 1);
+    lanes_.resize(o.lanes);
+  }
 
   WarpStats RunSerial(std::span<const NodeId> chunk, FrontierFilter& filter,
                       std::vector<NodeId>* out, StepTrace* trace) {
     filter_ = &filter;
+    filter_kind_ = filter.kind();
     out_ = out;
     trace_ = trace;
     claim_filter_ = nullptr;
@@ -140,14 +159,47 @@ class WarpSim {
     ctx_.DecodeStep(static_cast<int>(active));
     ctx_.MemAccessRanges(ranges);
   }
-  void AppendStep(std::vector<AppendItem>& items);
+
+  // Appends a decode read's byte range to ranges_, unless the reading
+  // lane's previous charged read already covered exactly these cache lines.
+  // Decode cursors advance monotonically a few bits at a time, so almost
+  // every read re-touches the line of the previous one; those lines are
+  // already in this warp's LineSet, so dropping the range here leaves
+  // mem_txns (and all other WarpStats fields) bit-identical while skipping
+  // the whole accounting path for the hot case. (lane_lo, lane_hi) is the
+  // per-lane cache, stored with the lane/executor state.
+  void PushRange(uint64_t bit_before, uint64_t bit_after, uint64_t& lane_lo,
+                 uint64_t& lane_hi) {
+    const BitRange r = ByteRangeOf(bit_before, bit_after);
+    if (line_shift_ >= 0) {
+      const uint64_t lo = r.first >> line_shift_;
+      const uint64_t hi = r.second >> line_shift_;
+      if (lo >= lane_lo && hi <= lane_hi) return;
+      lane_lo = lo;
+      lane_hi = hi;
+    }
+    ranges_.push_back(r);
+  }
+  // One visited-check/append slot over `items`. Does not clear the storage;
+  // callers reuse and clear their own buffers.
+  void AppendStep(std::span<AppendItem> items);
+  template <typename Filter>
+  void AppendDecide(Filter& filter, std::span<const AppendItem> items);
 
   const CgrGraph& g_;
   const GcgtOptions& o_;
   WarpContext ctx_;
+  int line_shift_;  // log2(cache line bytes); -1 disables range skipping
+
+  // Per-warp exact line filters for the dense label (4B) and bitStart-offset
+  // (8B) regions; replaces LineSet dedup of kLabelBase / kOffsetsBase
+  // accesses with one array lookup (see simt::DenseRegionFilter).
+  simt::DenseRegionFilter label_filter_;
+  simt::DenseRegionFilter offset_filter_;
 
   // Per-run bindings (exactly one of filter_/claim_writer_ is set).
   FrontierFilter* filter_ = nullptr;
+  FrontierFilter::Kind filter_kind_ = FrontierFilter::Kind::kGeneric;
   std::vector<NodeId>* out_ = nullptr;
   StepTrace* trace_ = nullptr;
   FrontierFilter* claim_filter_ = nullptr;
@@ -161,9 +213,6 @@ class WarpSim {
   std::vector<uint8_t> pred_;
   std::vector<int> work_;
   std::vector<AppendItem> buffer_;
-  std::vector<AppendItem> round_;
-  std::vector<uint64_t> gather_addrs_;
-  std::vector<uint64_t> write_addrs_;
   std::vector<EdgePair> edge_pairs_;
   struct Task {
     int src_lane;
@@ -171,15 +220,18 @@ class WarpSim {
   };
   std::vector<Task> tasks_;
   struct ExecState {
-    size_t next = 0;  // index into tasks_ of the next task (stride = lanes)
-    size_t cur = 0;   // index into tasks_ of the open task
+    size_t next = 0;    // index into tasks_ of the next task (stride = lanes)
+    Lane* owner = nullptr;  // lane owning the open task
     ResidualStream stream;
     bool open = false;
+    // PushRange cache for this executor's decode cursor.
+    uint64_t chg_lo = 1;
+    uint64_t chg_hi = 0;
   };
   std::vector<ExecState> exec_;
 };
 
-void WarpSim::AppendStep(std::vector<AppendItem>& items) {
+void WarpSim::AppendStep(std::span<AppendItem> items) {
   if (items.empty()) return;
   assert(items.size() <= static_cast<size_t>(o_.lanes));
   ctx_.AppendStepOp(static_cast<int>(items.size()));
@@ -187,12 +239,21 @@ void WarpSim::AppendStep(std::vector<AppendItem>& items) {
     trace_->BeginStep(TraceOp::kAppend);
     for (const auto& it : items) trace_->Lane(it.exec_lane, ItemLabel(it));
   }
-  // Visited/label gather for the filtering check.
-  gather_addrs_.clear();
-  for (const auto& it : items) {
-    gather_addrs_.push_back(kLabelBase + 4ull * it.v);
+  // Visited/label gather for the filtering check. Label words are 4-byte
+  // aligned in a dense region (one line holds line_bytes/4 consecutive
+  // labels, no straddles), so the per-warp epoch filter below deduplicates
+  // label lines exactly — bit-identical to inserting each into the LineSet,
+  // at an array lookup per item. Falls back to the generic charge when the
+  // line size is not 4-aligned-power-of-two.
+  if (label_filter_.enabled()) {
+    uint64_t novel = 0;
+    for (const auto& it : items) novel += label_filter_.Touch(it.v);
+    if (novel > 0) ctx_.ChargeTransactions(novel);
+  } else {
+    ctx_.MemAccessIndexed(items.size(), 4, [items](size_t i) {
+      return kLabelBase + 4ull * items[i].v;
+    });
   }
-  ctx_.MemAccess(gather_addrs_, 4);
   ctx_.SharedOp();  // exclusiveScan for the contraction offsets
   ctx_.Atomic(1);   // single queue-tail atomic per warp (Alg. 1 line 30)
   if (claim_writer_ != nullptr) {
@@ -203,39 +264,90 @@ void WarpSim::AppendStep(std::vector<AppendItem>& items) {
     for (const auto& it : items) edge_pairs_.push_back({it.u, it.v});
     claim_filter_->ClaimBatch(edge_pairs_, *claim_writer_);
     claim_writer_->EndBatch();
-    items.clear();
     return;
   }
-  write_addrs_.clear();
+  // Decide loop, statically dispatched for the well-known filters so the
+  // per-edge Filter/AppendTarget/TakeAtomics sequence inlines.
+  switch (filter_kind_) {
+    case FrontierFilter::Kind::kBfs:
+      assert(dynamic_cast<BfsFilter*>(filter_) != nullptr);
+      AppendDecide(static_cast<BfsFilter&>(*filter_), items);
+      break;
+    case FrontierFilter::Kind::kCc:
+      assert(dynamic_cast<CcFilter*>(filter_) != nullptr);
+      AppendDecide(static_cast<CcFilter&>(*filter_), items);
+      break;
+    case FrontierFilter::Kind::kBcForward:
+      assert(dynamic_cast<BcForwardFilter*>(filter_) != nullptr);
+      AppendDecide(static_cast<BcForwardFilter&>(*filter_), items);
+      break;
+    case FrontierFilter::Kind::kBcBackward:
+      assert(dynamic_cast<BcBackwardFilter*>(filter_) != nullptr);
+      AppendDecide(static_cast<BcBackwardFilter&>(*filter_), items);
+      break;
+    default:
+      AppendDecide(*filter_, items);
+      break;
+  }
+}
+
+template <typename Filter>
+void WarpSim::AppendDecide(Filter& filter, std::span<const AppendItem> items) {
   size_t tail = out_->size();
   for (const auto& it : items) {
-    if (filter_->Filter(it.u, it.v)) {
-      out_->push_back(filter_->AppendTarget(it.u, it.v));
-      write_addrs_.push_back(kLabelBase + 4ull * it.v);
+    if (filter.Filter(it.u, it.v)) {
+      out_->push_back(filter.AppendTarget(it.u, it.v));
     }
   }
-  if (int extra = filter_->TakeAtomics(); extra > 0) ctx_.Atomic(extra);
-  if (!write_addrs_.empty()) {
-    ctx_.MemAccess(write_addrs_, 4);  // label updates
+  if (int extra = filter.TakeAtomics(); extra > 0) ctx_.Atomic(extra);
+  if (out_->size() > tail) {
+    // The label-update lines are a subset of this slot's visited-check
+    // gather (same kLabelBase + 4v words), so re-charging them can never
+    // produce a transaction; only the queue append can touch cold lines.
     ctx_.MemAccessRange(kQueueBase + 4ull * tail, 4ull * (out_->size() - tail));
   }
-  items.clear();
 }
 
 void WarpSim::HeaderPhase(std::span<const NodeId> chunk) {
-  lanes_.assign(o_.lanes, Lane{});
+  // Reset lanes in place (assigning fresh Lane values would reconstruct the
+  // decoder/stream members of all lanes on every chunk). `rs` and `dec` are
+  // left stale: they are only read behind rs_ready / valid.
+  for (int i = 0; i < o_.lanes; ++i) {
+    Lane& ln = lanes_[i];
+    ln.valid = static_cast<size_t>(i) < chunk.size();
+    ln.chg_lo = 1;
+    ln.chg_hi = 0;
+    ln.deg = 0;
+    ln.itv_total = 0;
+    ln.itv_read = 0;
+    ln.itv_ptr = 0;
+    ln.itv_len = 0;
+    ln.itv_idx = -1;
+    ln.itv_consumed = 0;
+    ln.rs_ready = false;
+    ln.res_idx = 0;
+    ln.res_pending = false;
+    ln.res_val = 0;
+    ln.segs_read = false;
+    ln.seg_count = 0;
+    ln.seg_next = 0;
+    if (ln.valid) {
+      ln.u = chunk[i];
+      ln.dec.emplace(g_, ln.u);
+    }
+  }
   // Coalesced frontier load + bitStart offset gather.
   ctx_.Step(static_cast<int>(chunk.size()));
   ctx_.MemAccessRange(kQueueBase, 4ull * chunk.size());
-  gather_addrs_.clear();
-  for (size_t i = 0; i < chunk.size(); ++i) {
-    Lane& ln = lanes_[i];
-    ln.valid = true;
-    ln.u = chunk[i];
-    ln.dec.emplace(g_, ln.u);
-    gather_addrs_.push_back(kOffsetsBase + 8ull * ln.u);
+  if (offset_filter_.enabled()) {
+    uint64_t novel = 0;
+    for (NodeId u : chunk) novel += offset_filter_.Touch(u);
+    if (novel > 0) ctx_.ChargeTransactions(novel);
+  } else {
+    ctx_.MemAccessIndexed(chunk.size(), 8, [chunk](size_t i) {
+      return kOffsetsBase + 8ull * chunk[i];
+    });
   }
-  ctx_.MemAccess(gather_addrs_, 8);
 
   ranges_.clear();
   if (!segmented()) {
@@ -245,7 +357,7 @@ void WarpSim::HeaderPhase(std::span<const NodeId> chunk) {
       if (!ln.valid) continue;
       uint64_t before = ln.dec->bit_pos();
       ln.deg = ln.dec->ReadDegree();
-      ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+      PushRange(before, ln.dec->bit_pos(), ln.chg_lo, ln.chg_hi);
       ++active;
     }
     if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
@@ -257,7 +369,7 @@ void WarpSim::HeaderPhase(std::span<const NodeId> chunk) {
       if (!ln.valid || ln.deg == 0) continue;
       uint64_t before = ln.dec->bit_pos();
       ln.itv_total = ln.dec->ReadIntervalCount();
-      ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+      PushRange(before, ln.dec->bit_pos(), ln.chg_lo, ln.chg_hi);
       ++active;
     }
     if (active > 0) {
@@ -270,7 +382,7 @@ void WarpSim::HeaderPhase(std::span<const NodeId> chunk) {
       if (!ln.valid) continue;
       uint64_t before = ln.dec->bit_pos();
       ln.itv_total = ln.dec->ReadIntervalCount();
-      ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+      PushRange(before, ln.dec->bit_pos(), ln.chg_lo, ln.chg_hi);
       ++active;
     }
     if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
@@ -322,7 +434,7 @@ void WarpSim::RunIntuitive() {
         Lane& ln = lanes_[l];
         uint64_t before = ln.dec->bit_pos();
         CgrInterval itv = ln.dec->ReadNextInterval();
-        ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+        PushRange(before, ln.dec->bit_pos(), ln.chg_lo, ln.chg_hi);
         ++ln.itv_read;
         ++ln.itv_idx;
         ln.itv_ptr = itv.start;
@@ -350,11 +462,11 @@ void WarpSim::RunIntuitive() {
         if (!ln.segs_read) {
           ln.seg_count = ln.dec->ReadSegmentCount();
           ln.segs_read = true;
-          ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+          PushRange(before, ln.dec->bit_pos(), ln.chg_lo, ln.chg_hi);
         } else {
           ln.rs = ln.dec->SegmentResiduals(ln.seg_next);
           uint64_t base = ln.dec->SegmentBitPos(ln.seg_next);
-          ranges_.push_back(ByteRangeOf(base, ln.rs.bit_pos()));
+          PushRange(base, ln.rs.bit_pos(), ln.chg_lo, ln.chg_hi);
           ++ln.seg_next;
           ln.rs_ready = true;
         }
@@ -377,7 +489,7 @@ void WarpSim::RunIntuitive() {
         uint64_t before = ln.rs.bit_pos();
         ln.res_val = ln.rs.Next();
         ln.res_pending = true;
-        ranges_.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+        PushRange(before, ln.rs.bit_pos(), ln.chg_lo, ln.chg_hi);
         ++active;
         if (trace_ != nullptr) {
           char buf[32];
@@ -434,7 +546,7 @@ void WarpSim::IntervalPhase() {
       if (!ln.valid || ln.itv_read >= ln.itv_total) continue;
       uint64_t before = ln.dec->bit_pos();
       CgrInterval itv = ln.dec->ReadNextInterval();
-      ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+      PushRange(before, ln.dec->bit_pos(), ln.chg_lo, ln.chg_hi);
       ++ln.itv_read;
       ++ln.itv_idx;
       ln.itv_ptr = itv.start;
@@ -535,7 +647,7 @@ void WarpSim::ResidualPhaseTwoPhase() {
       if (!ln.valid || !ln.rs_ready || !ln.rs.HasNext()) continue;
       uint64_t before = ln.rs.bit_pos();
       NodeId v = ln.rs.Next();
-      ranges_.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+      PushRange(before, ln.rs.bit_pos(), ln.chg_lo, ln.chg_hi);
       ++active;
       if (trace_ != nullptr) {
         char buf[32];
@@ -575,7 +687,7 @@ void WarpSim::ResidualPhaseStealing() {
       Lane& ln = lanes_[l];
       uint64_t before = ln.rs.bit_pos();
       NodeId v = ln.rs.Next();
-      ranges_.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+      PushRange(before, ln.rs.bit_pos(), ln.chg_lo, ln.chg_hi);
       if (trace_ != nullptr) {
         char buf[32];
         std::snprintf(buf, sizeof(buf), "t%d:res%d", l, ln.res_idx);
@@ -632,20 +744,21 @@ void WarpSim::ResidualPhaseStealing() {
 void WarpSim::StealWindows(const std::vector<int>& work_lanes, bool handoff) {
   if (work_lanes.empty()) return;
   buffer_.clear();
+  size_t head = 0;  // buffered items before head were already appended
 
   // exclusiveScan over the remaining counts to compute buffer offsets.
   ctx_.SharedOp();
 
   auto flush = [&](bool final_flush) {
-    while (buffer_.size() >= static_cast<size_t>(o_.lanes) ||
-           (final_flush && !buffer_.empty())) {
-      size_t take = std::min<size_t>(buffer_.size(), o_.lanes);
-      round_.assign(buffer_.begin(), buffer_.begin() + take);
-      for (size_t i = 0; i < round_.size(); ++i) {
-        round_[i].exec_lane = static_cast<int>(i);
+    while (buffer_.size() - head >= static_cast<size_t>(o_.lanes) ||
+           (final_flush && buffer_.size() > head)) {
+      size_t take = std::min<size_t>(buffer_.size() - head, o_.lanes);
+      std::span<AppendItem> round(buffer_.data() + head, take);
+      for (size_t i = 0; i < take; ++i) {
+        round[i].exec_lane = static_cast<int>(i);
       }
-      buffer_.erase(buffer_.begin(), buffer_.begin() + take);
-      AppendStep(round_);
+      head += take;
+      AppendStep(round);
     }
   };
 
@@ -674,7 +787,7 @@ void WarpSim::StealWindows(const std::vector<int>& work_lanes, bool handoff) {
       if (!ln.rs.HasNext()) continue;
       uint64_t before = ln.rs.bit_pos();
       NodeId v = ln.rs.Next();
-      ranges_.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+      PushRange(before, ln.rs.bit_pos(), ln.chg_lo, ln.chg_hi);
       ++active;
       if (trace_ != nullptr) {
         char buf[32];
@@ -763,7 +876,7 @@ void WarpSim::SegmentedResidualPhase() {
     uint64_t before = ln.dec->bit_pos();
     ln.seg_count = ln.dec->ReadSegmentCount();
     ln.segs_read = true;
-    ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+    PushRange(before, ln.dec->bit_pos(), ln.chg_lo, ln.chg_hi);
     ++active;
   }
   if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
@@ -784,52 +897,63 @@ void WarpSim::SegmentedResidualPhase() {
   for (int e = 0; e < o_.lanes; ++e) exec_[e].next = static_cast<size_t>(e);
 
   buffer_.clear();
+  size_t head = 0;  // buffered items before head were already appended
   auto flush = [&](bool final_flush) {
-    while (buffer_.size() >= static_cast<size_t>(o_.lanes) ||
-           (final_flush && !buffer_.empty())) {
-      size_t take = std::min<size_t>(buffer_.size(), o_.lanes);
-      round_.assign(buffer_.begin(), buffer_.begin() + take);
-      for (size_t i = 0; i < round_.size(); ++i) {
-        round_[i].exec_lane = static_cast<int>(i);
+    while (buffer_.size() - head >= static_cast<size_t>(o_.lanes) ||
+           (final_flush && buffer_.size() > head)) {
+      size_t take = std::min<size_t>(buffer_.size() - head, o_.lanes);
+      std::span<AppendItem> round(buffer_.data() + head, take);
+      for (size_t i = 0; i < take; ++i) {
+        round[i].exec_lane = static_cast<int>(i);
       }
-      buffer_.erase(buffer_.begin(), buffer_.begin() + take);
+      head += take;
       ctx_.SharedOp();
-      AppendStep(round_);
+      AppendStep(round);
     }
   };
 
-  for (;;) {
+  // Live executing lanes, ascending. Lanes whose task stride is exhausted
+  // drop out (stable compaction keeps lane order, so rounds, charges and
+  // buffer order stay identical to scanning all lanes every round).
+  work_.clear();
+  for (int e = 0; e < o_.lanes; ++e) work_.push_back(e);
+  while (!work_.empty()) {
     ranges_.clear();
     size_t decoding = 0;
+    size_t kept = 0;
     if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
-    for (int e = 0; e < o_.lanes; ++e) {
+    for (size_t idx = 0; idx < work_.size(); ++idx) {
+      const int e = work_[idx];
       ExecState& st = exec_[e];
       if (st.open && !st.stream.HasNext()) st.open = false;
       if (!st.open) {
-        if (st.next >= tasks_.size()) continue;
+        if (st.next >= tasks_.size()) continue;  // drained: drop the lane
         const Task t = tasks_[st.next];
-        st.cur = st.next;
         st.next += static_cast<size_t>(o_.lanes);
         Lane& owner = lanes_[t.src_lane];
+        st.owner = &owner;
         uint64_t base = owner.dec->SegmentBitPos(t.seg);
         st.stream = owner.dec->SegmentResiduals(t.seg);
         st.open = st.stream.HasNext();
-        ranges_.push_back(ByteRangeOf(base, st.stream.bit_pos()));
+        PushRange(base, st.stream.bit_pos(), st.chg_lo, st.chg_hi);
         ++decoding;  // the header read consumes this lane's slot this round
+        work_[kept++] = e;
         continue;
       }
       uint64_t before = st.stream.bit_pos();
       NodeId v = st.stream.Next();
-      ranges_.push_back(ByteRangeOf(before, st.stream.bit_pos()));
+      PushRange(before, st.stream.bit_pos(), st.chg_lo, st.chg_hi);
       ++decoding;
+      work_[kept++] = e;
       AppendItem it;
       it.src_lane = e;
-      it.u = lanes_[tasks_[st.cur].src_lane].u;
+      it.u = st.owner->u;
       it.v = v;
       it.origin = TraceOp::kDecodeResidual;
-      it.idx1 = lanes_[tasks_[st.cur].src_lane].res_idx++;
+      it.idx1 = st.owner->res_idx++;
       buffer_.push_back(it);
     }
+    work_.resize(kept);
     if (decoding == 0) break;
     ChargeDecode(decoding, ranges_);
     flush(false);
@@ -849,7 +973,7 @@ void WarpSim::SegmentedSerialResiduals() {
     uint64_t before = ln.dec->bit_pos();
     ln.seg_count = ln.dec->ReadSegmentCount();
     ln.segs_read = true;
-    ranges_.push_back(ByteRangeOf(before, ln.dec->bit_pos()));
+    PushRange(before, ln.dec->bit_pos(), ln.chg_lo, ln.chg_hi);
     ++active;
   }
   if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
@@ -870,7 +994,7 @@ void WarpSim::SegmentedSerialResiduals() {
       ln.rs = ln.dec->SegmentResiduals(ln.seg_next);
       ++ln.seg_next;
       ln.rs_ready = true;
-      ranges_.push_back(ByteRangeOf(base, ln.rs.bit_pos()));
+      PushRange(base, ln.rs.bit_pos(), ln.chg_lo, ln.chg_hi);
       ++opening;
     }
     if (opening > 0) {
@@ -887,7 +1011,7 @@ void WarpSim::SegmentedSerialResiduals() {
       if (!ln.valid || !ln.rs_ready || !ln.rs.HasNext()) continue;
       uint64_t before = ln.rs.bit_pos();
       NodeId v = ln.rs.Next();
-      ranges_.push_back(ByteRangeOf(before, ln.rs.bit_pos()));
+      PushRange(before, ln.rs.bit_pos(), ln.chg_lo, ln.chg_hi);
       ++decoding;
       AppendItem it;
       it.exec_lane = l;
@@ -907,6 +1031,8 @@ void WarpSim::SegmentedSerialResiduals() {
 }
 
 WarpStats WarpSim::Run(std::span<const NodeId> chunk) {
+  label_filter_.NextWarp();
+  offset_filter_.NextWarp();
   HeaderPhase(chunk);
   if (o_.level == GcgtLevel::kIntuitive) {
     RunIntuitive();

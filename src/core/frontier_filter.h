@@ -163,7 +163,22 @@ class ChunkClaims {
 
 class FrontierFilter {
  public:
+  /// Fast-path discriminator for the engines' append inner loops: the
+  /// decide sequence (Filter / AppendTarget / TakeAtomics) runs once per
+  /// expanded edge, so for the well-known filters the engines switch on
+  /// kind() once per slot and statically dispatch the loop, replacing three
+  /// virtual calls per edge with inlined code. kGeneric keeps the dynamic
+  /// path for third-party filters.
+  ///
+  /// CONTRACT: returning a non-kGeneric value asserts the object IS exactly
+  /// that built-in filter class — the engines static_cast on it (guarded by
+  /// a dynamic_cast assert in debug builds). Third-party filters must
+  /// return kGeneric (the default); lying here is undefined behavior.
+  enum class Kind : uint8_t { kGeneric, kBfs, kCc, kBcForward, kBcBackward };
+
   virtual ~FrontierFilter() = default;
+
+  virtual Kind kind() const { return Kind::kGeneric; }
 
   /// Called once per expanded edge (u, v); returns true when a node should
   /// be appended to the out-frontier. Serial contract only — the parallel
@@ -227,15 +242,21 @@ class FrontierFilter {
 /// succeeded on the serial path, so ResolveChunk can write depths and
 /// compact the out-frontier fully in parallel and MergeBatch reduces to an
 /// append of the pre-compacted run.
-class BfsFilter : public FrontierFilter {
+class BfsFilter final : public FrontierFilter {
  public:
   static constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
 
   explicit BfsFilter(NodeId num_nodes) : depth_(num_nodes, kUnvisited) {}
 
+  Kind kind() const override { return Kind::kBfs; }
+
   void SetSource(NodeId s) { depth_[s] = 0; }
 
   bool Filter(NodeId u, NodeId v) override {
+    // Plain-load fast path: Filter is the serial contract (concurrent warps
+    // go through the claim protocol), and most candidates are already
+    // visited — skip the CAS for those.
+    if (depth_[v] != kUnvisited) return false;
     uint32_t expected = kUnvisited;
     return std::atomic_ref<uint32_t>(depth_[v]).compare_exchange_strong(
         expected, depth_[u] + 1, std::memory_order_relaxed);
