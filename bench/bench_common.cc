@@ -1,5 +1,7 @@
 #include "bench/bench_common.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -7,6 +9,8 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <thread>
 
 #include "graph/generators.h"
 #include "graph/graph_io.h"
@@ -111,10 +115,45 @@ void StoreCachedDataset(const std::string& dir, const std::string& stem,
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return;  // cache is best-effort
-  if (!WriteBinaryCsr(d.graph, stem + ".csr").ok()) return;
-  std::ofstream meta(stem + ".meta");
-  meta << kCacheVersion << " " << d.raw_edges << " " << d.vnc_reduction
-       << "\n";
+
+  // Concurrent-writer guard: several bench binaries (the fig benches and the
+  // service load generator) may cold-start against one cache directory at
+  // once. Each writer stages to a process+thread-unique temp file and
+  // atomically renames it into place, so readers only ever see complete
+  // files. Writers racing on one stem is benign: the pipeline is
+  // deterministic, every writer produces identical bytes. The .meta file is
+  // renamed LAST — LoadCachedDataset reads it first, so a visible .meta
+  // implies the .csr it describes is already in place.
+  char unique[64];
+  std::snprintf(unique, sizeof(unique), ".tmp.%ld.%zu",
+                static_cast<long>(::getpid()),
+                std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  const std::string csr_tmp = stem + ".csr" + unique;
+  const std::string meta_tmp = stem + ".meta" + unique;
+
+  if (!WriteBinaryCsr(d.graph, csr_tmp).ok()) {
+    std::filesystem::remove(csr_tmp, ec);  // partial write (e.g. disk full)
+    return;
+  }
+  std::filesystem::rename(csr_tmp, stem + ".csr", ec);
+  if (ec) {
+    std::filesystem::remove(csr_tmp, ec);
+    return;
+  }
+  bool meta_ok;
+  {
+    std::ofstream meta(meta_tmp);
+    meta << kCacheVersion << " " << d.raw_edges << " " << d.vnc_reduction
+         << "\n";
+    meta.close();  // surface buffered-write/flush failures before checking
+    meta_ok = static_cast<bool>(meta);
+  }
+  if (!meta_ok) {
+    std::filesystem::remove(meta_tmp, ec);
+    return;
+  }
+  std::filesystem::rename(meta_tmp, stem + ".meta", ec);
+  if (ec) std::filesystem::remove(meta_tmp, ec);
 }
 
 }  // namespace

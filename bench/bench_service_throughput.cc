@@ -1,0 +1,208 @@
+// Closed-loop load generator for the GcgtService serving tier.
+//
+// N client threads each submit queries back-to-back (submit, wait, record
+// latency — closed loop, so the bounded queue's backpressure paces them)
+// against one registered artifact. Sources are Zipf-skewed, like real
+// traffic: a few hot sources dominate, so the cross-query result cache sees
+// realistic hit rates. CC queries ride along every kCcEvery queries.
+//
+// Scenarios sweep the serving configuration over ONE fixed workload:
+//   w1/nocache  - 1 worker, cache off (the serial baseline)
+//   wN/nocache  - N workers, cache off (pure worker-pool scaling)
+//   wN/cache    - N workers, cache on  (scaling + memoization)
+//
+// The per-query model cycles are deterministic and identical across
+// scenarios (cache hits return the memoized metrics of an identical fresh
+// run), so the summed model_cycles is a machine-independent trend metric;
+// qps / p50 / p99 are the wall-clock serving metrics (trend-gated with the
+// higher-is-better direction and a generous threshold).
+//
+//   $ ./bench_service_throughput [--dataset ljournal] [--queries 240]
+//       [--clients 8] [--workers 4] [--json BENCH_service.json]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "service/gcgt_service.h"
+#include "util/random.h"
+
+namespace gcgt::bench {
+namespace {
+
+constexpr int kSourcePoolSize = 64;
+constexpr double kZipfAlpha = 1.2;
+constexpr int kCcEvery = 20;  // every 20th query is a CC
+
+struct Scenario {
+  std::string label;
+  int workers;
+  bool cache;
+};
+
+struct LoadResult {
+  double wall_ns = 0;
+  double model_cycles = 0;
+  std::vector<double> latency_ms;  // sorted on return
+  ServiceStats stats;
+  int errors = 0;
+};
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// One fixed workload, identical across scenarios: Zipf-ranked BFS sources
+/// from a pool of nodes with outgoing edges, a CC every kCcEvery queries.
+std::vector<Query> BuildWorkload(const Graph& g, int num_queries) {
+  Rng rng(20260727);
+  std::vector<NodeId> pool;
+  pool.reserve(kSourcePoolSize);
+  while (pool.size() < kSourcePoolSize) {
+    NodeId s = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+    if (g.out_degree(s) > 0) pool.push_back(s);
+  }
+  std::vector<Query> workload;
+  workload.reserve(num_queries);
+  for (int i = 0; i < num_queries; ++i) {
+    if (i % kCcEvery == kCcEvery - 1) {
+      workload.push_back(CcQuery{});
+    } else {
+      const uint64_t rank = rng.Zipf(kSourcePoolSize, kZipfAlpha) - 1;
+      workload.push_back(BfsQuery{pool[rank]});
+    }
+  }
+  return workload;
+}
+
+LoadResult RunScenario(const Graph& g, const PrepareOptions& prep,
+                       const Scenario& scenario,
+                       const std::vector<Query>& workload, int num_clients) {
+  ServiceOptions opt;
+  opt.num_workers = scenario.workers;
+  opt.queue_capacity = 2 * static_cast<size_t>(num_clients);
+  if (!scenario.cache) opt.cache_bytes = 0;
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g, prep);
+  if (!id.ok()) {
+    std::fprintf(stderr, "register failed: %s\n",
+                 id.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  // Contiguous slice per client; closed loop within each client.
+  LoadResult out;
+  std::vector<std::vector<double>> latencies(num_clients);
+  std::vector<std::vector<double>> model_ms(num_clients);
+  std::vector<int> errors(num_clients, 0);
+  const double t0 = NowNs();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      const size_t begin = workload.size() * c / num_clients;
+      const size_t end = workload.size() * (c + 1) / num_clients;
+      for (size_t i = begin; i < end; ++i) {
+        const double q0 = NowNs();
+        Result<QueryResult> r =
+            service.Submit({id.value(), workload[i]}).get();
+        const double q1 = NowNs();
+        if (!r.ok()) {
+          ++errors[c];
+          continue;
+        }
+        latencies[c].push_back((q1 - q0) * 1e-6);
+        model_ms[c].push_back(r.value().metrics().model_ms);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  out.wall_ns = NowNs() - t0;
+
+  const simt::CostModel cost;  // benches run the default cost model
+  double total_model_ms = 0;
+  for (int c = 0; c < num_clients; ++c) {
+    out.errors += errors[c];
+    out.latency_ms.insert(out.latency_ms.end(), latencies[c].begin(),
+                          latencies[c].end());
+    for (double ms : model_ms[c]) total_model_ms += ms;
+  }
+  out.model_cycles = ModelCycles(total_model_ms, cost);
+  std::sort(out.latency_ms.begin(), out.latency_ms.end());
+  out.stats = service.Stats();
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  std::string dataset = "ljournal";
+  int num_queries = 240;
+  int num_clients = 8;
+  int num_workers = 4;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--dataset") == 0) dataset = argv[i + 1];
+    if (std::strcmp(argv[i], "--queries") == 0) num_queries = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--clients") == 0) num_clients = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--workers") == 0) num_workers = std::atoi(argv[i + 1]);
+  }
+  JsonReport json(argc, argv);
+
+  // BuildDataset has already applied VNC + LLP reordering; the service
+  // session only encodes. Worker engines are serial (num_threads = 1): the
+  // serving tier parallelizes across workers, not inside one engine.
+  Dataset d = BuildDataset(dataset);
+  PrepareOptions prep;
+  prep.gcgt.num_threads = 1;
+  const std::vector<Query> workload = BuildWorkload(d.graph, num_queries);
+
+  const Scenario scenarios[] = {
+      {"w1/nocache", 1, false},
+      {"w" + std::to_string(num_workers) + "/nocache", num_workers, false},
+      {"w" + std::to_string(num_workers) + "/cache", num_workers, true},
+  };
+
+  std::printf("service throughput: %s, %d queries, %d clients, Zipf(%d, %.1f)\n",
+              dataset.c_str(), num_queries, num_clients, kSourcePoolSize,
+              kZipfAlpha);
+  std::printf("%-12s %10s %10s %10s %10s %10s %12s\n", "scenario", "qps",
+              "p50_ms", "p99_ms", "mean_ms", "hit_rate", "engines");
+  for (const Scenario& scenario : scenarios) {
+    LoadResult r = RunScenario(d.graph, prep, scenario, workload, num_clients);
+    if (r.errors > 0) {
+      std::fprintf(stderr, "%d queries failed\n", r.errors);
+      return 1;
+    }
+    const double wall_s = r.wall_ns * 1e-9;
+    const double qps = workload.size() / wall_s;
+    const double p50 = Quantile(r.latency_ms, 0.5);
+    const double p99 = Quantile(r.latency_ms, 0.99);
+    double mean = 0;
+    for (double ms : r.latency_ms) mean += ms;
+    mean /= r.latency_ms.empty() ? 1 : r.latency_ms.size();
+    const uint64_t lookups = r.stats.cache.hits + r.stats.cache.misses;
+    const double hit_rate =
+        lookups ? static_cast<double>(r.stats.cache.hits) / lookups : 0.0;
+
+    std::printf("%-12s %10.1f %10.3f %10.3f %10.3f %10.2f %12llu\n",
+                scenario.label.c_str(), qps, p50, p99, mean, hit_rate,
+                static_cast<unsigned long long>(r.stats.worker_sessions));
+    json.Add(dataset + "/" + scenario.label, r.wall_ns, r.model_cycles,
+             {{"qps", Cell(qps, 0, 2)},
+              {"p50_ms", Cell(p50, 0, 4)},
+              {"p99_ms", Cell(p99, 0, 4)},
+              {"mean_ms", Cell(mean, 0, 4)},
+              {"cache_hit_rate", Cell(hit_rate, 0, 3)},
+              {"cache_hits", std::to_string(r.stats.cache.hits)},
+              {"workers", std::to_string(scenario.workers)},
+              {"clients", std::to_string(num_clients)}});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gcgt::bench
+
+int main(int argc, char** argv) { return gcgt::bench::Main(argc, argv); }

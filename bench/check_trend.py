@@ -4,6 +4,7 @@
 Usage:
   check_trend.py BASELINE.json CURRENT.json [--max-regress-pct N]
                  [--metric model_cycles] [--require-all]
+                 [--higher-is-better]
 
 Both files are arrays of rows as written by bench::JsonReport:
   {"scenario": "...", "wall_ns": ..., "model_cycles": ..., ...}
@@ -13,6 +14,11 @@ compared; the tool exits non-zero when any scenario's metric regressed by
 more than --max-regress-pct percent. model_cycles is deterministic (the
 simulator is bit-exact), so regressions there are real code changes, not
 noise; wall_ns can be checked with a generous threshold instead.
+
+By default smaller is better (cycles, latency). --higher-is-better flips
+the direction for throughput-style metrics (e.g. the service load
+generator's qps): a regression is then a metric that SHRANK by more than
+--max-regress-pct percent.
 
 Scenarios only present in one file are reported as added/removed (and fail
 the check under --require-all, which guards against a bench silently
@@ -56,6 +62,9 @@ def main():
     parser.add_argument("--require-all", action="store_true",
                         help="fail when the current file is missing any "
                              "baseline scenario")
+    parser.add_argument("--higher-is-better", action="store_true",
+                        help="the metric is a throughput: regression = it "
+                             "shrank by more than --max-regress-pct")
     args = parser.parse_args()
 
     base = load(args.baseline)
@@ -105,11 +114,14 @@ def main():
                   f"(scenario stopped producing a result)")
             continue
         delta_pct = 100.0 * (c - b) / b
-        if delta_pct > args.max_regress_pct:
+        regressed = (delta_pct < -args.max_regress_pct
+                     if args.higher_is_better
+                     else delta_pct > args.max_regress_pct)
+        if regressed:
             regressions.append((name, b, c, delta_pct))
             print(f"REGRESSED: {name}: {args.metric} {b:.0f} -> {c:.0f} "
                   f"({delta_pct:+.2f}%)")
-        elif c < b:
+        elif (c > b) if args.higher_is_better else (c < b):
             improved += 1
         else:
             unchanged += 1

@@ -1,13 +1,96 @@
 #include "api/gcgt_session.h"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 #include <utility>
 
 #include "baseline/cpu_bfs.h"
 #include "baseline/cpu_reference.h"
 #include "cgr/cgr_decoder.h"
+#include "util/random.h"
 
 namespace gcgt {
+
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return Mix64(h ^ (v + 0x9e3779b97f4a7c15ULL));
+}
+
+uint64_t HashCombine(uint64_t h, double v) {
+  return HashCombine(h, std::bit_cast<uint64_t>(v));
+}
+
+/// The result-affecting PrepareOptions fields. num_threads is excluded
+/// (results and metrics are bit-identical across host thread counts);
+/// everything else — preprocessing, codec, scheduling level, cost model,
+/// device budget — changes either result vectors or cached metrics.
+uint64_t HashOptions(uint64_t h, const PrepareOptions& o) {
+  h = HashCombine(h, static_cast<uint64_t>(o.apply_vnc));
+  h = HashCombine(h, static_cast<uint64_t>(o.vnc.min_cluster_size));
+  h = HashCombine(h, static_cast<uint64_t>(o.vnc.min_pattern_size));
+  h = HashCombine(h, static_cast<uint64_t>(o.vnc.num_passes));
+  h = HashCombine(h, o.vnc.seed);
+  h = HashCombine(h, static_cast<uint64_t>(o.reorder));
+  h = HashCombine(h, o.reorder_seed);
+  h = HashCombine(h, static_cast<uint64_t>(o.cgr.scheme));
+  h = HashCombine(h, static_cast<uint64_t>(o.cgr.min_interval_len));
+  h = HashCombine(h, static_cast<uint64_t>(o.cgr.segment_len_bytes));
+  h = HashCombine(h, static_cast<uint64_t>(o.gcgt.level));
+  h = HashCombine(h, static_cast<uint64_t>(o.gcgt.lanes));
+  h = HashCombine(h, static_cast<uint64_t>(o.gcgt.warp_centric_min_residuals));
+  h = HashCombine(h, o.gcgt.cost.cycles_per_step);
+  h = HashCombine(h, o.gcgt.cost.cycles_per_decode_step);
+  h = HashCombine(h, o.gcgt.cost.cycles_per_append_step);
+  h = HashCombine(h, o.gcgt.cost.cycles_per_shared_op);
+  h = HashCombine(h, o.gcgt.cost.cycles_per_mem_txn);
+  h = HashCombine(h, o.gcgt.cost.cycles_per_atomic);
+  h = HashCombine(h, o.gcgt.cost.kernel_launch_cycles);
+  h = HashCombine(h, static_cast<uint64_t>(o.gcgt.cost.cache_line_bytes));
+  h = HashCombine(h, static_cast<uint64_t>(o.gcgt.cost.num_sms));
+  h = HashCombine(h, static_cast<uint64_t>(o.gcgt.cost.warps_per_sm));
+  h = HashCombine(h, o.gcgt.cost.clock_ghz);
+  h = HashCombine(h, o.gcgt.device.memory_bytes);
+  h = HashCombine(h, o.gunrock_memory_factor);
+  return h;
+}
+
+}  // namespace
+
+uint64_t ComputeArtifactFingerprint(const Graph& graph,
+                                    const PrepareOptions& options) {
+  uint64_t h = 0x6763677466707631ULL;  // "gcgtfpv1"
+  h = HashCombine(h, static_cast<uint64_t>(graph.num_nodes()));
+  for (EdgeId off : graph.offsets()) h = HashCombine(h, uint64_t{off});
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.Neighbors(u)) h = HashCombine(h, uint64_t{v});
+  }
+  return HashOptions(h, options);
+}
+
+/// RAII enforcement of the single-caller contract: trips a debug assert when
+/// two Run/RunBatch calls overlap on one session. Free in release builds.
+class GcgtSession::RunScope {
+ public:
+  explicit RunScope([[maybe_unused]] CallerCheck& check)
+#ifndef NDEBUG
+      : check_(&check) {
+    const bool was_busy = check_->busy.exchange(true, std::memory_order_acquire);
+    assert(!was_busy &&
+           "GcgtSession::Run/RunBatch is single-caller: overlapping queries "
+           "on one session race on the engine scratch. Use per-thread "
+           "AttachClone() sessions (see GcgtService).");
+  }
+  ~RunScope() { check_->busy.store(false, std::memory_order_release); }
+
+ private:
+  CallerCheck* check_;
+#else
+  {
+  }
+#endif
+};
 
 const char* BackendName(Backend b) {
   switch (b) {
@@ -21,10 +104,18 @@ const char* BackendName(Backend b) {
 
 Result<GcgtSession> GcgtSession::Prepare(const Graph& graph,
                                          const PrepareOptions& options) {
+  return Prepare(graph, options, ComputeArtifactFingerprint(graph, options));
+}
+
+Result<GcgtSession> GcgtSession::Prepare(const Graph& graph,
+                                         const PrepareOptions& options,
+                                         uint64_t fingerprint) {
   if (Status s = options.cgr.Validate(); !s.ok()) return s;
 
   GcgtSession session;
   session.options_ = options;
+  session.fingerprint_ = fingerprint;
+  session.has_fingerprint_ = true;
 
   session.caller_nodes_ = graph.num_nodes();
   Graph prepared;
@@ -64,15 +155,52 @@ GcgtSession GcgtSession::Attach(const CgrGraph& cgr,
   session.options_.cgr = cgr.options();
   session.cgr_ = &cgr;
   session.caller_nodes_ = cgr.num_nodes();
+  // The fingerprint stays lazy (see artifact_fingerprint): parameter sweeps
+  // Attach once per engine variant and never ask for it.
   session.InitEngine();
   return session;
+}
+
+uint64_t GcgtSession::artifact_fingerprint() const {
+  if (!has_fingerprint_) {
+    // Attach has no input graph to fingerprint; hash the encode itself (the
+    // bits pin graph + codec) plus the result-affecting engine options.
+    uint64_t h = 0x6763677466707632ULL;  // "gcgtfpv2"
+    h = HashCombine(h, cgr_->total_bits());
+    for (uint8_t byte : cgr_->bits()) h = HashCombine(h, uint64_t{byte});
+    PrepareOptions fp_opt;
+    fp_opt.gcgt = options_.gcgt;
+    fp_opt.cgr = cgr_->options();
+    fingerprint_ = HashOptions(h, fp_opt);
+    has_fingerprint_ = true;
+  }
+  return fingerprint_;
 }
 
 GcgtSession GcgtSession::Attach(const CgrGraph& cgr, const Graph& graph,
                                 const GcgtOptions& options) {
   GcgtSession session = Attach(cgr, options);
-  session.graph_ = std::make_unique<Graph>(graph);
+  session.graph_ = std::make_shared<const Graph>(graph);
   return session;
+}
+
+GcgtSession GcgtSession::AttachClone(int num_threads_override) const {
+  GcgtSession clone;
+  clone.options_ = options_;
+  if (num_threads_override >= 0) {
+    clone.options_.gcgt.num_threads = num_threads_override;
+  }
+  clone.perm_ = perm_;
+  clone.caller_nodes_ = caller_nodes_;
+  clone.fingerprint_ = fingerprint_;
+  clone.has_fingerprint_ = has_fingerprint_;
+  clone.cgr_ = cgr_;  // borrowed: the clone must not outlive *this
+  clone.graph_ = graph_;        // shared if already built, else lazy per clone
+  clone.reversed_ = reversed_;
+  clone.vnc_reduction_ = vnc_reduction_;
+  clone.vnc_virtual_nodes_ = vnc_virtual_nodes_;
+  clone.InitEngine();
+  return clone;
 }
 
 void GcgtSession::InitEngine() {
@@ -89,14 +217,14 @@ const Graph& GcgtSession::graph() const {
     for (NodeId u = 0; u < cgr_->num_nodes(); ++u) {
       for (NodeId v : DecodeAdjacency(*cgr_, u)) edges.emplace_back(u, v);
     }
-    graph_ = std::make_unique<Graph>(
+    graph_ = std::make_shared<const Graph>(
         Graph::FromEdges(cgr_->num_nodes(), edges));
   }
   return *graph_;
 }
 
 const Graph& GcgtSession::reversed() const {
-  if (!reversed_) reversed_ = std::make_unique<Graph>(graph().Reversed());
+  if (!reversed_) reversed_ = std::make_shared<const Graph>(graph().Reversed());
   return *reversed_;
 }
 
@@ -168,6 +296,7 @@ void GcgtSession::RemapResult(QueryResult& result) const {
 
 Result<QueryResult> GcgtSession::Run(const Query& query,
                                      const RunOptions& run) {
+  RunScope single_caller(busy_);  // see the threading contract on Run()
   Query translated = query;
   if (Status s = TranslateQuery(translated); !s.ok()) return s;
 

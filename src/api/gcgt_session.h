@@ -23,6 +23,7 @@
 #ifndef GCGT_API_GCGT_SESSION_H_
 #define GCGT_API_GCGT_SESSION_H_
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <variant>
@@ -76,6 +77,15 @@ struct PrepareOptions {
   /// Memory overhead factor of the kCsrGunrock backend.
   double gunrock_memory_factor = 2.6;
 };
+
+/// Deterministic fingerprint of (input graph, prepare options): two
+/// Prepare() calls with an equal graph and equal result-affecting options
+/// produce equal fingerprints. This is the identity of a prepared artifact —
+/// the service registry dedups encodes on it and the cross-query result
+/// cache keys on it. `gcgt.num_threads` is deliberately excluded: results
+/// and metrics are bit-identical for every host thread count.
+uint64_t ComputeArtifactFingerprint(const Graph& graph,
+                                    const PrepareOptions& options);
 
 struct BfsQuery {
   NodeId source = 0;
@@ -149,6 +159,14 @@ class GcgtSession {
   static Result<GcgtSession> Prepare(const Graph& graph,
                                      const PrepareOptions& options = {});
 
+  /// Prepare() for callers that already computed
+  /// ComputeArtifactFingerprint(graph, options) — the service registry hashes
+  /// the graph to dedup encodes BEFORE preparing, and this overload keeps
+  /// the O(V+E) hash from running twice. `fingerprint` is trusted verbatim.
+  static Result<GcgtSession> Prepare(const Graph& graph,
+                                     const PrepareOptions& options,
+                                     uint64_t fingerprint);
+
   /// Wraps an already-encoded, externally-owned CgrGraph (which must outlive
   /// the session) — the single-query-wrapper and parameter-sweep path where
   /// the encode is shared across several engine configurations. Baseline
@@ -165,13 +183,34 @@ class GcgtSession {
   GcgtSession(GcgtSession&&) = default;
   GcgtSession& operator=(GcgtSession&&) = default;
 
+  /// Cheap clone sharing this session's prepared artifacts: the encoded
+  /// CgrGraph, the reorder permutation and any already-built uncompressed /
+  /// reversed variants are shared; only the engine (+ pipeline and warp
+  /// scratch) is constructed anew. This is how a serving tier multiplexes N
+  /// concurrent workers over ONE encode: engines are per-session, the
+  /// artifacts are immutable and shared by reference.
+  ///
+  /// The clone must not outlive the session it was cloned from (it borrows
+  /// the encode). `num_threads_override >= 0` replaces gcgt.num_threads for
+  /// the clone's engine (results are bit-identical for every value; a
+  /// serving tier typically runs serial engines and parallelizes across
+  /// workers instead). Thread-safe against concurrent AttachClone() calls on
+  /// one source session; NOT against a concurrent Run() on it.
+  GcgtSession AttachClone(int num_threads_override = -1) const;
+
+  /// THREADING CONTRACT: a session is strictly single-caller. Run/RunBatch
+  /// mutate the persistent engine's scratch, the pipeline buffers and the BC
+  /// scratch, so two overlapping calls on one session race (debug builds
+  /// assert). Concurrency is layered ABOVE sessions: give each thread its
+  /// own AttachClone() of one prepared session (see GcgtService).
+  ///
   /// Runs one query. OutOfMemory when the backend's modeled footprint
   /// exceeds the device budget; InvalidArgument on bad sources.
   Result<QueryResult> Run(const Query& query, const RunOptions& run = {});
 
   /// Runs the queries in order through the persistent engine, amortizing
   /// frontier/label buffer allocation across the batch. Fails on the first
-  /// failing query.
+  /// failing query. Single-caller, like Run().
   Result<std::vector<QueryResult>> RunBatch(std::span<const Query> queries,
                                             const RunOptions& run = {});
 
@@ -195,6 +234,14 @@ class GcgtSession {
   /// The persistent engine. Its address is stable for the session's
   /// lifetime — queries never construct another one.
   const CgrTraversalEngine& engine() const { return *engine_; }
+
+  /// Identity of the prepared artifact this session serves. Prepare()
+  /// sessions: ComputeArtifactFingerprint(input graph, options). Attach()
+  /// sessions: a hash of the encoded bits + engine options, computed lazily
+  /// on first access (an O(encoded bytes) pass the parameter-sweep Attach
+  /// callers never pay). Clones inherit the source session's fingerprint
+  /// (same artifact). Single-caller, like Run().
+  uint64_t artifact_fingerprint() const;
 
   const PrepareOptions& options() const { return options_; }
 
@@ -222,18 +269,37 @@ class GcgtSession {
   Result<QueryResult> RunCsr(const Query& query, bool gunrock);
   Result<QueryResult> RunCpu(const Query& query);
 
+  // Debug tripwire for the single-caller contract on Run/RunBatch: set while
+  // a query is in flight; a second concurrent entry asserts. Movable so the
+  // session stays movable (moving a session while a query runs is already a
+  // contract violation, so the flag just resets).
+  struct CallerCheck {
+    std::atomic<bool> busy{false};
+    CallerCheck() = default;
+    CallerCheck(CallerCheck&&) noexcept {}
+    CallerCheck& operator=(CallerCheck&&) noexcept { return *this; }
+  };
+  class RunScope;  // RAII acquire/release of busy (defined in the .cc)
+
   PrepareOptions options_;
   std::vector<NodeId> perm_;   // reorder permutation; empty = identity
   NodeId caller_nodes_ = 0;    // size of the caller's id space
+  // Artifact identity (see artifact_fingerprint()): eager for Prepare (the
+  // hash is needed up front for registry dedup anyway), lazy for Attach.
+  mutable uint64_t fingerprint_ = 0;
+  mutable bool has_fingerprint_ = false;
   std::unique_ptr<const CgrGraph> owned_cgr_;  // null for Attach sessions
   const CgrGraph* cgr_ = nullptr;              // never null once built
-  mutable std::unique_ptr<Graph> graph_;       // lazy for Attach sessions
-  mutable std::unique_ptr<Graph> reversed_;    // lazy
+  // Lazy for Attach sessions; shared (immutable once built) so AttachClone
+  // workers reuse one decode instead of one per engine.
+  mutable std::shared_ptr<const Graph> graph_;
+  mutable std::shared_ptr<const Graph> reversed_;
   std::unique_ptr<CgrTraversalEngine> engine_;
   std::unique_ptr<TraversalPipeline> pipeline_;  // borrows *engine_
   BcBatchScratch bc_scratch_;  // reused across BC sources and queries
   double vnc_reduction_ = 1.0;
   NodeId vnc_virtual_nodes_ = 0;
+  CallerCheck busy_;
 };
 
 }  // namespace gcgt

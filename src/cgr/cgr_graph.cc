@@ -1,9 +1,18 @@
 #include "cgr/cgr_graph.h"
 
+#include <atomic>
+
 #include "cgr/cgr_encoder.h"
 #include "util/bit_stream.h"
 
 namespace gcgt {
+namespace {
+std::atomic<uint64_t> g_graphs_encoded{0};
+}  // namespace
+
+uint64_t CgrGraph::EncodedCount() {
+  return g_graphs_encoded.load(std::memory_order_relaxed);
+}
 
 Result<CgrGraph> CgrGraph::Encode(const Graph& g, const CgrOptions& options) {
   GCGT_RETURN_NOT_OK(options.Validate());
@@ -22,6 +31,7 @@ Result<CgrGraph> CgrGraph::Encode(const Graph& g, const CgrOptions& options) {
   cg.bit_start_.push_back(writer.num_bits());
   cg.total_bits_ = writer.num_bits();
   cg.bits_ = writer.TakeBytes();
+  g_graphs_encoded.fetch_add(1, std::memory_order_relaxed);  // successes only
   return cg;
 }
 

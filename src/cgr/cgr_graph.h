@@ -79,6 +79,12 @@ class CgrGraph {
   /// Compresses `g`. Fails with InvalidArgument on bad options.
   static Result<CgrGraph> Encode(const Graph& g, const CgrOptions& options);
 
+  /// Process-wide count of successful Encode() runs. The service registry's
+  /// contract is "one encode per artifact fingerprint"; tests assert this
+  /// counter stays flat when a graph is re-registered or served by many
+  /// worker sessions.
+  static uint64_t EncodedCount();
+
   NodeId num_nodes() const { return num_nodes_; }
   EdgeId num_edges() const { return num_edges_; }
   const CgrOptions& options() const { return options_; }

@@ -1,0 +1,184 @@
+#include "service/gcgt_service.h"
+
+#include <utility>
+
+namespace gcgt {
+
+GcgtService::GcgtService(const ServiceOptions& options)
+    : options_(options),
+      queue_(options.queue_capacity) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_bytes,
+                                           options_.cache_shards);
+  }
+  workers_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+GcgtService::~GcgtService() { Shutdown(); }
+
+void GcgtService::Shutdown() {
+  std::call_once(shutdown_once_, [&] {
+    queue_.Close();  // workers drain the accepted jobs, then exit
+    for (std::thread& worker : workers_) worker.join();
+  });
+}
+
+Result<uint64_t> GcgtService::RegisterGraph(const Graph& graph,
+                                            const PrepareOptions& options) {
+  const uint64_t fingerprint = ComputeArtifactFingerprint(graph, options);
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (auto it = registry_.find(fingerprint); it != registry_.end()) {
+      // Dedup trusts the 64-bit fingerprint (~2^-64 per accidental pair;
+      // adversarial multi-tenant inputs are out of scope). This cheap shape
+      // check turns the likeliest collision symptom — a DIFFERENT graph
+      // mapping to a registered artifact — into an error instead of
+      // silently serving the wrong graph's results.
+      if (it->second->num_query_nodes() != graph.num_nodes()) {
+        return Status::Internal(
+            "artifact fingerprint collision: a different graph is already "
+            "registered under this fingerprint");
+      }
+      return fingerprint;  // no re-encode
+    }
+  }
+  // Encode OUTSIDE the registry lock so serving and other registrations
+  // proceed meanwhile. Two concurrent first registrations of one artifact
+  // can both encode; the loser's copy is dropped (correctness is unaffected
+  // — the pipeline is deterministic — and registration is a startup-path
+  // operation; the steady-state guarantee is "re-registering never
+  // re-encodes").
+  auto built = PreparedGraph::Build(graph, options, fingerprint);
+  if (!built.ok()) return built.status();
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto [it, inserted] =
+      registry_.try_emplace(fingerprint, std::move(built.value()));
+  if (!inserted && it->second->num_query_nodes() != graph.num_nodes()) {
+    // A concurrent first registration won the slot with a DIFFERENT graph:
+    // the same collision guard as the fast path above.
+    return Status::Internal(
+        "artifact fingerprint collision: a different graph is already "
+        "registered under this fingerprint");
+  }
+  return fingerprint;
+}
+
+std::shared_ptr<const PreparedGraph> GcgtService::FindGraph(
+    uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_.find(fingerprint);
+  return it == registry_.end() ? nullptr : it->second;
+}
+
+std::future<Result<QueryResult>> GcgtService::Submit(ServiceQuery query) {
+  Job job;
+  job.query = std::move(query);
+  std::future<Result<QueryResult>> future = job.promise.get_future();
+  // Count BEFORE the job becomes visible to workers, so Stats() never
+  // transiently reports completed > submitted.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.Push(job)) {  // blocks while full; false only once closed
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    job.promise.set_value(Status::Unavailable("service is shut down"));
+    return future;
+  }
+  return future;
+}
+
+Result<std::future<Result<QueryResult>>> GcgtService::TrySubmit(
+    ServiceQuery query) {
+  Job job;
+  job.query = std::move(query);
+  std::future<Result<QueryResult>> future = job.promise.get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);  // see Submit()
+  switch (queue_.TryPush(job)) {
+    case BoundedQueue<Job>::PushResult::kOk:
+      return future;
+    case BoundedQueue<Job>::PushResult::kFull:
+      submitted_.fetch_sub(1, std::memory_order_relaxed);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("admission control: queue is full");
+    case BoundedQueue<Job>::PushResult::kClosed:
+      submitted_.fetch_sub(1, std::memory_order_relaxed);
+      return Status::Unavailable("service is shut down");
+  }
+  return Status::Internal("unreachable");
+}
+
+std::vector<std::future<Result<QueryResult>>> GcgtService::SubmitBatch(
+    std::vector<ServiceQuery> queries) {
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(queries.size());
+  for (ServiceQuery& query : queries) futures.push_back(Submit(std::move(query)));
+  return futures;
+}
+
+void GcgtService::WorkerLoop() {
+  // Per-worker serving state: one session (engine) per artifact served so
+  // far. Thread-confined — never shared, so Run() stays single-caller.
+  std::unordered_map<uint64_t, WorkerSession> sessions;
+  while (std::optional<Job> job = queue_.Pop()) {
+    Serve(sessions, std::move(*job));
+  }
+}
+
+void GcgtService::Serve(std::unordered_map<uint64_t, WorkerSession>& sessions,
+                        Job job) {
+  const uint64_t fingerprint = job.query.graph;
+  const Backend backend = job.query.backend;
+
+  // Cache first: a hit answers without touching any session.
+  std::optional<ResultCacheKey> key;
+  if (cache_) {
+    key = ResultCache::KeyFor(fingerprint, backend, job.query.query);
+    if (key) {
+      if (std::shared_ptr<const QueryResult> hit = cache_->Lookup(*key)) {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        job.promise.set_value(QueryResult(*hit));
+        return;
+      }
+    }
+  }
+
+  auto it = sessions.find(fingerprint);
+  if (it == sessions.end()) {
+    std::shared_ptr<const PreparedGraph> artifact = FindGraph(fingerprint);
+    if (artifact == nullptr) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      job.promise.set_value(
+          Status::NotFound("graph is not registered with the service"));
+      return;
+    }
+    GcgtSession session =
+        artifact->NewWorkerSession(options_.worker_engine_threads);
+    worker_sessions_.fetch_add(1, std::memory_order_relaxed);
+    it = sessions
+             .emplace(fingerprint,
+                      WorkerSession{std::move(artifact), std::move(session)})
+             .first;
+  }
+
+  Result<QueryResult> result =
+      it->second.session.Run(job.query.query, RunOptions{.backend = backend});
+  if (result.ok() && cache_ && key) {
+    cache_->Insert(*key, std::make_shared<const QueryResult>(result.value()));
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  job.promise.set_value(std::move(result));
+}
+
+ServiceStats GcgtService::Stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.worker_sessions = worker_sessions_.load(std::memory_order_relaxed);
+  if (cache_) stats.cache = cache_->Stats();
+  return stats;
+}
+
+}  // namespace gcgt

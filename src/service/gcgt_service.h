@@ -1,0 +1,173 @@
+// GcgtService: concurrent query serving over shared prepared graphs.
+//
+// The session layer (GcgtSession) is prepare-once/query-many but strictly
+// single-caller. This tier multiplexes many concurrent clients over the
+// prepared artifacts:
+//
+//   clients --Submit--> [bounded MPMC queue] --> worker pool --> results
+//                            |                      |   ^
+//                       admission control     per-worker |
+//                       (block or shed)       sessions   |
+//                                                 |      |
+//             registry of PreparedGraphs <--------+   result cache
+//             (one encode per fingerprint)          (sharded LRU)
+//
+//  - Registry: RegisterGraph runs VNC -> reorder -> CGR encode exactly once
+//    per artifact fingerprint; re-registering an identical (graph, options)
+//    pair is a lookup, not an encode.
+//  - Worker pool: each worker thread owns one GcgtSession clone per artifact
+//    it has served (engines are per-session; the encode is shared by
+//    reference), created lazily on first use and reused forever after —
+//    zero engine constructions in steady state.
+//  - Front end: Submit returns a std::future and blocks while the bounded
+//    queue is full (backpressure); TrySubmit sheds instead (admission
+//    control); SubmitBatch pipelines a whole batch.
+//  - Result cache: BFS-from-source and CC results are memoized across
+//    clients, keyed by {artifact fingerprint, backend, query key}; hits are
+//    bit-identical to a fresh run (deterministic engines), including
+//    metrics.
+//  - Shutdown: Close the queue, drain every accepted job, join the workers.
+//    Every accepted future is fulfilled; later submissions fail fast with
+//    Unavailable.
+//
+// Correctness under concurrency: with any worker count and the cache on,
+// results are bit-identical to serial uncached GcgtSession runs on the same
+// prepared artifact — BFS depths, canonical CC labels, BC dependency
+// doubles, and all modeled metrics (engines are deterministic per artifact;
+// see tests/service_test.cc).
+#ifndef GCGT_SERVICE_GCGT_SERVICE_H_
+#define GCGT_SERVICE_GCGT_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/gcgt_session.h"
+#include "service/prepared_graph.h"
+#include "service/result_cache.h"
+#include "util/bounded_queue.h"
+#include "util/status.h"
+
+namespace gcgt {
+
+struct ServiceOptions {
+  /// Worker threads draining the queue. Each worker owns its own sessions
+  /// (engines), so this is the serving parallelism.
+  int num_workers = 4;
+  /// Bounded submission queue: Submit blocks (backpressure) and TrySubmit
+  /// sheds (admission control) once this many queries are in flight.
+  size_t queue_capacity = 256;
+  /// Result-cache byte budget across all shards; 0 disables caching.
+  size_t cache_bytes = size_t{64} << 20;
+  size_t cache_shards = 8;
+  /// Host threads per worker ENGINE (-1 inherits the artifact's
+  /// PrepareOptions). Default 1: the service parallelizes across workers,
+  /// and serial engines neither contend on the shared host pool nor
+  /// oversubscribe cores. Results are identical either way.
+  int worker_engine_threads = 1;
+};
+
+/// One query addressed to a registered artifact.
+struct ServiceQuery {
+  uint64_t graph = 0;  ///< fingerprint returned by RegisterGraph
+  Query query;
+  Backend backend = Backend::kCgrSimt;
+};
+
+struct ServiceStats {
+  uint64_t submitted = 0;   ///< accepted into the queue
+  uint64_t rejected = 0;    ///< shed by TrySubmit admission control
+  uint64_t completed = 0;   ///< futures fulfilled (results and errors)
+  uint64_t worker_sessions = 0;  ///< sessions (engines) built, ever
+  ResultCacheStats cache;   ///< cache.hits == queries answered from cache
+};
+
+class GcgtService {
+ public:
+  explicit GcgtService(const ServiceOptions& options = {});
+  /// Drains and joins (Shutdown).
+  ~GcgtService();
+
+  GcgtService(const GcgtService&) = delete;
+  GcgtService& operator=(const GcgtService&) = delete;
+
+  /// Prepares `graph` into the registry and returns its artifact
+  /// fingerprint — the id queries address. Encodes at most once per
+  /// fingerprint: re-registering an identical (graph, options) pair returns
+  /// the existing artifact. Safe to call concurrently with serving.
+  Result<uint64_t> RegisterGraph(const Graph& graph,
+                                 const PrepareOptions& options = {});
+
+  /// The registered artifact (nullptr when unknown). Entries live for the
+  /// service's lifetime.
+  std::shared_ptr<const PreparedGraph> FindGraph(uint64_t fingerprint) const;
+
+  /// Enqueues one query and returns the future of its result. Blocks while
+  /// the queue is full (backpressure). The future is always fulfilled:
+  /// with the query result, a query error (OutOfMemory/InvalidArgument...),
+  /// NotFound for an unregistered graph, or Unavailable once the service is
+  /// shut down.
+  ///
+  /// Results are BY VALUE: a cache hit copies the memoized result vectors
+  /// out (microseconds at bench scale, vs the milliseconds of traversal the
+  /// hit avoids). If O(V) copies ever dominate at production node counts,
+  /// the evolution path is a future carrying shared_ptr<const QueryResult>
+  /// straight out of the cache.
+  std::future<Result<QueryResult>> Submit(ServiceQuery query);
+
+  /// Like Submit, but sheds instead of blocking: Unavailable when the queue
+  /// is full or the service is shut down (the future, if returned, is still
+  /// always fulfilled).
+  Result<std::future<Result<QueryResult>>> TrySubmit(ServiceQuery query);
+
+  /// Submits all queries (blocking admission, in order) and returns their
+  /// futures. Queries fan out across the worker pool concurrently.
+  std::vector<std::future<Result<QueryResult>>> SubmitBatch(
+      std::vector<ServiceQuery> queries);
+
+  /// Graceful shutdown: stops admissions, drains every accepted query,
+  /// joins the workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+  ServiceStats Stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    ServiceQuery query;
+    std::promise<Result<QueryResult>> promise;
+  };
+  /// A worker's per-artifact serving state: the session (engine) plus the
+  /// registry entry keeping the shared encode alive.
+  struct WorkerSession {
+    std::shared_ptr<const PreparedGraph> artifact;
+    GcgtSession session;
+  };
+
+  void WorkerLoop();
+  void Serve(std::unordered_map<uint64_t, WorkerSession>& sessions, Job job);
+
+  ServiceOptions options_;
+  std::unique_ptr<ResultCache> cache_;  // null when cache_bytes == 0
+
+  mutable std::mutex registry_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const PreparedGraph>> registry_;
+
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> worker_sessions_{0};
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_SERVICE_GCGT_SERVICE_H_

@@ -1,0 +1,19 @@
+#include "service/prepared_graph.h"
+
+#include <utility>
+
+namespace gcgt {
+
+Result<std::shared_ptr<const PreparedGraph>> PreparedGraph::Build(
+    const Graph& graph, const PrepareOptions& options, uint64_t fingerprint) {
+  Result<GcgtSession> master = GcgtSession::Prepare(graph, options, fingerprint);
+  if (!master.ok()) return master.status();
+  // Force the lazy decode NOW, while the artifact is still single-threaded:
+  // worker clones then share one uncompressed view instead of each decoding
+  // their own, and concurrent NewWorkerSession() calls stay read-only.
+  master.value().graph();
+  return std::shared_ptr<const PreparedGraph>(
+      new PreparedGraph(std::move(master).value()));
+}
+
+}  // namespace gcgt

@@ -1,0 +1,117 @@
+#include "service/result_cache.h"
+
+#include <bit>
+
+namespace gcgt {
+
+ResultCache::ResultCache(size_t max_bytes, size_t num_shards) {
+  const size_t n = std::bit_ceil(num_shards < 1 ? size_t{1} : num_shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  bytes_per_shard_ = max_bytes / n;
+}
+
+bool ResultCache::Cacheable(const Query& query) {
+  return !std::holds_alternative<BcQuery>(query);
+}
+
+std::optional<ResultCacheKey> ResultCache::KeyFor(uint64_t fingerprint,
+                                                  Backend backend,
+                                                  const Query& query) {
+  ResultCacheKey key;
+  key.fingerprint = fingerprint;
+  key.backend = backend;
+  if (const auto* bfs = std::get_if<BfsQuery>(&query)) {
+    key.kind = QueryKind::kBfs;
+    key.source = bfs->source;
+    return key;
+  }
+  if (std::holds_alternative<CcQuery>(query)) {
+    key.kind = QueryKind::kCc;
+    key.source = 0;
+    return key;
+  }
+  return std::nullopt;  // BC: see Cacheable()
+}
+
+size_t ResultCache::ResultBytes(const QueryResult& result) {
+  size_t bytes = sizeof(QueryResult);
+  switch (result.kind()) {
+    case QueryKind::kBfs:
+      bytes += result.bfs().depth.capacity() * sizeof(uint32_t);
+      break;
+    case QueryKind::kCc:
+      bytes += result.cc().component.capacity() * sizeof(NodeId);
+      break;
+    case QueryKind::kBc:
+      bytes += result.bc().dependency.capacity() * sizeof(double) +
+               result.bc().depth.capacity() * sizeof(uint32_t) +
+               result.bc().sigma.capacity() * sizeof(double);
+      break;
+  }
+  return bytes;
+}
+
+std::shared_ptr<const QueryResult> ResultCache::Lookup(
+    const ResultCacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result;
+}
+
+void ResultCache::Insert(const ResultCacheKey& key,
+                         std::shared_ptr<const QueryResult> result) {
+  const size_t bytes = ResultBytes(*result);
+  if (bytes > bytes_per_shard_) return;  // would evict the whole shard
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto it = shard.map.find(key); it != shard.map.end()) {
+    // Two workers raced on the same miss; the values are bit-identical
+    // (deterministic engines), so keep the resident one and its recency.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.bytes + bytes > bytes_per_shard_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{key, std::move(result), bytes});
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->map.size();
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+void ResultCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace gcgt

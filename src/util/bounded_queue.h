@@ -1,0 +1,107 @@
+// Bounded MPMC queue: the admission-control seam of the serving tier.
+//
+// A fixed-capacity FIFO shared by many producers (client threads submitting
+// queries) and many consumers (worker threads draining them). The bound is
+// the backpressure mechanism: Push blocks the producer while the queue is
+// full (closed-loop clients slow down instead of ballooning memory), TryPush
+// rejects instead of blocking (load shedding for latency-sensitive callers).
+//
+// Shutdown protocol: Close() wakes everyone; producers fail fast, consumers
+// drain the remaining items and then see "closed" (Pop returns nullopt), so
+// every accepted item is served exactly once — a graceful drain, never a
+// drop.
+#ifndef GCGT_UTIL_BOUNDED_QUEUE_H_
+#define GCGT_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace gcgt {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full (backpressure). Returns false — leaving `item`
+  /// unconsumed — when the queue is (or becomes, while waiting) closed.
+  bool Push(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  enum class PushResult { kOk, kFull, kClosed };
+
+  /// Non-blocking admission control: kFull sheds the item (left unconsumed)
+  /// instead of waiting for a consumer.
+  PushResult TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocks while empty. nullopt only once the queue is closed AND drained —
+  /// consumers serve every accepted item before exiting.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Irreversibly stops admissions and wakes all waiters. Items already
+  /// accepted remain poppable (the drain).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_UTIL_BOUNDED_QUEUE_H_

@@ -25,6 +25,7 @@ class Status {
     kIOError,
     kNotSupported,
     kInternal,
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -45,9 +46,13 @@ class Status {
     return Status(Code::kNotSupported, msg);
   }
   static Status Internal(std::string_view msg) { return Status(Code::kInternal, msg); }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsOutOfMemory() const { return code_ == Code::kOutOfMemory; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   Code code() const { return code_; }
@@ -69,6 +74,7 @@ class Status {
       case Code::kIOError: return "IOError";
       case Code::kNotSupported: return "NotSupported";
       case Code::kInternal: return "Internal";
+      case Code::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

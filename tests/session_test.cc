@@ -311,6 +311,70 @@ TEST(GcgtSession, VncSessionResultsCoverExactlyTheRealNodes) {
   EXPECT_EQ(cc.value().cc().component, SerialCc(g));
 }
 
+TEST(GcgtSession, AttachCloneSharesArtifactsAndServesIdenticalResults) {
+  Graph g = MakeGraph("web");
+  PrepareOptions opt;
+  opt.reorder = ReorderMethod::kLlp;  // clone must inherit the id translation
+  auto session = GcgtSession::Prepare(g, opt);
+  ASSERT_TRUE(session.ok());
+  session.value().graph();  // force the decode so clones share it
+
+  const uint64_t encodes = CgrGraph::EncodedCount();
+  const uint64_t engines = CgrTraversalEngine::ConstructedCount();
+  GcgtSession clone = session.value().AttachClone(/*num_threads_override=*/1);
+  // A clone costs one engine and zero encodes; artifacts are shared by
+  // reference, down to the decoded uncompressed view.
+  EXPECT_EQ(CgrGraph::EncodedCount(), encodes);
+  EXPECT_EQ(CgrTraversalEngine::ConstructedCount(), engines + 1);
+  EXPECT_EQ(&clone.cgr(), &session.value().cgr());
+  EXPECT_EQ(&clone.graph(), &session.value().graph());
+  EXPECT_EQ(clone.artifact_fingerprint(),
+            session.value().artifact_fingerprint());
+  EXPECT_EQ(clone.num_query_nodes(), session.value().num_query_nodes());
+
+  for (const Query& q :
+       {Query{BfsQuery{7}}, Query{CcQuery{}}, Query{BcQuery{{2, 7}}}}) {
+    auto a = session.value().Run(q);
+    auto b = clone.Run(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value().metrics().model_ms, b.value().metrics().model_ms);
+    if (a.value().kind() == QueryKind::kBfs) {
+      EXPECT_EQ(a.value().bfs().depth, b.value().bfs().depth);
+    } else if (a.value().kind() == QueryKind::kCc) {
+      EXPECT_EQ(a.value().cc().component, b.value().cc().component);
+    } else {
+      EXPECT_EQ(a.value().bc().dependency, b.value().bc().dependency);
+    }
+  }
+}
+
+TEST(GcgtSession, ArtifactFingerprintPinsGraphAndOptions) {
+  Graph g = MakeGraph("er");
+  Graph g2 = MakeGraph("web");
+  PrepareOptions opt;
+  EXPECT_EQ(ComputeArtifactFingerprint(g, opt),
+            ComputeArtifactFingerprint(g, opt));
+
+  PrepareOptions other = opt;
+  other.gcgt.level = GcgtLevel::kTwoPhase;
+  EXPECT_NE(ComputeArtifactFingerprint(g, other),
+            ComputeArtifactFingerprint(g, opt));
+  EXPECT_NE(ComputeArtifactFingerprint(g2, opt),
+            ComputeArtifactFingerprint(g, opt));
+
+  // num_threads is NOT part of the identity: results are bit-identical
+  // across host thread counts, so cached results may be shared across them.
+  PrepareOptions threads = opt;
+  threads.gcgt.num_threads = 7;
+  EXPECT_EQ(ComputeArtifactFingerprint(g, threads),
+            ComputeArtifactFingerprint(g, opt));
+
+  auto session = GcgtSession::Prepare(g, opt);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session.value().artifact_fingerprint(),
+            ComputeArtifactFingerprint(g, opt));
+}
+
 TEST(GcgtSession, InvalidQueriesRejected) {
   Graph g = MakeGraph("er");
   auto session = GcgtSession::Prepare(g, PrepareOptions{});

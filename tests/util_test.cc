@@ -1,10 +1,14 @@
-// Tests for util: bit streams, zigzag, Status/Result, RNG, thread pool.
+// Tests for util: bit streams, zigzag, Status/Result, RNG, thread pool,
+// bounded MPMC queue.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
+#include <thread>
 
 #include "util/bit_stream.h"
+#include "util/bounded_queue.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -345,6 +349,79 @@ TEST(ThreadPool, EmptyAndTinyRanges) {
     sum.fetch_add(static_cast<int>(e - b));
   });
   EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(BoundedQueue, FifoOrderAndCapacityOnOneThread) {
+  BoundedQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    int item = i;
+    EXPECT_EQ(q.TryPush(item), BoundedQueue<int>::PushResult::kOk);
+  }
+  int overflow = 99;
+  EXPECT_EQ(q.TryPush(overflow), BoundedQueue<int>::PushResult::kFull);
+  EXPECT_EQ(overflow, 99);  // a shed item is left unconsumed
+  EXPECT_EQ(q.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(q.Pop(), i);
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 4; ++i) {
+    int item = i;
+    ASSERT_TRUE(q.Push(item));
+  }
+  q.Close();
+  int late = 7;
+  EXPECT_FALSE(q.Push(late));
+  EXPECT_EQ(q.TryPush(late), BoundedQueue<int>::PushResult::kClosed);
+  // Accepted items drain in order; only then does Pop report closed.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.Pop(), i);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueue, MpmcStressDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4, kConsumers = 3, kPerProducer = 500;
+  BoundedQueue<int> q(5);  // tiny: forces producers into backpressure waits
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.Pop()) {
+        sum.fetch_add(*item);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = p * kPerProducer + i;
+        ASSERT_TRUE(q.Push(item));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  constexpr long long kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+TEST(BoundedQueue, MoveOnlyItems) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  auto item = std::make_unique<int>(42);
+  ASSERT_TRUE(q.Push(item));
+  EXPECT_EQ(item, nullptr);  // consumed on acceptance
+  auto out = q.Pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 42);
 }
 
 }  // namespace
