@@ -4,7 +4,7 @@
 Usage:
   check_trend.py BASELINE.json CURRENT.json [--max-regress-pct N]
                  [--metric model_cycles] [--require-all]
-                 [--higher-is-better]
+                 [--higher-is-better] [--min-abs-delta D]
 
 Both files are arrays of rows as written by bench::JsonReport:
   {"scenario": "...", "wall_ns": ..., "model_cycles": ..., ...}
@@ -19,6 +19,12 @@ By default smaller is better (cycles, latency). --higher-is-better flips
 the direction for throughput-style metrics (e.g. the service load
 generator's qps): a regression is then a metric that SHRANK by more than
 --max-regress-pct percent.
+
+Noisy wall-clock metrics (the load generator's p99_ms on a small, loaded
+CI box) need a second guard: --min-abs-delta D additionally requires the
+regression to exceed D in the metric's own unit before it counts, so a
+large relative swing on a tiny absolute value (0.2ms -> 0.5ms) doesn't
+fail the build while a real blowup (5ms -> 50ms) still does.
 
 Scenarios only present in one file are reported as added/removed (and fail
 the check under --require-all, which guards against a bench silently
@@ -65,6 +71,10 @@ def main():
     parser.add_argument("--higher-is-better", action="store_true",
                         help="the metric is a throughput: regression = it "
                              "shrank by more than --max-regress-pct")
+    parser.add_argument("--min-abs-delta", type=float, default=0.0,
+                        help="also require the regression to exceed this "
+                             "absolute delta in the metric's unit "
+                             "(default: 0 = percent threshold alone decides)")
     args = parser.parse_args()
 
     base = load(args.baseline)
@@ -117,6 +127,8 @@ def main():
         regressed = (delta_pct < -args.max_regress_pct
                      if args.higher_is_better
                      else delta_pct > args.max_regress_pct)
+        if regressed and abs(c - b) < args.min_abs_delta:
+            regressed = False  # relative swing on a negligible absolute value
         if regressed:
             regressions.append((name, b, c, delta_pct))
             print(f"REGRESSED: {name}: {args.metric} {b:.0f} -> {c:.0f} "

@@ -6,7 +6,14 @@
 // one shared encode), applies backpressure through a bounded queue, and
 // memoizes BFS/CC results across clients in a sharded LRU cache.
 //
+// The second half shows the robustness layer: per-query deadlines (an
+// already-expired deadline fails with DeadlineExceeded instead of burning a
+// worker), client cancellation, and graceful OOM degradation — a backend
+// that exceeds the modeled device budget is transparently re-served on the
+// CPU fallback with the result marked degraded().
+//
 //   $ ./examples/service_demo
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -79,18 +86,89 @@ int main() {
   const bool match =
       gcgt_run.value().bfs().depth == cpu_run.value().bfs().depth;
 
+  {
+    const ServiceStats stats = service.Stats();
+    std::printf("served %llu queries (%d+%d+%d+%d per client)\n",
+                (unsigned long long)stats.completed, answered[0], answered[1],
+                answered[2], answered[3]);
+    std::printf("cache: %llu hits / %llu lookups, %zu entries, %zu bytes\n",
+                (unsigned long long)stats.cache.hits,
+                (unsigned long long)(stats.cache.hits + stats.cache.misses),
+                stats.cache.entries, stats.cache.bytes);
+    std::printf(
+        "engines built: %llu (>= 1 per worker that served; encode: 1)\n",
+        (unsigned long long)stats.worker_sessions);
+    std::printf("CPU cross-check: %s\n", match ? "matches" : "MISMATCH");
+  }
+
+  // 5. Deadlines and cancellation: an expired deadline fails the query
+  //    before any worker time is spent on it; a cancelled source aborts a
+  //    query cooperatively (mid-traversal for the GCGT backend).
+  ServiceQuery timed{graph_id.value(), BcQuery{{1, 2, 3}}};
+  timed.cancel = CancelToken::WithDeadline(CancelToken::Clock::now() -
+                                           std::chrono::milliseconds(1));
+  auto expired = service.Submit(std::move(timed)).get();
+  std::printf("expired deadline: %s\n", expired.status().ToString().c_str());
+
+  CancelSource client;
+  client.Cancel();  // the client gave up before the worker got to it
+  ServiceQuery dropped{graph_id.value(), BfsQuery{2}};
+  dropped.cancel = client.token();
+  auto cancelled = service.Submit(std::move(dropped)).get();
+  std::printf("cancelled client: %s\n", cancelled.status().ToString().c_str());
+
+  // 6. Graceful OOM degradation. A second service with a tight modeled
+  //    device budget and a CPU fallback: the Gunrock-modeled backend's
+  //    2.6x memory factor no longer fits (a fig8-style hard OOM row), so
+  //    the service re-serves the query on the fallback and marks it
+  //    degraded — a degraded answer instead of an error.
+  PrepareOptions tight = prep;
+  tight.gcgt.device.memory_bytes = static_cast<uint64_t>(
+      (4.0 * (g.num_nodes() + 1) + 4.0 * g.num_edges() + 12.0 * g.num_nodes()) *
+      tight.gunrock_memory_factor * 0.9);
+  ServiceOptions degraded_opts;
+  degraded_opts.num_workers = 2;
+  degraded_opts.enable_oom_fallback = true;
+  degraded_opts.fallback_backend = Backend::kCpuReference;
+  GcgtService degraded_service(degraded_opts);
+  auto tight_id = degraded_service.RegisterGraph(g, tight);
+  if (!tight_id.ok()) {
+    std::fprintf(stderr, "register failed: %s\n",
+                 tight_id.status().ToString().c_str());
+    return 1;
+  }
+  auto fallback = degraded_service
+                      .Submit({tight_id.value(), BfsQuery{1},
+                               Backend::kCsrGunrock})
+                      .get();
+  bool degraded_match = false;
+  if (fallback.ok()) {
+    degraded_match =
+        fallback.value().bfs().depth == cpu_run.value().bfs().depth;
+    std::printf("Gunrock under a tight budget: served %s, %s the CPU answer\n",
+                fallback.value().degraded() ? "DEGRADED on the CPU fallback"
+                                            : "natively",
+                degraded_match ? "matches" : "MISMATCHES");
+  } else {
+    std::printf("Gunrock under a tight budget failed: %s\n",
+                fallback.status().ToString().c_str());
+  }
+
   const ServiceStats stats = service.Stats();
-  std::printf("served %llu queries (%d+%d+%d+%d per client)\n",
-              (unsigned long long)stats.completed, answered[0], answered[1],
-              answered[2], answered[3]);
-  std::printf("cache: %llu hits / %llu lookups, %zu entries, %zu bytes\n",
-              (unsigned long long)stats.cache.hits,
-              (unsigned long long)(stats.cache.hits + stats.cache.misses),
-              stats.cache.entries, stats.cache.bytes);
-  std::printf("engines built: %llu (>= 1 per worker that served; encode: 1)\n",
-              (unsigned long long)stats.worker_sessions);
-  std::printf("CPU cross-check: %s\n", match ? "matches" : "MISMATCH");
+  const ServiceStats degraded_stats = degraded_service.Stats();
+  std::printf(
+      "robustness: %llu deadline-exceeded, %llu cancelled, %llu degraded, "
+      "%llu retries, %llu worker faults\n",
+      (unsigned long long)stats.deadline_exceeded,
+      (unsigned long long)stats.cancelled,
+      (unsigned long long)degraded_stats.degraded,
+      (unsigned long long)(stats.retries + degraded_stats.retries),
+      (unsigned long long)(stats.worker_faults + degraded_stats.worker_faults));
 
   service.Shutdown();  // graceful: drains accepted queries, joins workers
-  return match ? 0 : 1;
+  degraded_service.Shutdown();
+  const bool robust = expired.status().IsDeadlineExceeded() &&
+                      cancelled.status().IsCancelled() && fallback.ok() &&
+                      fallback.value().degraded() && degraded_match;
+  return match && robust ? 0 : 1;
 }

@@ -300,12 +300,20 @@ Result<QueryResult> GcgtSession::Run(const Query& query,
   Query translated = query;
   if (Status s = TranslateQuery(translated); !s.ok()) return s;
 
+  // Install this query's token (the default token clears a previous one);
+  // the pipeline polls it once per traversal round, so kCgrSimt queries
+  // abort mid-flight. An aborted query leaves only per-query state behind —
+  // the next query's Reset() clears it, keeping the session reusable.
+  pipeline_->SetCancelToken(run.cancel);
+
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     switch (run.backend) {
       case Backend::kCgrSimt: return RunCgr(translated, run.trace);
-      case Backend::kCsrBaseline: return RunCsr(translated, /*gunrock=*/false);
-      case Backend::kCsrGunrock: return RunCsr(translated, /*gunrock=*/true);
-      case Backend::kCpuReference: return RunCpu(translated);
+      case Backend::kCsrBaseline:
+        return RunCsr(translated, /*gunrock=*/false, run.cancel);
+      case Backend::kCsrGunrock:
+        return RunCsr(translated, /*gunrock=*/true, run.cancel);
+      case Backend::kCpuReference: return RunCpu(translated, run.cancel);
     }
     return Status::InvalidArgument("unknown backend");
   }();
@@ -394,7 +402,9 @@ Result<QueryResult> GcgtSession::RunCgr(const Query& query, StepTrace* trace) {
   return QueryResult(std::move(result));
 }
 
-Result<QueryResult> GcgtSession::RunCsr(const Query& query, bool gunrock) {
+Result<QueryResult> GcgtSession::RunCsr(const Query& query, bool gunrock,
+                                        const CancelToken& cancel) {
+  GCGT_RETURN_NOT_OK(cancel.Check());
   const Graph& g = graph();
   const CsrEngineOptions opt = CsrOptions(gunrock);
 
@@ -410,12 +420,16 @@ Result<QueryResult> GcgtSession::RunCsr(const Query& query, bool gunrock) {
   }
 
   const auto& bc = std::get<BcQuery>(query);
-  return AccumulateBcSources(bc, g.num_nodes(), [&](NodeId source) {
-    return CsrBc(g, source, opt);
-  });
+  return AccumulateBcSources(bc, g.num_nodes(),
+                             [&](NodeId source) -> Result<GcgtBcResult> {
+                               if (Status s = cancel.Check(); !s.ok()) return s;
+                               return CsrBc(g, source, opt);
+                             });
 }
 
-Result<QueryResult> GcgtSession::RunCpu(const Query& query) {
+Result<QueryResult> GcgtSession::RunCpu(const Query& query,
+                                        const CancelToken& cancel) {
+  GCGT_RETURN_NOT_OK(cancel.Check());
   const Graph& g = graph();
 
   if (const auto* bfs = std::get_if<BfsQuery>(&query)) {
@@ -432,6 +446,7 @@ Result<QueryResult> GcgtSession::RunCpu(const Query& query) {
   const auto& bc = std::get<BcQuery>(query);
   return AccumulateBcSources(
       bc, g.num_nodes(), [&](NodeId source) -> Result<GcgtBcResult> {
+        if (Status s = cancel.Check(); !s.ok()) return s;
         SerialBcResult r = SerialBc(g, source);
         GcgtBcResult one;  // no simulated device: metrics stay zero
         one.dependency = std::move(r.dependency);

@@ -40,6 +40,7 @@
 #include "core/traversal_pipeline.h"
 #include "graph/graph.h"
 #include "reorder/reorder.h"
+#include "util/cancel_token.h"
 #include "util/status.h"
 #include "vnc/virtual_node.h"
 
@@ -135,9 +136,18 @@ class QueryResult {
     }, value_);
   }
 
+  /// True when a serving tier answered this query on a FALLBACK backend
+  /// after the requested backend failed (e.g. OutOfMemory on the modeled
+  /// device): the result is correct for the query but was not produced by
+  /// the backend asked for, and its metrics are the fallback's. Sessions
+  /// never set this; GcgtService marks degraded results on the way out.
+  bool degraded() const { return degraded_; }
+  void MarkDegraded() { degraded_ = true; }
+
  private:
   friend class GcgtSession;  // result remapping into the caller's id space
   std::variant<GcgtBfsResult, GcgtCcResult, GcgtBcResult> value_;
+  bool degraded_ = false;
 };
 
 struct RunOptions {
@@ -145,6 +155,12 @@ struct RunOptions {
   /// Fig. 4 step-table recording; honored by kCgrSimt BFS queries only
   /// (recording forces the engine's serial path).
   StepTrace* trace = nullptr;
+  /// Cooperative cancellation / deadline. kCgrSimt polls it once per
+  /// traversal round (a long traversal aborts MID-flight with
+  /// Status::Cancelled or Status::DeadlineExceeded); the baseline backends
+  /// poll at query start and between BC sources. An aborted session stays
+  /// fully usable — the next query Reset()s all per-query state.
+  CancelToken cancel{};
 };
 
 class GcgtSession {
@@ -266,8 +282,9 @@ class GcgtSession {
   void RemapResult(QueryResult& result) const;
 
   Result<QueryResult> RunCgr(const Query& query, StepTrace* trace);
-  Result<QueryResult> RunCsr(const Query& query, bool gunrock);
-  Result<QueryResult> RunCpu(const Query& query);
+  Result<QueryResult> RunCsr(const Query& query, bool gunrock,
+                             const CancelToken& cancel);
+  Result<QueryResult> RunCpu(const Query& query, const CancelToken& cancel);
 
   // Debug tripwire for the single-caller contract on Run/RunBatch: set while
   // a query is in flight; a second concurrent entry asserts. Movable so the

@@ -31,12 +31,16 @@ Status GcgtBcAccumulate(TraversalPipeline& pipeline, NodeId source,
   // Forward pass: capture every BFS level for the backward sweep.
   {
     BcForwardFilter filter(scratch.depth, scratch.sigma);
-    pipeline.Run({source}, filter, ContractionPolicy::kCaptureLevels);
+    if (auto rounds =
+            pipeline.Run({source}, filter, ContractionPolicy::kCaptureLevels);
+        !rounds.ok()) {
+      return rounds.status();
+    }
   }
   // Backward pass, deepest level first.
   {
     BcBackwardFilter filter(scratch.depth, scratch.sigma, scratch.delta);
-    pipeline.RunBackward(filter);
+    GCGT_RETURN_NOT_OK(pipeline.RunBackward(filter));
   }
   scratch.delta[source] = 0.0;
   for (NodeId i = 0; i < v; ++i) dependency[i] += scratch.delta[i];

@@ -21,7 +21,11 @@ Result<GcgtBfsResult> GcgtBfs(TraversalPipeline& pipeline, NodeId source,
 
   BfsFilter filter(graph.num_nodes());
   filter.SetSource(source);
-  pipeline.Run({source}, filter, ContractionPolicy::kNone, trace);
+  if (auto rounds = pipeline.Run({source}, filter, ContractionPolicy::kNone,
+                                 trace);
+      !rounds.ok()) {
+    return rounds.status();  // cancelled / deadline / injected fault
+  }
 
   GcgtBfsResult result;
   result.depth = filter.TakeDepth();

@@ -26,12 +26,14 @@ Result<GcgtCcResult> GcgtCc(TraversalPipeline& pipeline) {
   // parent forest with the pointer-jumping kernel; the re-scan frontier is
   // contracted to sorted unique nodes (paper Fig. 7(c)).
   GcgtCcResult result;
-  result.rounds = pipeline.Run(
+  auto rounds = pipeline.Run(
       std::move(frontier), filter, ContractionPolicy::kSortUnique,
       /*trace=*/nullptr, [&] {
         filter.CommitRound();
         return filter.PointerJump(options.lanes, options.cost.cache_line_bytes);
       });
+  if (!rounds.ok()) return rounds.status();
+  result.rounds = rounds.value();
   result.component = filter.parent();
   result.metrics = pipeline.Metrics();
   return result;

@@ -3,16 +3,31 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/fault_injector.h"
+
 namespace gcgt {
 
-int TraversalPipeline::Run(std::vector<NodeId> frontier, FrontierFilter& filter,
-                           ContractionPolicy contraction, StepTrace* trace,
-                           const PostRoundKernel& post_round) {
+Status TraversalPipeline::CheckRound() const {
+  GCGT_RETURN_NOT_OK(cancel_.Check());
+  if (FaultInjector::Global().ShouldInject(FaultPoint::kDecodeRound)) {
+    // Simulates a decode/expand failure surfacing from the engine. Internal
+    // marks it service-side and transient: the serving tier retries it.
+    return Status::Internal("injected fault: decode round");
+  }
+  return Status::OK();
+}
+
+Result<int> TraversalPipeline::Run(std::vector<NodeId> frontier,
+                                   FrontierFilter& filter,
+                                   ContractionPolicy contraction,
+                                   StepTrace* trace,
+                                   const PostRoundKernel& post_round) {
   // A reused pipeline may still hold the previous capture (e.g. the previous
   // BC source of a batch); the backward sweep must only see this run's levels.
   if (contraction == ContractionPolicy::kCaptureLevels) levels_.clear();
   int rounds = 0;
   while (!frontier.empty()) {
+    GCGT_RETURN_NOT_OK(CheckRound());
     ++rounds;
     next_.clear();
     warps_.clear();
@@ -37,14 +52,16 @@ int TraversalPipeline::Run(std::vector<NodeId> frontier, FrontierFilter& filter,
   return rounds;
 }
 
-void TraversalPipeline::RunBackward(FrontierFilter& filter) {
+Status TraversalPipeline::RunBackward(FrontierFilter& filter) {
   std::vector<NodeId> unused;
   for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
     if (it->empty()) continue;
+    GCGT_RETURN_NOT_OK(CheckRound());
     warps_.clear();
     engine_->ProcessFrontier(*it, filter, &unused, &warps_);
     timeline_.AddKernel(warps_);
   }
+  return Status::OK();
 }
 
 }  // namespace gcgt

@@ -24,6 +24,7 @@
 #include "core/gcgt_options.h"
 #include "core/trace.h"
 #include "simt/machine.h"
+#include "util/cancel_token.h"
 #include "util/status.h"
 
 namespace gcgt {
@@ -59,11 +60,19 @@ class TraversalPipeline {
   /// Clears per-query state (timeline, captured levels, footprint) while
   /// keeping frontier-buffer and engine-scratch capacity, so one pipeline
   /// serves many queries without reallocating. Call between queries.
+  /// The cancel token survives Reset: drivers Reset() internally, so the
+  /// caller installs the token once per query via SetCancelToken.
   void Reset() {
     timeline_.Reset();
     levels_.clear();
     device_bytes_ = 0;
   }
+
+  /// Installs the token Run/RunBackward poll once per round (cooperative
+  /// cancellation and deadlines). Install a default token to clear it; an
+  /// aborted query leaves only per-query state, which Reset() clears — the
+  /// pipeline and engine stay reusable after an abort.
+  void SetCancelToken(CancelToken token) { cancel_ = std::move(token); }
 
   /// Models the device footprint as the engine's base bytes (compressed
   /// adjacency + offsets) plus `aux_bytes` (labels, queues, sigma/delta...)
@@ -78,16 +87,18 @@ class TraversalPipeline {
   }
 
   /// Runs the expand–filter–contract loop until the frontier drains.
-  /// Each round: ProcessFrontier -> one timeline kernel -> optional
-  /// `post_round` kernel -> contraction policy. Returns rounds executed.
-  /// `trace` (Fig. 4 tables) forces the engine's serial path.
-  int Run(std::vector<NodeId> frontier, FrontierFilter& filter,
-          ContractionPolicy contraction, StepTrace* trace = nullptr,
-          const PostRoundKernel& post_round = nullptr);
+  /// Each round: poll the cancel token (Cancelled/DeadlineExceeded aborts
+  /// mid-traversal between rounds) -> ProcessFrontier -> one timeline kernel
+  /// -> optional `post_round` kernel -> contraction policy. Returns rounds
+  /// executed. `trace` (Fig. 4 tables) forces the engine's serial path.
+  Result<int> Run(std::vector<NodeId> frontier, FrontierFilter& filter,
+                  ContractionPolicy contraction, StepTrace* trace = nullptr,
+                  const PostRoundKernel& post_round = nullptr);
 
   /// Replays the levels captured by kCaptureLevels deepest-first through
-  /// `filter`, discarding any out-frontier (BC's backward sweep).
-  void RunBackward(FrontierFilter& filter);
+  /// `filter`, discarding any out-frontier (BC's backward sweep). Polls the
+  /// cancel token per level, like Run.
+  Status RunBackward(FrontierFilter& filter);
 
   /// Input frontiers of each round, recorded under kCaptureLevels.
   const std::vector<std::vector<NodeId>>& levels() const { return levels_; }
@@ -105,8 +116,13 @@ class TraversalPipeline {
   const CgrTraversalEngine& engine() const { return *engine_; }
 
  private:
+  /// The per-round abort check shared by Run and RunBackward: cooperative
+  /// cancellation plus the kDecodeRound fault-injection point.
+  Status CheckRound() const;
+
   std::unique_ptr<CgrTraversalEngine> owned_engine_;  // null when borrowing
   const CgrTraversalEngine* engine_;                  // never null
+  CancelToken cancel_;
   simt::KernelTimeline timeline_;
   uint64_t device_bytes_ = 0;
   std::vector<std::vector<NodeId>> levels_;

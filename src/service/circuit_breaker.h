@@ -1,0 +1,160 @@
+// Per-artifact circuit breaker: quarantines artifacts whose queries keep
+// failing with service-side errors, so one poisoned artifact (corrupt
+// encode, persistent worker faults) cannot soak the worker pool in doomed
+// retries while healthy artifacts starve.
+//
+// Classic three-state machine:
+//
+//        failures >= threshold                cooldown elapsed
+//   Closed ------------------> Open ------------------------> HalfOpen
+//     ^  \__ success resets      |  Allow() == false             |
+//     |      the failure run     |  (fail fast, no worker        |
+//     |                          |   time spent)                 |
+//     +--- trial succeeds -------+<------- trial fails ----------+
+//          (HalfOpen -> Closed)    (HalfOpen -> Open, new cooldown)
+//
+// Only SERVICE-side failures should be recorded (Status::kInternal — worker
+// exceptions, injected faults): client errors (InvalidArgument, NotFound),
+// per-query resource verdicts (OutOfMemory) and caller aborts (Cancelled,
+// DeadlineExceeded) say nothing about the artifact's health. The service
+// enforces that classification; the breaker just counts.
+//
+// Time is injected (`now_fn`) so every transition is unit-testable with a
+// fake clock. All methods are thread-safe.
+#ifndef GCGT_SERVICE_CIRCUIT_BREAKER_H_
+#define GCGT_SERVICE_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace gcgt {
+
+struct CircuitBreakerOptions {
+  /// Consecutive recorded failures that trip Closed -> Open. <= 0 disables
+  /// the breaker (Allow always true, nothing recorded).
+  int failure_threshold = 8;
+  /// How long Open rejects before probing again (Open -> HalfOpen).
+  std::chrono::milliseconds open_cooldown{250};
+  /// Trial queries admitted in HalfOpen before new admissions are rejected
+  /// until a trial reports back.
+  int half_open_trials = 1;
+};
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const CircuitBreakerOptions& options = {},
+                          std::function<Clock::time_point()> now_fn = nullptr)
+      : options_(options),
+        now_fn_(now_fn ? std::move(now_fn) : [] { return Clock::now(); }) {}
+
+  /// May this query proceed? Open transitions to HalfOpen once the cooldown
+  /// elapsed; HalfOpen admits up to half_open_trials outstanding probes.
+  /// A false return means "fail fast with Unavailable".
+  bool Allow() {
+    if (options_.failure_threshold <= 0) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kOpen:
+        if (now_fn_() - opened_at_ < options_.open_cooldown) {
+          ++rejected_;
+          return false;
+        }
+        state_ = State::kHalfOpen;
+        trials_in_flight_ = 0;
+        [[fallthrough]];
+      case State::kHalfOpen:
+        if (trials_in_flight_ >= options_.half_open_trials) {
+          ++rejected_;
+          return false;
+        }
+        ++trials_in_flight_;
+        return true;
+    }
+    return true;
+  }
+
+  /// Record the outcome of an allowed query (service-side failures only;
+  /// see the header comment for the classification contract).
+  void RecordSuccess() {
+    if (options_.failure_threshold <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    consecutive_failures_ = 0;
+    if (state_ == State::kHalfOpen) {
+      state_ = State::kClosed;  // the artifact recovered
+      trials_in_flight_ = 0;
+    }
+  }
+
+  void RecordFailure() {
+    if (options_.failure_threshold <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kHalfOpen) {
+      Trip();  // the probe failed: back to a full cooldown
+      return;
+    }
+    if (state_ == State::kClosed &&
+        ++consecutive_failures_ >= options_.failure_threshold) {
+      Trip();
+    }
+  }
+
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+  /// Queries rejected while Open / trial-saturated HalfOpen.
+  uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+
+  /// Closed -> Open (and HalfOpen -> Open) transitions so far.
+  uint64_t times_opened() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return times_opened_;
+  }
+
+ private:
+  void Trip() {
+    state_ = State::kOpen;
+    opened_at_ = now_fn_();
+    consecutive_failures_ = 0;
+    trials_in_flight_ = 0;
+    ++times_opened_;
+  }
+
+  const CircuitBreakerOptions options_;
+  const std::function<Clock::time_point()> now_fn_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int trials_in_flight_ = 0;
+  Clock::time_point opened_at_{};
+  uint64_t rejected_ = 0;
+  uint64_t times_opened_ = 0;
+};
+
+using CircuitBreakerState = CircuitBreaker::State;
+
+inline const char* CircuitBreakerStateName(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace gcgt
+
+#endif  // GCGT_SERVICE_CIRCUIT_BREAKER_H_

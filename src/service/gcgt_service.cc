@@ -1,6 +1,11 @@
 #include "service/gcgt_service.h"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "util/fault_injector.h"
 
 namespace gcgt {
 
@@ -8,10 +13,15 @@ GcgtService::GcgtService(const ServiceOptions& options)
     : options_(options),
       queue_(options.queue_capacity) {
   if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
   if (options_.cache_bytes > 0) {
     cache_ = std::make_unique<ResultCache>(options_.cache_bytes,
                                            options_.cache_shards);
   }
+  // Arm chaos externally (GCGT_FAULT_SEED / GCGT_FAULT_RATE); no-op unless
+  // both are set, and once-only so repeated service constructions never
+  // reset the deterministic ordinal sequence mid-run.
+  FaultInjector::InitFromEnv();
   workers_.reserve(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -21,6 +31,12 @@ GcgtService::GcgtService(const ServiceOptions& options)
 GcgtService::~GcgtService() { Shutdown(); }
 
 void GcgtService::Shutdown() {
+  // call_once makes Shutdown idempotent AND safe to race: concurrent callers
+  // (including the destructor) block until the winner finishes draining, so
+  // no caller returns while workers are still running. Submissions racing
+  // with shutdown either make it into the queue (drained, future fulfilled)
+  // or see the closed queue and fail fast with Unavailable — BoundedQueue
+  // guarantees a false Push never consumes the item.
   std::call_once(shutdown_once_, [&] {
     queue_.Close();  // workers drain the accepted jobs, then exit
     for (std::thread& worker : workers_) worker.join();
@@ -74,13 +90,44 @@ std::shared_ptr<const PreparedGraph> GcgtService::FindGraph(
   return it == registry_.end() ? nullptr : it->second;
 }
 
+std::shared_ptr<CircuitBreaker> GcgtService::BreakerFor(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(breakers_mu_);
+  auto it = breakers_.find(fingerprint);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(fingerprint,
+                      std::make_shared<CircuitBreaker>(options_.breaker))
+             .first;
+  }
+  return it->second;
+}
+
+CircuitBreakerState GcgtService::BreakerState(uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(breakers_mu_);
+  auto it = breakers_.find(fingerprint);
+  return it == breakers_.end() ? CircuitBreakerState::kClosed
+                               : it->second->state();
+}
+
 std::future<Result<QueryResult>> GcgtService::Submit(ServiceQuery query) {
+  if (options_.default_timeout.count() > 0) {
+    query.cancel = query.cancel.WithDeadlineMin(CancelToken::Clock::now() +
+                                                options_.default_timeout);
+  }
   Job job;
   job.query = std::move(query);
   std::future<Result<QueryResult>> future = job.promise.get_future();
   // Count BEFORE the job becomes visible to workers, so Stats() never
   // transiently reports completed > submitted.
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (FaultInjector::Global().ShouldInject(FaultPoint::kQueueAdmit)) {
+    // A simulated admission failure behaves like shutdown-time shedding:
+    // the future is fulfilled immediately with Unavailable.
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(
+        Status::Unavailable("injected fault: queue admission shed"));
+    return future;
+  }
   if (!queue_.Push(job)) {  // blocks while full; false only once closed
     submitted_.fetch_sub(1, std::memory_order_relaxed);
     job.promise.set_value(Status::Unavailable("service is shut down"));
@@ -91,10 +138,19 @@ std::future<Result<QueryResult>> GcgtService::Submit(ServiceQuery query) {
 
 Result<std::future<Result<QueryResult>>> GcgtService::TrySubmit(
     ServiceQuery query) {
+  if (options_.default_timeout.count() > 0) {
+    query.cancel = query.cancel.WithDeadlineMin(CancelToken::Clock::now() +
+                                                options_.default_timeout);
+  }
   Job job;
   job.query = std::move(query);
   std::future<Result<QueryResult>> future = job.promise.get_future();
   submitted_.fetch_add(1, std::memory_order_relaxed);  // see Submit()
+  if (FaultInjector::Global().ShouldInject(FaultPoint::kQueueAdmit)) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected fault: queue admission shed");
+  }
   switch (queue_.TryPush(job)) {
     case BoundedQueue<Job>::PushResult::kOk:
       return future;
@@ -126,47 +182,142 @@ void GcgtService::WorkerLoop() {
   }
 }
 
+Result<QueryResult> GcgtService::Attempt(WorkerSession& ws,
+                                         const ServiceQuery& query,
+                                         bool& degraded) {
+  degraded = false;
+  // Exception containment: ANYTHING a serve attempt throws — including the
+  // injected fault below, which deliberately exercises this path — becomes
+  // Status::Internal on this query alone. The worker thread survives.
+  try {
+    if (FaultInjector::Global().ShouldInject(FaultPoint::kWorkerServe)) {
+      throw std::runtime_error("injected fault: worker serve");
+    }
+    RunOptions run;
+    run.backend = query.backend;
+    run.cancel = query.cancel;
+    Result<QueryResult> result = ws.session.Run(query.query, run);
+    if (!result.ok() && result.status().IsOutOfMemory() &&
+        options_.enable_oom_fallback &&
+        options_.fallback_backend != query.backend) {
+      // Graceful degradation: the requested backend does not fit the device
+      // budget (a fig8-style hard OOM row); answer on the fallback backend
+      // and mark the result so clients can tell.
+      RunOptions fallback = run;
+      fallback.backend = options_.fallback_backend;
+      Result<QueryResult> fb = ws.session.Run(query.query, fallback);
+      if (fb.ok()) {
+        fb.value().MarkDegraded();
+        degraded = true;
+        return fb;
+      }
+      return result;  // fallback failed too: report the original OOM
+    }
+    return result;
+  } catch (const std::exception& e) {
+    worker_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal(std::string("worker exception: ") + e.what());
+  } catch (...) {
+    worker_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal("worker exception: unknown type");
+  }
+}
+
 void GcgtService::Serve(std::unordered_map<uint64_t, WorkerSession>& sessions,
                         Job job) {
   const uint64_t fingerprint = job.query.graph;
   const Backend backend = job.query.backend;
 
-  // Cache first: a hit answers without touching any session.
-  std::optional<ResultCacheKey> key;
-  if (cache_) {
-    key = ResultCache::KeyFor(fingerprint, backend, job.query.query);
-    if (key) {
-      if (std::shared_ptr<const QueryResult> hit = cache_->Lookup(*key)) {
-        completed_.fetch_add(1, std::memory_order_relaxed);
-        job.promise.set_value(QueryResult(*hit));
-        return;
+  bool degraded = false;
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    // Queued-time expiry: a query whose deadline passed (or that was
+    // cancelled) while waiting in the queue fails here without spending any
+    // worker time on it.
+    if (Status s = job.query.cancel.Check(); !s.ok()) return s;
+
+    // Cache next: a hit answers without touching any session, the breaker
+    // or the retry machinery (a memoized result proves nothing about the
+    // artifact's current health and costs nothing to serve).
+    std::optional<ResultCacheKey> key;
+    if (cache_) {
+      key = ResultCache::KeyFor(fingerprint, backend, job.query.query);
+      if (key &&
+          !FaultInjector::Global().ShouldInject(FaultPoint::kCacheLookup)) {
+        if (std::shared_ptr<const QueryResult> hit = cache_->Lookup(*key)) {
+          return QueryResult(*hit);
+        }
       }
     }
-  }
 
-  auto it = sessions.find(fingerprint);
-  if (it == sessions.end()) {
-    std::shared_ptr<const PreparedGraph> artifact = FindGraph(fingerprint);
-    if (artifact == nullptr) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      job.promise.set_value(
-          Status::NotFound("graph is not registered with the service"));
-      return;
+    auto it = sessions.find(fingerprint);
+    if (it == sessions.end()) {
+      std::shared_ptr<const PreparedGraph> artifact = FindGraph(fingerprint);
+      if (artifact == nullptr) {
+        return Status::NotFound("graph is not registered with the service");
+      }
+      GcgtSession session =
+          artifact->NewWorkerSession(options_.worker_engine_threads);
+      worker_sessions_.fetch_add(1, std::memory_order_relaxed);
+      it = sessions
+               .emplace(fingerprint,
+                        WorkerSession{std::move(artifact), std::move(session)})
+               .first;
     }
-    GcgtSession session =
-        artifact->NewWorkerSession(options_.worker_engine_threads);
-    worker_sessions_.fetch_add(1, std::memory_order_relaxed);
-    it = sessions
-             .emplace(fingerprint,
-                      WorkerSession{std::move(artifact), std::move(session)})
-             .first;
-  }
 
-  Result<QueryResult> result =
-      it->second.session.Run(job.query.query, RunOptions{.backend = backend});
-  if (result.ok() && cache_ && key) {
-    cache_->Insert(*key, std::make_shared<const QueryResult>(result.value()));
+    // Quarantine check: an artifact whose queries keep failing with
+    // service-side errors fails fast until its cooldown probe succeeds.
+    std::shared_ptr<CircuitBreaker> breaker = BreakerFor(fingerprint);
+    if (!breaker->Allow()) {
+      breaker_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("circuit breaker open for this artifact");
+    }
+
+    // Attempt loop: only TRANSIENT failures (Internal) retry, with capped
+    // exponential backoff. Client errors, OOM verdicts (the fallback already
+    // ran inside Attempt) and caller aborts return immediately.
+    Result<QueryResult> attempt = Status::Internal("no attempt ran");
+    for (int n = 1; ; ++n) {
+      attempt = Attempt(it->second, job.query, degraded);
+      if (attempt.ok() || !attempt.status().IsInternal() ||
+          n >= options_.max_attempts) {
+        break;
+      }
+      // Never burn backoff sleeps on a query that is already dead.
+      if (Status s = job.query.cancel.Check(); !s.ok()) return s;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      auto backoff = options_.retry_backoff_base * (int64_t{1} << (n - 1));
+      std::this_thread::sleep_for(
+          std::min<std::chrono::milliseconds>(backoff,
+                                              options_.retry_backoff_cap));
+    }
+
+    // Only service-side verdicts feed the breaker (see circuit_breaker.h).
+    if (attempt.ok()) {
+      breaker->RecordSuccess();
+    } else if (attempt.status().IsInternal()) {
+      breaker->RecordFailure();
+    }
+
+    // Degraded results are never cached: their identity belongs to the
+    // fallback backend, not the key's requested backend.
+    if (attempt.ok() && !degraded && cache_ && key &&
+        !FaultInjector::Global().ShouldInject(FaultPoint::kCacheInsert)) {
+      cache_->Insert(*key,
+                     std::make_shared<const QueryResult>(attempt.value()));
+    }
+    return attempt;
+  }();
+
+  if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (!result.ok()) {
+    if (result.status().IsCancelled()) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+    } else if (result.status().IsDeadlineExceeded()) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
+  // Exactly-once fulfillment: every path above funnels through this single
+  // set_value, so an accepted future can never be abandoned.
   completed_.fetch_add(1, std::memory_order_relaxed);
   job.promise.set_value(std::move(result));
 }
@@ -178,6 +329,18 @@ ServiceStats GcgtService::Stats() const {
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.worker_sessions = worker_sessions_.load(std::memory_order_relaxed);
   if (cache_) stats.cache = cache_->Stats();
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.worker_faults = worker_faults_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.breaker_rejected = breaker_rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(breakers_mu_);
+    for (const auto& [fp, breaker] : breakers_) {
+      stats.breaker_opened += breaker->times_opened();
+    }
+  }
   return stats;
 }
 

@@ -28,17 +28,43 @@
 //    metrics.
 //  - Shutdown: Close the queue, drain every accepted job, join the workers.
 //    Every accepted future is fulfilled; later submissions fail fast with
-//    Unavailable.
+//    Unavailable. Idempotent and safe to call concurrently with Submit and
+//    with other Shutdown calls.
+//
+// Robustness (the fault-tolerance layer; see README "Robustness"):
+//  - Deadlines & cancellation: a ServiceQuery carries a CancelToken
+//    (client-cancellable, optionally deadlined; default_timeout applies one
+//    service-side). Expiry is honored while QUEUED (the worker fails the
+//    query without running it) and MID-TRAVERSAL (the token is threaded
+//    through GcgtSession::Run into TraversalPipeline's round loop).
+//  - Fault containment & retry: a worker exception becomes Status::Internal
+//    on that query's future — the pool never dies. Transient failures
+//    (Internal: injected faults, worker exceptions) are retried up to
+//    max_attempts with capped exponential backoff.
+//  - Circuit breaker: per-artifact; repeated service-side failures open it
+//    and further queries fail fast with Unavailable until a cooldown probe
+//    succeeds (see service/circuit_breaker.h).
+//  - Graceful degradation: when the requested backend reports OutOfMemory
+//    and a fallback backend is configured, the query transparently re-runs
+//    there and the result is marked degraded() — a fig8-style backend OOM
+//    becomes a degraded success instead of an error.
+//  - Fault injection: every failure mode above is injectable via the seeded
+//    deterministic FaultInjector (util/fault_injector.h); the constructor
+//    also arms it from GCGT_FAULT_SEED/GCGT_FAULT_RATE for chaos CI.
 //
 // Correctness under concurrency: with any worker count and the cache on,
 // results are bit-identical to serial uncached GcgtSession runs on the same
 // prepared artifact — BFS depths, canonical CC labels, BC dependency
 // doubles, and all modeled metrics (engines are deterministic per artifact;
-// see tests/service_test.cc).
+// see tests/service_test.cc). That invariant survives chaos: with fault
+// injection enabled, every accepted future is still fulfilled and every
+// SUCCESSFUL result is still bit-identical to the no-fault oracle (see
+// tests/robustness_test.cc).
 #ifndef GCGT_SERVICE_GCGT_SERVICE_H_
 #define GCGT_SERVICE_GCGT_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -48,9 +74,11 @@
 #include <vector>
 
 #include "api/gcgt_session.h"
+#include "service/circuit_breaker.h"
 #include "service/prepared_graph.h"
 #include "service/result_cache.h"
 #include "util/bounded_queue.h"
+#include "util/cancel_token.h"
 #include "util/status.h"
 
 namespace gcgt {
@@ -70,6 +98,28 @@ struct ServiceOptions {
   /// and serial engines neither contend on the shared host pool nor
   /// oversubscribe cores. Results are identical either way.
   int worker_engine_threads = 1;
+
+  // --- Robustness knobs -----------------------------------------------
+  /// Total attempts per query (first run + retries) for TRANSIENT failures
+  /// (Status::kInternal: worker exceptions, injected faults). Client errors
+  /// (InvalidArgument, NotFound), resource verdicts (OutOfMemory) and
+  /// caller aborts (Cancelled, DeadlineExceeded) are never retried.
+  int max_attempts = 3;
+  /// Exponential backoff between retries: base * 2^(attempt-1), capped.
+  std::chrono::milliseconds retry_backoff_base{1};
+  std::chrono::milliseconds retry_backoff_cap{50};
+  /// Service-side deadline measured from admission (0 = none): each query's
+  /// token is tightened to expire no later than now + default_timeout
+  /// (client deadlines that are already earlier win).
+  std::chrono::nanoseconds default_timeout{0};
+  /// When the REQUESTED backend fails with OutOfMemory, transparently
+  /// re-run on `fallback_backend` and mark the result degraded() instead of
+  /// failing the query. Degraded results are never cached (their identity
+  /// belongs to the fallback backend, not the requested one).
+  bool enable_oom_fallback = false;
+  Backend fallback_backend = Backend::kCpuReference;
+  /// Per-artifact circuit breaker (failure_threshold <= 0 disables).
+  CircuitBreakerOptions breaker;
 };
 
 /// One query addressed to a registered artifact.
@@ -77,6 +127,10 @@ struct ServiceQuery {
   uint64_t graph = 0;  ///< fingerprint returned by RegisterGraph
   Query query;
   Backend backend = Backend::kCgrSimt;
+  /// Cooperative cancellation / absolute deadline for this query; honored
+  /// while queued and per traversal round once running. Default: never
+  /// expires (ServiceOptions::default_timeout still applies).
+  CancelToken cancel{};
 };
 
 struct ServiceStats {
@@ -85,6 +139,14 @@ struct ServiceStats {
   uint64_t completed = 0;   ///< futures fulfilled (results and errors)
   uint64_t worker_sessions = 0;  ///< sessions (engines) built, ever
   ResultCacheStats cache;   ///< cache.hits == queries answered from cache
+  // Robustness counters:
+  uint64_t retries = 0;           ///< re-attempts after transient failures
+  uint64_t worker_faults = 0;     ///< exceptions contained to Internal
+  uint64_t degraded = 0;          ///< OOM queries served by the fallback
+  uint64_t cancelled = 0;         ///< queries ending Cancelled
+  uint64_t deadline_exceeded = 0; ///< queries ending DeadlineExceeded
+  uint64_t breaker_rejected = 0;  ///< failed fast on an open breaker
+  uint64_t breaker_opened = 0;    ///< breaker trips across all artifacts
 };
 
 class GcgtService {
@@ -137,6 +199,11 @@ class GcgtService {
   ServiceStats Stats() const;
   const ServiceOptions& options() const { return options_; }
 
+  /// The artifact's circuit-breaker state (kClosed for artifacts that have
+  /// never failed — the breaker is created lazily on first failure-path
+  /// traffic). Exposed for tests and operational introspection.
+  CircuitBreakerState BreakerState(uint64_t fingerprint) const;
+
  private:
   struct Job {
     ServiceQuery query;
@@ -151,12 +218,21 @@ class GcgtService {
 
   void WorkerLoop();
   void Serve(std::unordered_map<uint64_t, WorkerSession>& sessions, Job job);
+  /// One guarded attempt on the worker's session: fault injection, exception
+  /// containment, OOM fallback. Sets `degraded` when the fallback answered.
+  Result<QueryResult> Attempt(WorkerSession& ws, const ServiceQuery& query,
+                              bool& degraded);
+  /// The artifact's breaker, created on first use (never null).
+  std::shared_ptr<CircuitBreaker> BreakerFor(uint64_t fingerprint);
 
   ServiceOptions options_;
   std::unique_ptr<ResultCache> cache_;  // null when cache_bytes == 0
 
   mutable std::mutex registry_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<const PreparedGraph>> registry_;
+
+  mutable std::mutex breakers_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<CircuitBreaker>> breakers_;
 
   BoundedQueue<Job> queue_;
   std::vector<std::thread> workers_;
@@ -166,6 +242,12 @@ class GcgtService {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> worker_sessions_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> worker_faults_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> breaker_rejected_{0};
 };
 
 }  // namespace gcgt

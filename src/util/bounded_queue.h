@@ -10,6 +10,16 @@
 // drain the remaining items and then see "closed" (Pop returns nullopt), so
 // every accepted item is served exactly once — a graceful drain, never a
 // drop.
+//
+// Push-after-Close contract (load-bearing for GcgtService's "every accepted
+// future is fulfilled" guarantee): a Push or TryPush that observes the
+// closed queue returns false/kClosed WITHOUT consuming the item — `item` is
+// never moved-from on the failure path, so the caller still owns it and can
+// fail its promise itself. Close() is idempotent and safe to race with
+// concurrent Push/TryPush/Pop/Close from any thread: each push either lands
+// before the close (and will be popped by the drain) or fails cleanly after
+// it; there is no third outcome. See ServiceRobustnessTest and the
+// BoundedQueue cases in tests/util_test.cc.
 #ifndef GCGT_UTIL_BOUNDED_QUEUE_H_
 #define GCGT_UTIL_BOUNDED_QUEUE_H_
 

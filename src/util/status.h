@@ -26,6 +26,8 @@ class Status {
     kNotSupported,
     kInternal,
     kUnavailable,
+    kDeadlineExceeded,
+    kCancelled,
   };
 
   Status() : code_(Code::kOk) {}
@@ -49,12 +51,21 @@ class Status {
   static Status Unavailable(std::string_view msg) {
     return Status(Code::kUnavailable, msg);
   }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(Code::kDeadlineExceeded, msg);
+  }
+  static Status Cancelled(std::string_view msg) {
+    return Status(Code::kCancelled, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsOutOfMemory() const { return code_ == Code::kOutOfMemory; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -75,6 +86,8 @@ class Status {
       case Code::kNotSupported: return "NotSupported";
       case Code::kInternal: return "Internal";
       case Code::kUnavailable: return "Unavailable";
+      case Code::kDeadlineExceeded: return "DeadlineExceeded";
+      case Code::kCancelled: return "Cancelled";
     }
     return "Unknown";
   }

@@ -1,0 +1,706 @@
+// The fault-tolerance contract of the serving stack.
+//  - CancelToken/CancelSource: deadlines and sticky cancellation, cancelled
+//    wins over expired, default tokens are free,
+//  - FaultInjector: same seed => same decision sequence; disabled/masked
+//    points never fire,
+//  - CircuitBreaker: Closed -> Open -> HalfOpen -> {Closed, Open} with a
+//    fake clock,
+//  - the service under faults: deadlines honored while queued and
+//    mid-traversal, worker exceptions contained to Status::Internal (the
+//    pool survives), transient failures retried, repeatedly failing
+//    artifacts quarantined, OOM queries degraded onto a fallback backend,
+//  - chaos: with every injection point armed, every accepted future is
+//    still fulfilled and every SUCCESSFUL result is bit-identical to the
+//    no-fault oracle,
+//  - Shutdown: idempotent, safe against concurrent Shutdown and Submit.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/gcgt_session.h"
+#include "graph/generators.h"
+#include "service/circuit_breaker.h"
+#include "service/gcgt_service.h"
+#include "util/cancel_token.h"
+#include "util/fault_injector.h"
+
+namespace gcgt {
+namespace {
+
+using std::chrono::milliseconds;
+using Clock = CancelToken::Clock;
+
+Graph TestGraph() { return GenerateErdosRenyi(800, 4800, 73); }
+
+/// RAII guard: no test leaks an armed global injector into its neighbors.
+struct InjectionScope {
+  InjectionScope(uint64_t seed, double rate, uint32_t mask = kAllFaultPoints) {
+    FaultInjector::Global().Enable(seed, rate, mask);
+  }
+  ~InjectionScope() { FaultInjector::Global().Disable(); }
+};
+
+constexpr uint32_t MaskOf(FaultPoint p) { return 1u << static_cast<int>(p); }
+
+void ExpectSameResult(const QueryResult& got, const QueryResult& want) {
+  ASSERT_EQ(got.kind(), want.kind());
+  switch (want.kind()) {
+    case QueryKind::kBfs:
+      EXPECT_EQ(got.bfs().depth, want.bfs().depth);
+      break;
+    case QueryKind::kCc:
+      EXPECT_EQ(got.cc().component, want.cc().component);
+      EXPECT_EQ(got.cc().rounds, want.cc().rounds);
+      break;
+    case QueryKind::kBc:
+      EXPECT_EQ(got.bc().dependency, want.bc().dependency);
+      EXPECT_EQ(got.bc().sigma, want.bc().sigma);
+      EXPECT_EQ(got.bc().depth, want.bc().depth);
+      break;
+  }
+  EXPECT_EQ(got.metrics().model_ms, want.metrics().model_ms);
+  EXPECT_EQ(got.metrics().kernels, want.metrics().kernels);
+  EXPECT_EQ(got.metrics().warp.mem_txns, want.metrics().warp.mem_txns);
+}
+
+// ---------------------------------------------------------------- tokens
+
+TEST(CancelToken, DefaultTokenNeverExpiresAndIsFree) {
+  CancelToken token;
+  EXPECT_FALSE(token.CanExpire());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_TRUE(token.Check().ok());
+  // Even at the end of time.
+  EXPECT_TRUE(token.CheckAt(Clock::time_point::max() - milliseconds(1)).ok());
+}
+
+TEST(CancelToken, DeadlineExpiresExactlyAtTheDeadline) {
+  const Clock::time_point t0 = Clock::now();
+  CancelToken token = CancelToken::WithDeadline(t0 + milliseconds(100));
+  EXPECT_TRUE(token.CanExpire());
+  EXPECT_TRUE(token.CheckAt(t0).ok());
+  EXPECT_TRUE(token.CheckAt(t0 + milliseconds(99)).ok());
+  Status late = token.CheckAt(t0 + milliseconds(100));
+  EXPECT_TRUE(late.IsDeadlineExceeded()) << late.ToString();
+}
+
+TEST(CancelToken, CancelIsStickyAndWinsOverDeadline) {
+  CancelSource source;
+  CancelToken token = source.token(Clock::now() - milliseconds(1));  // expired
+  source.Cancel();
+  source.Cancel();  // idempotent
+  // Both verdicts apply; the explicit cancel is reported.
+  Status s = token.Check();
+  EXPECT_TRUE(s.IsCancelled()) << s.ToString();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, WithDeadlineMinOnlyTightens) {
+  const Clock::time_point t0 = Clock::now();
+  CancelToken early = CancelToken::WithDeadline(t0 + milliseconds(10));
+  // A later service default must not loosen the client's deadline...
+  EXPECT_EQ(early.WithDeadlineMin(t0 + milliseconds(500)).deadline(),
+            t0 + milliseconds(10));
+  // ...and an earlier one wins.
+  EXPECT_EQ(early.WithDeadlineMin(t0 + milliseconds(1)).deadline(),
+            t0 + milliseconds(1));
+  // Tokens are value types: the original is untouched.
+  EXPECT_EQ(early.deadline(), t0 + milliseconds(10));
+}
+
+TEST(CancelToken, TokensShareTheSourceFlagByReference) {
+  CancelSource source;
+  CancelToken a = source.token();
+  CancelToken b = a;  // copies observe the same flag
+  EXPECT_TRUE(a.Check().ok());
+  source.Cancel();
+  EXPECT_TRUE(a.Check().IsCancelled());
+  EXPECT_TRUE(b.Check().IsCancelled());
+}
+
+// ---------------------------------------------------------- fault injector
+
+TEST(FaultInjector, SameSeedSameDecisionSequence) {
+  auto& fi = FaultInjector::Global();
+  constexpr int kDraws = 200;
+  std::vector<bool> first, second;
+  {
+    InjectionScope chaos(/*seed=*/7, /*rate=*/0.3);
+    for (int i = 0; i < kDraws; ++i) {
+      first.push_back(fi.ShouldInject(FaultPoint::kWorkerServe));
+    }
+  }
+  {
+    InjectionScope chaos(/*seed=*/7, /*rate=*/0.3);  // Enable resets ordinals
+    for (int i = 0; i < kDraws; ++i) {
+      second.push_back(fi.ShouldInject(FaultPoint::kWorkerServe));
+    }
+  }
+  EXPECT_EQ(first, second);
+  // At rate 0.3 over 200 draws, both extremes are astronomically unlikely.
+  int injected = 0;
+  for (bool b : first) injected += b;
+  EXPECT_GT(injected, 0);
+  EXPECT_LT(injected, kDraws);
+  const FaultInjectorStats stats = fi.Stats();
+  EXPECT_EQ(stats.evaluated[static_cast<int>(FaultPoint::kWorkerServe)],
+            static_cast<uint64_t>(kDraws));
+  EXPECT_EQ(stats.injected[static_cast<int>(FaultPoint::kWorkerServe)],
+            static_cast<uint64_t>(injected));
+}
+
+TEST(FaultInjector, DisabledAndMaskedPointsNeverFire) {
+  auto& fi = FaultInjector::Global();
+  ASSERT_FALSE(fi.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fi.ShouldInject(FaultPoint::kDecodeRound));
+  }
+  InjectionScope chaos(/*seed=*/3, /*rate=*/1.0,
+                       MaskOf(FaultPoint::kCacheInsert));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fi.ShouldInject(FaultPoint::kWorkerServe));  // masked out
+    EXPECT_TRUE(fi.ShouldInject(FaultPoint::kCacheInsert));   // rate 1.0
+  }
+}
+
+TEST(FaultInjector, PointsDrawIndependentSequences) {
+  auto& fi = FaultInjector::Global();
+  InjectionScope chaos(/*seed=*/11, /*rate=*/0.5);
+  std::vector<bool> serve, decode;
+  for (int i = 0; i < 128; ++i) {
+    serve.push_back(fi.ShouldInject(FaultPoint::kWorkerServe));
+    decode.push_back(fi.ShouldInject(FaultPoint::kDecodeRound));
+  }
+  EXPECT_NE(serve, decode);  // 2^-128 of flaking
+}
+
+// ---------------------------------------------------------- circuit breaker
+
+TEST(CircuitBreaker, ClosedOpenHalfOpenClosedWithFakeClock) {
+  Clock::time_point now{};  // fake time, advanced by hand
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 3;
+  opt.open_cooldown = milliseconds(250);
+  CircuitBreaker breaker(opt, [&now] { return now; });
+
+  // Closed: a success in the middle resets the consecutive-failure run.
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreakerState::kClosed);
+  breaker.RecordFailure();  // third consecutive: trip
+  EXPECT_EQ(breaker.state(), CircuitBreakerState::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+
+  // Open: rejects until the cooldown elapses.
+  EXPECT_FALSE(breaker.Allow());
+  now += milliseconds(249);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.rejected(), 2u);
+
+  // Cooldown elapsed: one probe admitted, a second is still rejected.
+  now += milliseconds(1);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), CircuitBreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow());
+
+  // The probe succeeds: recovered.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreaker, FailedProbeReopensWithAFreshCooldown) {
+  Clock::time_point now{};
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 1;
+  opt.open_cooldown = milliseconds(100);
+  CircuitBreaker breaker(opt, [&now] { return now; });
+
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreakerState::kOpen);
+  now += milliseconds(100);
+  EXPECT_TRUE(breaker.Allow());  // probe
+  breaker.RecordFailure();       // probe fails
+  EXPECT_EQ(breaker.state(), CircuitBreakerState::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  EXPECT_FALSE(breaker.Allow());  // a FULL new cooldown, not the stale one
+  now += milliseconds(100);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreaker, NonPositiveThresholdDisables) {
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 0;
+  CircuitBreaker breaker(opt);
+  for (int i = 0; i < 100; ++i) {
+    breaker.RecordFailure();
+    EXPECT_TRUE(breaker.Allow());
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreakerState::kClosed);
+}
+
+// ------------------------------------------------- deadlines, cancellation
+
+TEST(ServiceRobustness, ExpiredDeadlineFailsWhileQueuedWithoutRunning) {
+  Graph g = TestGraph();
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g);
+  ASSERT_TRUE(id.ok());
+
+  ServiceQuery q{id.value(), BfsQuery{0}};
+  q.cancel = CancelToken::WithDeadline(Clock::now() - milliseconds(1));
+  auto result = service.Submit(std::move(q)).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status().ToString();
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  // The worker never built a session for it.
+  EXPECT_EQ(stats.worker_sessions, 0u);
+}
+
+TEST(ServiceRobustness, DefaultTimeoutAppliesToTokenlessQueries) {
+  Graph g = TestGraph();
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  opt.default_timeout = std::chrono::nanoseconds(1);
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g);
+  ASSERT_TRUE(id.ok());
+
+  auto result = service.Submit({id.value(), BfsQuery{0}}).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status().ToString();
+}
+
+TEST(ServiceRobustness, DeadlineAbortsMidTraversalAndSessionSurvives) {
+  // Drive the session directly: the service pre-checks queued tokens, so to
+  // pin the MID-FLIGHT abort we hand an already-expired token straight to
+  // Run — the kCgrSimt pipeline trips its round-loop check, not any
+  // front-door check.
+  Graph g = TestGraph();
+  auto session = GcgtSession::Prepare(g);
+  ASSERT_TRUE(session.ok());
+
+  RunOptions run;
+  run.cancel = CancelToken::WithDeadline(Clock::now() - milliseconds(1));
+  auto aborted = session.value().Run(BfsQuery{0}, run);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_TRUE(aborted.status().IsDeadlineExceeded())
+      << aborted.status().ToString();
+
+  // An aborted query leaves only per-query state: the next (token-free) run
+  // is clean and correct.
+  auto clean = session.value().Run(BfsQuery{0});
+  ASSERT_TRUE(clean.ok());
+  auto oracle = GcgtSession::Prepare(g);
+  ASSERT_TRUE(oracle.ok());
+  auto want = oracle.value().Run(BfsQuery{0});
+  ASSERT_TRUE(want.ok());
+  ExpectSameResult(clean.value(), want.value());
+}
+
+TEST(ServiceRobustness, CancelledBaselineBackendsAbortToo) {
+  Graph g = TestGraph();
+  auto session = GcgtSession::Prepare(g);
+  ASSERT_TRUE(session.ok());
+  CancelSource source;
+  source.Cancel();
+  for (Backend b : {Backend::kCsrBaseline, Backend::kCpuReference}) {
+    RunOptions run;
+    run.backend = b;
+    run.cancel = source.token();
+    auto r = session.value().Run(BfsQuery{0}, run);
+    ASSERT_FALSE(r.ok()) << BackendName(b);
+    EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
+  }
+}
+
+TEST(ServiceRobustness, PreCancelledQueryNeverRuns) {
+  Graph g = TestGraph();
+  ServiceOptions opt;
+  opt.num_workers = 2;
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g);
+  ASSERT_TRUE(id.ok());
+
+  CancelSource source;
+  source.Cancel();
+  ServiceQuery q{id.value(), BcQuery{{0, 1, 2}}};
+  q.cancel = source.token();
+  auto result = service.Submit(std::move(q)).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  EXPECT_EQ(service.Stats().cancelled, 1u);
+}
+
+TEST(ServiceRobustness, CancelStormFulfillsEveryFutureOkOrCancelled) {
+  Graph g = TestGraph();
+  ServiceOptions opt;
+  opt.num_workers = 2;
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g);
+  ASSERT_TRUE(id.ok());
+
+  CancelSource source;
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 48; ++i) {
+    ServiceQuery q{id.value(), BfsQuery{static_cast<NodeId>(i % 11)}};
+    q.cancel = source.token();
+    futures.push_back(service.Submit(std::move(q)));
+  }
+  source.Cancel();  // races the in-flight tail: both outcomes are legal
+  for (auto& f : futures) {
+    auto r = f.get();  // fulfilled, never abandoned
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
+    }
+  }
+  EXPECT_EQ(service.Stats().completed, 48u);
+}
+
+// ------------------------------------------------- containment and retry
+
+TEST(ServiceRobustness, WorkerExceptionBecomesInternalAndPoolSurvives) {
+  Graph g = TestGraph();
+  ServiceOptions opt;
+  opt.num_workers = 2;
+  opt.max_attempts = 1;               // isolate containment from retry
+  opt.breaker.failure_threshold = 0;  // and from the breaker
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g);
+  ASSERT_TRUE(id.ok());
+
+  {
+    InjectionScope chaos(/*seed=*/5, /*rate=*/1.0,
+                         MaskOf(FaultPoint::kWorkerServe));
+    for (int i = 0; i < 6; ++i) {
+      auto r = service.Submit({id.value(), BfsQuery{0}}).get();
+      ASSERT_FALSE(r.ok());
+      EXPECT_TRUE(r.status().IsInternal()) << r.status().ToString();
+      EXPECT_NE(r.status().ToString().find("worker exception"),
+                std::string::npos);
+    }
+  }
+  // The pool is alive: the same service serves cleanly once the chaos ends.
+  auto ok = service.Submit({id.value(), BfsQuery{0}}).get();
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.worker_faults, 6u);
+  EXPECT_EQ(stats.completed, 7u);
+}
+
+TEST(ServiceRobustness, TransientFaultIsRetriedToSuccess) {
+  // Find a seed whose kWorkerServe decision sequence starts {true, false}:
+  // attempt 1 faults, attempt 2 succeeds. Determinism makes this a fixed
+  // property of the seed, not a race.
+  const uint32_t mask = MaskOf(FaultPoint::kWorkerServe);
+  auto& fi = FaultInjector::Global();
+  uint64_t seed = 0;
+  bool found = false;
+  for (uint64_t s = 0; s < 64 && !found; ++s) {
+    InjectionScope probe(s, /*rate=*/0.5, mask);
+    if (fi.ShouldInject(FaultPoint::kWorkerServe) &&
+        !fi.ShouldInject(FaultPoint::kWorkerServe)) {
+      seed = s;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  Graph g = TestGraph();
+  ServiceOptions opt;
+  opt.num_workers = 1;  // one worker, one query: the ordinal order is serial
+  opt.max_attempts = 3;
+  opt.retry_backoff_base = milliseconds(1);
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g);
+  ASSERT_TRUE(id.ok());
+
+  InjectionScope chaos(seed, /*rate=*/0.5, mask);
+  auto r = service.Submit({id.value(), BfsQuery{3}}).get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.worker_faults, 1u);
+}
+
+TEST(ServiceRobustness, BreakerQuarantinesARepeatedlyFailingArtifact) {
+  Graph g = TestGraph();
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  opt.max_attempts = 1;
+  opt.breaker.failure_threshold = 2;
+  opt.breaker.open_cooldown = std::chrono::hours(1);  // stays open for the test
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g);
+  ASSERT_TRUE(id.ok());
+
+  InjectionScope chaos(/*seed=*/5, /*rate=*/1.0,
+                       MaskOf(FaultPoint::kWorkerServe));
+  for (int i = 0; i < 2; ++i) {
+    auto r = service.Submit({id.value(), BfsQuery{0}}).get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsInternal());
+  }
+  EXPECT_EQ(service.BreakerState(id.value()), CircuitBreakerState::kOpen);
+
+  // Further queries fail fast — no worker attempt, no new fault.
+  const uint64_t faults_before = service.Stats().worker_faults;
+  auto rejected = service.Submit({id.value(), BfsQuery{0}}).get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsUnavailable()) << rejected.status().ToString();
+  EXPECT_NE(rejected.status().ToString().find("circuit breaker"),
+            std::string::npos);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.worker_faults, faults_before);
+  EXPECT_EQ(stats.breaker_rejected, 1u);
+  EXPECT_EQ(stats.breaker_opened, 1u);
+}
+
+TEST(ServiceRobustness, BreakerRecoversThroughACooldownProbe) {
+  Graph g = TestGraph();
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  opt.max_attempts = 1;
+  opt.breaker.failure_threshold = 1;
+  opt.breaker.open_cooldown = milliseconds(0);  // probe immediately
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g);
+  ASSERT_TRUE(id.ok());
+
+  {
+    InjectionScope chaos(/*seed=*/5, /*rate=*/1.0,
+                         MaskOf(FaultPoint::kWorkerServe));
+    auto r = service.Submit({id.value(), BfsQuery{0}}).get();
+    ASSERT_FALSE(r.ok());
+  }
+  EXPECT_EQ(service.BreakerState(id.value()), CircuitBreakerState::kOpen);
+  // Chaos over: the next query is the half-open probe; its success closes
+  // the breaker again.
+  auto probe = service.Submit({id.value(), BfsQuery{0}}).get();
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(service.BreakerState(id.value()), CircuitBreakerState::kClosed);
+}
+
+// ------------------------------------------------------- OOM degradation
+
+/// A device budget the plain CSR footprint fits but the Gunrock-factored
+/// one does not: BFS on kCsrGunrock OOMs, kCpuReference always works.
+uint64_t TightBudgetFor(const Graph& g, double gunrock_factor) {
+  const uint64_t v = g.num_nodes();
+  const uint64_t csr_bfs = 4 * (v + 1) + 4 * g.num_edges() + 4 * v + 8 * v;
+  return static_cast<uint64_t>(csr_bfs * gunrock_factor * 0.9);
+}
+
+TEST(ServiceRobustness, OomDegradesOntoFallbackBackend) {
+  Graph g = TestGraph();
+  PrepareOptions prep;
+  prep.gcgt.device.memory_bytes = TightBudgetFor(g, prep.gunrock_memory_factor);
+
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  opt.enable_oom_fallback = true;
+  opt.fallback_backend = Backend::kCpuReference;
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g, prep);
+  ASSERT_TRUE(id.ok());
+
+  auto degraded = service.Submit({id.value(), BfsQuery{4},
+                                  Backend::kCsrGunrock}).get();
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded.value().degraded());
+
+  // The degraded answer IS the fallback backend's answer.
+  auto oracle = GcgtSession::Prepare(g, prep);
+  ASSERT_TRUE(oracle.ok());
+  auto want = oracle.value().Run(BfsQuery{4},
+                                 RunOptions{.backend = Backend::kCpuReference});
+  ASSERT_TRUE(want.ok());
+  ExpectSameResult(degraded.value(), want.value());
+
+  // Degraded results are not cached under the requested backend's key: the
+  // repeat degrades again instead of hitting the cache.
+  auto again = service.Submit({id.value(), BfsQuery{4},
+                               Backend::kCsrGunrock}).get();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().degraded());
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.degraded, 2u);
+  EXPECT_EQ(stats.cache.hits, 0u);
+
+  // The requested backend still fits on an un-budgeted artifact; and a
+  // non-degraded run never sets the flag.
+  auto fits = service.Submit({id.value(), BfsQuery{4}}).get();
+  ASSERT_TRUE(fits.ok());
+  EXPECT_FALSE(fits.value().degraded());
+}
+
+TEST(ServiceRobustness, WithoutFallbackOomStaysAnError) {
+  Graph g = TestGraph();
+  PrepareOptions prep;
+  prep.gcgt.device.memory_bytes = TightBudgetFor(g, prep.gunrock_memory_factor);
+  ServiceOptions opt;
+  opt.num_workers = 1;  // enable_oom_fallback stays false
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g, prep);
+  ASSERT_TRUE(id.ok());
+
+  auto r = service.Submit({id.value(), BfsQuery{4}, Backend::kCsrGunrock}).get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfMemory()) << r.status().ToString();
+  EXPECT_EQ(service.Stats().degraded, 0u);
+}
+
+// ------------------------------------------------------------------ chaos
+
+TEST(ServiceRobustness, ChaosEveryFutureFulfilledSuccessesBitIdentical) {
+  // Every injection point armed at a rate where both failures and successes
+  // are plentiful. Overridable for exploratory chaos runs / the chaos CI
+  // job: GCGT_CHAOS_SEED / GCGT_CHAOS_RATE.
+  uint64_t seed = 42;
+  double rate = 0.05;
+  if (const char* s = std::getenv("GCGT_CHAOS_SEED")) seed = std::stoull(s);
+  if (const char* r = std::getenv("GCGT_CHAOS_RATE")) rate = std::stod(r);
+
+  Graph g = TestGraph();
+  // The oracle runs BEFORE chaos is armed (its session would hit the same
+  // global injection points).
+  std::vector<ServiceQuery> workload;
+  for (int rep = 0; rep < 6; ++rep) {
+    for (NodeId s : {0, 3, 17, 42, 99}) {
+      workload.push_back({0, BfsQuery{s}});
+    }
+    workload.push_back({0, CcQuery{}});
+    workload.push_back({0, BcQuery{{5, 23}}});
+  }
+  auto oracle_session = GcgtSession::Prepare(g);
+  ASSERT_TRUE(oracle_session.ok());
+  std::vector<Result<QueryResult>> oracle;
+  for (const ServiceQuery& q : workload) {
+    oracle.push_back(oracle_session.value().Run(q.query));
+  }
+
+  ServiceOptions opt;
+  opt.num_workers = 4;
+  opt.max_attempts = 3;
+  opt.retry_backoff_base = milliseconds(1);
+  opt.breaker.failure_threshold = 0;  // quarantine has its own tests; here
+                                      // every query must reach a worker
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g);
+  ASSERT_TRUE(id.ok());
+  for (ServiceQuery& q : workload) q.graph = id.value();
+
+  uint64_t succeeded = 0, failed = 0;
+  {
+    InjectionScope chaos(seed, rate);
+    auto futures = service.SubmitBatch(workload);
+    for (size_t i = 0; i < futures.size(); ++i) {
+      Result<QueryResult> got = futures[i].get();  // fulfilled, always
+      ASSERT_TRUE(oracle[i].ok());
+      if (got.ok()) {
+        ++succeeded;
+        ExpectSameResult(got.value(), oracle[i].value());
+      } else {
+        ++failed;
+        // Chaos manufactures only these verdicts.
+        EXPECT_TRUE(got.status().IsInternal() ||
+                    got.status().IsUnavailable())
+            << got.status().ToString();
+      }
+    }
+    service.Shutdown();
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, workload.size());
+  EXPECT_EQ(succeeded + failed, workload.size());
+  EXPECT_GT(succeeded, 0u) << "rate " << rate << " drowned every query";
+  EXPECT_GT(FaultInjector::Global().Stats().total_injected(), 0u);
+}
+
+TEST(ServiceRobustness, ChaosVerdictSetIsAFunctionOfTheSeed) {
+  // The full serial pipeline (1 worker, cache off, no retries) under the
+  // same seed must fail the SAME queries with the SAME codes, twice.
+  Graph g = TestGraph();
+  auto run_once = [&](uint64_t seed) {
+    ServiceOptions opt;
+    opt.num_workers = 1;
+    opt.cache_bytes = 0;
+    opt.max_attempts = 1;
+    opt.breaker.failure_threshold = 0;
+    GcgtService service(opt);
+    auto id = service.RegisterGraph(g);
+    EXPECT_TRUE(id.ok());
+    std::vector<Status::Code> verdicts;
+    InjectionScope chaos(seed, /*rate=*/0.2,
+                         MaskOf(FaultPoint::kWorkerServe) |
+                             MaskOf(FaultPoint::kDecodeRound));
+    for (int i = 0; i < 24; ++i) {
+      // .get() serializes: with one worker the ordinal order is exact.
+      auto r = service.Submit({id.value(), BfsQuery{static_cast<NodeId>(i % 7)}})
+                   .get();
+      verdicts.push_back(r.ok() ? Status::Code::kOk : r.status().code());
+    }
+    return verdicts;
+  };
+  auto a = run_once(9001);
+  auto b = run_once(9001);
+  EXPECT_EQ(a, b);
+}
+
+// --------------------------------------------------------------- shutdown
+
+TEST(ServiceRobustness, ShutdownIsIdempotentAndSafeAgainstConcurrentSubmit) {
+  Graph g = TestGraph();
+  ServiceOptions opt;
+  opt.num_workers = 2;
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g);
+  ASSERT_TRUE(id.ok());
+
+  std::vector<std::future<Result<QueryResult>>> futures;
+  std::mutex futures_mu;
+  std::vector<std::thread> threads;
+  // Submitters race four concurrent Shutdowns.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 16; ++i) {
+        auto f = service.Submit({id.value(), BfsQuery{static_cast<NodeId>(i)}});
+        std::lock_guard<std::mutex> lock(futures_mu);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] { service.Shutdown(); });
+  }
+  for (auto& th : threads) th.join();
+  service.Shutdown();  // idempotent
+
+  // Every future — accepted before or rejected after the close — is
+  // fulfilled with a result or Unavailable; none dangles.
+  for (auto& f : futures) {
+    auto r = f.get();
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+    }
+  }
+  // And the service now sheds cleanly.
+  auto late = service.TrySubmit({id.value(), BfsQuery{0}});
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsUnavailable());
+}
+
+}  // namespace
+}  // namespace gcgt

@@ -63,7 +63,9 @@ TEST(TraversalPipeline, RunsBfsToFixpointAndMatchesDriver) {
   ASSERT_TRUE(pipeline.ReserveDevice(3 * 4ull * g.num_nodes(), "test").ok());
   BfsFilter filter(g.num_nodes());
   filter.SetSource(0);
-  int rounds = pipeline.Run({0}, filter, ContractionPolicy::kNone);
+  auto rounds_r = pipeline.Run({0}, filter, ContractionPolicy::kNone);
+  ASSERT_TRUE(rounds_r.ok());
+  int rounds = rounds_r.value();
 
   auto driver = GcgtBfs(cgr, 0, opt);
   ASSERT_TRUE(driver.ok());
@@ -131,12 +133,14 @@ TEST(TraversalPipeline, SortUniqueContractionDeduplicatesRescanSet) {
   std::vector<NodeId> all(g.num_nodes());
   std::iota(all.begin(), all.end(), 0);
   RecordingRescanFilter filter(g.num_nodes(), /*max_rounds=*/2);
-  int rounds =
+  auto rounds_r =
       pipeline.Run(all, filter, ContractionPolicy::kSortUnique,
                    /*trace=*/nullptr, [&] {
                      filter.EndRound();
                      return std::vector<simt::WarpStats>{};
                    });
+  ASSERT_TRUE(rounds_r.ok());
+  int rounds = rounds_r.value();
   ASSERT_EQ(rounds, 2);
   ASSERT_EQ(filter.rounds().size(), 2u);
   // Round 1 accepted u once per expanded edge, so without sort-unique
@@ -158,7 +162,9 @@ TEST(TraversalPipeline, CaptureLevelsRecordsForwardFrontiers) {
   TraversalPipeline pipeline(cgr, opt);
   BfsFilter filter(g.num_nodes());
   filter.SetSource(3);
-  int rounds = pipeline.Run({3}, filter, ContractionPolicy::kCaptureLevels);
+  auto rounds_r = pipeline.Run({3}, filter, ContractionPolicy::kCaptureLevels);
+  ASSERT_TRUE(rounds_r.ok());
+  int rounds = rounds_r.value();
 
   const auto& levels = pipeline.levels();
   ASSERT_EQ(static_cast<int>(levels.size()), rounds);

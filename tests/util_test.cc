@@ -283,6 +283,24 @@ TEST(Status, CodesAndMessages) {
   EXPECT_EQ(Status::OK().ToString(), "OK");
 }
 
+TEST(Status, RobustnessCodesRoundTrip) {
+  Status d = Status::DeadlineExceeded("query deadline exceeded");
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.IsDeadlineExceeded());
+  EXPECT_FALSE(d.IsCancelled());
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: query deadline exceeded");
+
+  Status c = Status::Cancelled("client went away");
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(c.IsCancelled());
+  EXPECT_FALSE(c.IsDeadlineExceeded());
+  EXPECT_EQ(c.ToString(), "Cancelled: client went away");
+
+  Status i = Status::Internal("worker exception: boom");
+  EXPECT_TRUE(i.IsInternal());
+  EXPECT_EQ(i.ToString(), "Internal: worker exception: boom");
+}
+
 TEST(Result, ValueAndError) {
   Result<int> ok(42);
   EXPECT_TRUE(ok.ok());
@@ -412,6 +430,55 @@ TEST(BoundedQueue, MpmcStressDeliversEveryItemExactlyOnce) {
   constexpr long long kTotal = kProducers * kPerProducer;
   EXPECT_EQ(popped.load(), kTotal);
   EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+TEST(BoundedQueue, PushAfterCloseLeavesTheItemUnconsumed) {
+  // Load-bearing for the service's "every accepted future is fulfilled"
+  // guarantee: a failed push must leave the caller owning the item so it
+  // can fail the item's promise itself.
+  BoundedQueue<std::unique_ptr<int>> q(4);
+  q.Close();
+  auto item = std::make_unique<int>(7);
+  EXPECT_FALSE(q.Push(item));
+  ASSERT_NE(item, nullptr);  // not moved-from
+  EXPECT_EQ(*item, 7);
+  EXPECT_EQ(q.TryPush(item), BoundedQueue<std::unique_ptr<int>>::PushResult::kClosed);
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(*item, 7);
+}
+
+TEST(BoundedQueue, ConcurrentCloseEveryPushLandsOrFailsCleanly) {
+  // Producers race Close(): every item is either popped exactly once by the
+  // drain or still owned by its producer — no third outcome, no loss.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 64;
+  BoundedQueue<std::unique_ptr<int>> q(16);
+  std::atomic<int> accepted{0}, refused{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto item = std::make_unique<int>(p * kPerProducer + i);
+        if (q.Push(item)) {
+          ++accepted;
+        } else {
+          ++refused;
+          ASSERT_NE(item, nullptr);  // the Push-after-Close contract
+        }
+      }
+    });
+  }
+  std::atomic<int> popped{0};
+  std::thread consumer([&] {
+    while (q.Pop()) ++popped;
+  });
+  // Let some traffic through, then slam the door mid-stream.
+  while (popped.load() < 8) std::this_thread::yield();
+  q.Close();
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(accepted.load() + refused.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped.load(), accepted.load());  // drained exactly once each
 }
 
 TEST(BoundedQueue, MoveOnlyItems) {
