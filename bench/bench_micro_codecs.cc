@@ -9,6 +9,7 @@
 #include "bench/bench_common.h"
 #include "cgr/cgr_decoder.h"
 #include "cgr/cgr_graph.h"
+#include "cgr/codec.h"
 #include "cgr/vlc.h"
 #include "core/warp_centric.h"
 #include "graph/generators.h"
@@ -79,6 +80,42 @@ void BM_CgrDecodeAdjacency(benchmark::State& state) {
 }
 BENCHMARK(BM_CgrDecodeAdjacency)->Unit(benchmark::kMillisecond);
 
+void BM_ByteCodecEncodeGraph(benchmark::State& state) {
+  CodecId codec = static_cast<CodecId>(state.range(0));
+  WebGraphParams p;
+  p.num_nodes = 10000;
+  Graph g = GenerateWebGraph(p);
+  CgrOptions opt;
+  opt.codec = codec;
+  for (auto _ : state) {
+    auto cgr = CgrGraph::Encode(g, opt);
+    benchmark::DoNotOptimize(cgr.value().total_bits());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_ByteCodecEncodeGraph)->DenseRange(1, 2)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ByteCodecDecodeAdjacency(benchmark::State& state) {
+  CodecId codec = static_cast<CodecId>(state.range(0));
+  WebGraphParams p;
+  p.num_nodes = 10000;
+  Graph g = GenerateWebGraph(p);
+  CgrOptions opt;
+  opt.codec = codec;
+  auto cgr = CgrGraph::Encode(g, opt);
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      total += DecodeAdjacency(cgr.value(), u).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_ByteCodecDecodeAdjacency)->DenseRange(1, 2)->Unit(
+    benchmark::kMillisecond);
+
 void BM_WarpCentricWindow(benchmark::State& state) {
   Rng rng(3);
   BitWriter w;
@@ -142,6 +179,24 @@ void RunJsonScenarios(bench::JsonReport& json) {
     }
     benchmark::DoNotOptimize(total);
     json.Add("cgr_decode_adjacency", bench::NowNs() - t0, 0.0);
+
+    // Byte-codec backends over the same graph: encode + full decode sweep.
+    for (CodecId codec : {CodecId::kStreamVByte, CodecId::kVarintGb}) {
+      CgrOptions opt;
+      opt.codec = codec;
+      t0 = bench::NowNs();
+      auto byte_cgr = CgrGraph::Encode(g, opt);
+      json.Add(std::string("codec_encode_graph/") + CodecName(codec),
+               bench::NowNs() - t0, 0.0);
+      t0 = bench::NowNs();
+      total = 0;
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        total += DecodeAdjacency(byte_cgr.value(), u).size();
+      }
+      benchmark::DoNotOptimize(total);
+      json.Add(std::string("codec_decode_adjacency/") + CodecName(codec),
+               bench::NowNs() - t0, 0.0);
+    }
   }
   {
     Rng rng(3);

@@ -1,9 +1,21 @@
 // Paper Table 3: example gamma / zeta codewords. The printed codewords are
 // pinned by unit tests (tests/vlc_test.cc) to the paper's exact bit strings.
+//
+// Extended into the codec tradeoff study: every scaled dataset is encoded
+// with every codec backend (CGR bit-packed VLC, StreamVByte, VarintGB) and
+// one JSON row per (dataset, codec) records the three axes of the tradeoff:
+//   compression_rate    — bits vs the raw CSR (higher is better)
+//   decode_ns_per_edge  — host-side full adjacency decode sweep (lower)
+//   model_cycles        — simulated-GPU BFS cost on the same encoding
+// The decode sweep allocates one vector per node in all three configurations,
+// so the absolute ns/edge overstates a production decoder but the *relative*
+// spread is the codec signal.
 #include <cstdio>
 #include <string>
 
 #include "bench/bench_common.h"
+#include "cgr/cgr_decoder.h"
+#include "cgr/codec.h"
 #include "cgr/vlc.h"
 
 int main(int argc, char** argv) {
@@ -20,6 +32,53 @@ int main(int argc, char** argv) {
              {{"gamma", gamma}, {"zeta2", zeta2}, {"zeta3", zeta3}});
     std::printf("%8llu %16s %16s %16s\n", static_cast<unsigned long long>(v),
                 gamma.c_str(), zeta2.c_str(), zeta3.c_str());
+  }
+
+  std::printf("\n== Codec tradeoff: rate x decode speed x model cycles ==\n");
+  std::printf("%-10s %-12s %10s %14s %14s\n", "dataset", "codec", "rate",
+              "decode ns/e", "bfs Mcycles");
+  auto datasets = bench::BuildDatasets();
+  const uint64_t budget = bench::DeviceBudgetBytes(datasets);
+  for (const auto& d : datasets) {
+    const NodeId src = bench::BfsSources(d.graph, 1)[0];
+    for (CodecId codec : kAllCodecs) {
+      CgrOptions copt;
+      copt.codec = codec;
+      auto prepared = bench::PreparedSession(d.graph, budget, copt);
+      if (!prepared.ok()) {
+        std::printf("%-10s %-12s %10s (%s)\n", d.name.c_str(),
+                    CodecName(codec), "-",
+                    prepared.status().ToString().c_str());
+        continue;
+      }
+      GcgtSession& session = prepared.value();
+      const CgrGraph& cgr = session.cgr();
+      const double rate = bench::RateVsRaw(d.raw_edges, cgr.total_bits());
+
+      double t0 = bench::NowNs();
+      uint64_t edges = 0;
+      for (NodeId u = 0; u < d.graph.num_nodes(); ++u) {
+        edges += DecodeAdjacency(cgr, u).size();
+      }
+      const double decode_ns = bench::NowNs() - t0;
+      const double ns_per_edge = edges > 0 ? decode_ns / edges : 0.0;
+
+      auto r = session.Run(BfsQuery{src}, {});
+      const double cycles =
+          r.ok() ? bench::ModelCycles(r.value().metrics().model_ms,
+                                      session.options().gcgt.cost)
+                 : 0.0;
+      const uint64_t decode_words =
+          r.ok() ? r.value().metrics().warp.decode_words : 0;
+
+      json.Add("table3/" + d.name + "/" + CodecName(codec), decode_ns, cycles,
+               {{"compression_rate", std::to_string(rate)},
+                {"decode_ns_per_edge", std::to_string(ns_per_edge)},
+                {"decode_words", std::to_string(decode_words)},
+                {"oom", r.ok() ? "0" : "1"}});
+      std::printf("%-10s %-12s %10.3f %14.2f %14.3f\n", d.name.c_str(),
+                  CodecName(codec), rate, ns_per_edge, cycles / 1e6);
+    }
   }
   return 0;
 }

@@ -34,18 +34,23 @@ uint64_t HashOptions(uint64_t h, const PrepareOptions& o) {
   h = HashCombine(h, o.vnc.seed);
   h = HashCombine(h, static_cast<uint64_t>(o.reorder));
   h = HashCombine(h, o.reorder_seed);
+  h = HashCombine(h, static_cast<uint64_t>(o.cgr.codec));
   h = HashCombine(h, static_cast<uint64_t>(o.cgr.scheme));
   h = HashCombine(h, static_cast<uint64_t>(o.cgr.min_interval_len));
   h = HashCombine(h, static_cast<uint64_t>(o.cgr.segment_len_bytes));
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.level));
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.lanes));
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.warp_centric_min_residuals));
+  h = HashCombine(h, o.gcgt.replay_cache_bytes);
+  h = HashCombine(h, static_cast<uint64_t>(o.gcgt.replay_min_degree));
+  h = HashCombine(h, static_cast<uint64_t>(o.gcgt.replay_min_touches));
   h = HashCombine(h, o.gcgt.cost.cycles_per_step);
   h = HashCombine(h, o.gcgt.cost.cycles_per_decode_step);
   h = HashCombine(h, o.gcgt.cost.cycles_per_append_step);
   h = HashCombine(h, o.gcgt.cost.cycles_per_shared_op);
   h = HashCombine(h, o.gcgt.cost.cycles_per_mem_txn);
   h = HashCombine(h, o.gcgt.cost.cycles_per_atomic);
+  h = HashCombine(h, o.gcgt.cost.cycles_per_replay_txn);
   h = HashCombine(h, o.gcgt.cost.kernel_launch_cycles);
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.cost.cache_line_bytes));
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.cost.num_sms));
@@ -66,6 +71,15 @@ uint64_t ComputeArtifactFingerprint(const Graph& graph,
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
     for (NodeId v : graph.Neighbors(u)) h = HashCombine(h, uint64_t{v});
   }
+#ifndef NDEBUG
+  // The codec id must be fingerprint-affecting: artifacts differing only in
+  // codec have different encoded bits and must never dedup onto one registry
+  // slot or serve each other's cached results.
+  PrepareOptions alt = options;
+  alt.cgr.codec = options.cgr.codec == CodecId::kCgr ? CodecId::kStreamVByte
+                                                     : CodecId::kCgr;
+  assert(HashOptions(h, options) != HashOptions(h, alt));
+#endif
   return HashOptions(h, options);
 }
 

@@ -1,0 +1,132 @@
+#include "cgr/byte_codecs.h"
+
+#include <bit>
+#include <cassert>
+
+#include "cgr/cgr_graph.h"
+
+namespace gcgt {
+namespace {
+
+inline unsigned ValueBytes(uint32_t v) {
+  // ceil(bit_width / 8) in 1..4; v|1 keeps the result >= 1 for v == 0.
+  return (39u - static_cast<unsigned>(std::countl_zero(v | 1u))) / 8u;
+}
+
+inline void PutLe(uint32_t v, unsigned len, std::vector<uint8_t>* out) {
+  for (unsigned i = 0; i < len; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline uint32_t LoadLe(const uint8_t* p, unsigned len) {
+  uint32_t v = 0;
+  for (unsigned i = 0; i < len; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// Delta transform shared by both codecs (see header).
+Result<std::vector<uint32_t>> DeltaValues(NodeId u,
+                                          std::span<const NodeId> neighbors) {
+  std::vector<uint32_t> vals;
+  vals.reserve(neighbors.size());
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    uint64_t v;
+    if (i == 0) {
+      v = ZigzagEncode(static_cast<int64_t>(neighbors[0]) -
+                       static_cast<int64_t>(u));
+    } else {
+      v = neighbors[i] - neighbors[i - 1];
+    }
+    if (v > UINT32_MAX) {
+      return Status::InvalidArgument(
+          "byte codecs require node ids < 2^31 (first-delta overflow)");
+    }
+    vals.push_back(static_cast<uint32_t>(v));
+  }
+  return vals;
+}
+
+}  // namespace
+
+Status EncodeNodeBytes(CodecId codec, NodeId u,
+                       std::span<const NodeId> neighbors,
+                       std::vector<uint8_t>* out) {
+  assert(codec == CodecId::kStreamVByte || codec == CodecId::kVarintGb);
+  auto vals_or = DeltaValues(u, neighbors);
+  GCGT_RETURN_NOT_OK(vals_or.status());
+  const std::vector<uint32_t>& vals = vals_or.value();
+  PutLeb128(vals.size(), out);
+
+  if (codec == CodecId::kStreamVByte) {
+    // All control bytes first, then all data bytes.
+    const size_t ctrl_base = out->size();
+    out->resize(ctrl_base + (vals.size() + 3) / 4, 0);
+    for (size_t i = 0; i < vals.size(); ++i) {
+      const unsigned len = ValueBytes(vals[i]);
+      (*out)[ctrl_base + i / 4] |=
+          static_cast<uint8_t>((len - 1) << (2 * (i % 4)));
+      PutLe(vals[i], len, out);
+    }
+  } else {
+    // VarintGB: control byte interleaved before each group of 4.
+    for (size_t g = 0; g < vals.size(); g += 4) {
+      const size_t n = std::min<size_t>(4, vals.size() - g);
+      uint8_t ctrl = 0;
+      for (size_t i = 0; i < n; ++i) {
+        ctrl |= static_cast<uint8_t>((ValueBytes(vals[g + i]) - 1) << (2 * i));
+      }
+      out->push_back(ctrl);
+      for (size_t i = 0; i < n; ++i) {
+        PutLe(vals[g + i], ValueBytes(vals[g + i]), out);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+ByteCodecStream::ByteCodecStream(const CgrGraph& g, NodeId u)
+    : base_(g.bits().data()), codec_(g.options().codec), u_(u) {
+  assert(codec_ != CodecId::kCgr);
+  assert(g.bit_start(u) % 8 == 0);
+  uint64_t pos = g.bit_start(u) / 8;
+  degree_ = GetLeb128(base_, &pos);
+  remaining_ = degree_;
+  hdr_end_ = pos;
+  ctrl_pos_ = pos;
+  if (codec_ == CodecId::kStreamVByte) {
+    data_pos_ = ctrl_pos_ + (degree_ + 3) / 4;
+  }
+}
+
+ByteBlock ByteCodecStream::NextBlock() {
+  assert(remaining_ > 0);
+  ByteBlock blk;
+  blk.count = static_cast<uint32_t>(std::min<uint64_t>(4, remaining_));
+  blk.ctrl_byte = ctrl_pos_;
+  const ByteCtrlEntry& e = kByteCtrlTable[base_[ctrl_pos_]];
+  ++ctrl_pos_;
+  uint64_t dpos = codec_ == CodecId::kStreamVByte ? data_pos_ : ctrl_pos_;
+  blk.data_first = dpos;
+  for (uint32_t i = 0; i < blk.count; ++i) {
+    const uint32_t v = LoadLe(base_ + dpos, e.len[i]);
+    dpos += e.len[i];
+    if (first_) {
+      first_ = false;
+      prev_ = static_cast<NodeId>(static_cast<int64_t>(u_) + ZigzagDecode(v));
+    } else {
+      prev_ = static_cast<NodeId>(prev_ + v);
+    }
+    blk.vals[i] = prev_;
+  }
+  blk.data_last = dpos - 1;
+  if (codec_ == CodecId::kStreamVByte) {
+    data_pos_ = dpos;
+  } else {
+    ctrl_pos_ = dpos;
+  }
+  remaining_ -= blk.count;
+  return blk;
+}
+
+}  // namespace gcgt

@@ -1,0 +1,131 @@
+// Byte-aligned adjacency codecs: StreamVByte and VarintGB (Group Varint).
+//
+// Shared per-node layout (everything byte-aligned; bit_start(u) is always a
+// multiple of 8 for these codecs):
+//
+//   [LEB128 degree] [codec-specific control/data area]
+//
+// Values are the delta transform of the sorted neighbor list: the first
+// value is zigzag(n0 - u) (neighbors cluster around their source after
+// reordering), subsequent values are the raw gaps n_i - n_{i-1} >= 1. Each
+// value is stored little-endian in 1..4 bytes; a 2-bit control field per
+// value holds (length - 1).
+//
+//   StreamVByte: all ceil(degree/4) control bytes first, then the data
+//                bytes. A block decode reads one control byte and up to 16
+//                data bytes from two separate cursors — the control area
+//                stays hot in cache while data streams.
+//   VarintGB:    each group of up to 4 values is preceded by its control
+//                byte, so one block is a single contiguous span.
+//
+// Decode is table-driven: one 256-entry table lookup per control byte
+// yields all four lengths plus their sum, and NextBlock() emits up to 4
+// neighbors per step instead of one symbol at a time.
+#ifndef GCGT_CGR_BYTE_CODECS_H_
+#define GCGT_CGR_BYTE_CODECS_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cgr/codec.h"
+#include "graph/graph.h"
+#include "util/status.h"
+#include "util/zigzag.h"
+
+namespace gcgt {
+
+class CgrGraph;
+
+/// Appends node u's adjacency list (sorted, deduplicated) to `out` in the
+/// given byte codec. Fails if the first delta's zigzag value exceeds 32 bits
+/// (only possible for node ids >= 2^31, outside this codec's envelope).
+Status EncodeNodeBytes(CodecId codec, NodeId u,
+                       std::span<const NodeId> neighbors,
+                       std::vector<uint8_t>* out);
+
+/// Per-control-byte length table: lengths of the 4 values and their sum.
+struct ByteCtrlEntry {
+  uint8_t len[4];
+  uint8_t total;
+};
+
+inline constexpr std::array<ByteCtrlEntry, 256> kByteCtrlTable = [] {
+  std::array<ByteCtrlEntry, 256> t{};
+  for (int c = 0; c < 256; ++c) {
+    int total = 0;
+    for (int i = 0; i < 4; ++i) {
+      const uint8_t len = static_cast<uint8_t>(((c >> (2 * i)) & 3) + 1);
+      t[static_cast<size_t>(c)].len[i] = len;
+      total += len;
+    }
+    t[static_cast<size_t>(c)].total = static_cast<uint8_t>(total);
+  }
+  return t;
+}();
+
+/// One decoded block: up to 4 neighbors plus the byte spans it touched, so
+/// the SIMT engine can charge control and data reads separately (they are
+/// disjoint areas for StreamVByte).
+struct ByteBlock {
+  NodeId vals[4];
+  uint32_t count = 0;
+  uint64_t ctrl_byte = 0;   // absolute offset of the control byte read
+  uint64_t data_first = 0;  // absolute first data byte read
+  uint64_t data_last = 0;   // absolute last data byte read (inclusive)
+};
+
+/// Streaming block decoder over one node's byte-codec adjacency.
+class ByteCodecStream {
+ public:
+  ByteCodecStream() = default;
+  /// Positions at u's encoding and consumes the degree header.
+  /// Precondition: g.options().codec is a byte codec.
+  ByteCodecStream(const CgrGraph& g, NodeId u);
+
+  uint64_t degree() const { return degree_; }
+  uint64_t remaining() const { return remaining_; }
+  bool HasNext() const { return remaining_ > 0; }
+  /// First byte after the LEB128 degree header (for header-read charging).
+  uint64_t header_end_byte() const { return hdr_end_; }
+
+  /// Decodes the next group of up to 4 neighbors. Precondition: HasNext().
+  ByteBlock NextBlock();
+
+ private:
+  const uint8_t* base_ = nullptr;
+  CodecId codec_ = CodecId::kStreamVByte;
+  NodeId u_ = 0;
+  NodeId prev_ = 0;
+  bool first_ = true;
+  uint64_t degree_ = 0;
+  uint64_t remaining_ = 0;
+  uint64_t hdr_end_ = 0;
+  uint64_t ctrl_pos_ = 0;  // next control byte (VarintGB: next group start)
+  uint64_t data_pos_ = 0;  // next data byte (StreamVByte only)
+};
+
+/// LEB128 helpers shared by the encoders, the stream, and DecodeDegree.
+inline void PutLeb128(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+inline uint64_t GetLeb128(const uint8_t* p, uint64_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const uint8_t b = p[(*pos)++];
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace gcgt
+
+#endif  // GCGT_CGR_BYTE_CODECS_H_

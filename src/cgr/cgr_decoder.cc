@@ -1,23 +1,69 @@
 #include "cgr/cgr_decoder.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
+#include "cgr/byte_codecs.h"
 #include "util/zigzag.h"
 
 namespace gcgt {
 
-NodeId ResidualStream::Next() {
+void ResidualStream::Refill() {
   assert(remaining_ > 0);
-  --remaining_;
-  uint64_t v = VlcDecode(scheme_, &reader_);
-  if (first_) {
-    first_ = false;
-    prev_ = static_cast<NodeId>(static_cast<int64_t>(u_) + ZigzagDecode(v - 1));
-  } else {
-    prev_ = static_cast<NodeId>(prev_ + v);
+  buf_pos_ = 0;
+  buf_len_ = 0;
+  const uint32_t want =
+      static_cast<uint32_t>(std::min<uint64_t>(kBatch, remaining_));
+  const int k = VlcZetaK(scheme_);
+
+  auto push = [&](uint64_t raw, uint64_t end_pos) {
+    NodeId id;
+    if (dec_first_) {
+      dec_first_ = false;
+      id = static_cast<NodeId>(static_cast<int64_t>(u_) +
+                               ZigzagDecode(raw - 1));
+    } else {
+      id = static_cast<NodeId>(dec_prev_ + raw);
+    }
+    dec_prev_ = id;
+    buf_val_[buf_len_] = id;
+    buf_end_[buf_len_] = end_pos;
+    ++buf_len_;
+  };
+
+  while (buf_len_ < want) {
+    // Fast path: extract whole codewords from one 64-bit window.
+    int valid = 0;
+    const uint64_t w = reader_.overflowed() ? 0 : reader_.PeekWindow(&valid);
+    const uint64_t base = reader_.pos();
+    int used = 0;
+    const int before = static_cast<int>(buf_len_);
+    while (buf_len_ < want && used < valid) {
+      const uint64_t win = used == 0 ? w : w << used;
+      const int rem = valid - used;
+      const int lz = win == 0 ? 64 : std::countl_zero(win);
+      if (lz >= rem) break;  // unary run does not terminate in this window
+      // gamma: lz payload bits; zeta_k: (lz+1)*k plain binary bits. Any
+      // codeword that fits a 64-bit window is below the VlcDecode guards.
+      const int width = k == 0 ? lz : (lz + 1) * k;
+      if (lz + 1 + width > rem) break;  // codeword spans past the window
+      const uint64_t payload =
+          width == 0 ? 0 : (win << (lz + 1)) >> (64 - width);
+      const uint64_t raw =
+          k == 0 ? (uint64_t{1} << lz) | payload : payload;
+      used += lz + 1 + width;
+      push(raw, base + static_cast<uint64_t>(used));
+    }
+    if (used != 0) reader_.Seek(base + static_cast<uint64_t>(used));
+    if (buf_len_ < want && buf_len_ == static_cast<uint32_t>(before)) {
+      // The window made no progress (codeword longer than the window, or
+      // end of stream): the serial path reproduces the exact historical
+      // position/overflow semantics for this codeword.
+      const uint64_t raw = VlcDecode(scheme_, &reader_);
+      push(raw, reader_.pos());
+    }
   }
-  return prev_;
 }
 
 CgrNodeDecoder::CgrNodeDecoder(const CgrGraph& g, NodeId u)
@@ -82,6 +128,15 @@ ResidualStream CgrNodeDecoder::SegmentResiduals(uint32_t seg_idx) {
 
 std::vector<NodeId> DecodeAdjacency(const CgrGraph& g, NodeId u) {
   std::vector<NodeId> out;
+  if (g.options().codec != CodecId::kCgr) {
+    ByteCodecStream bs(g, u);
+    out.reserve(bs.degree());
+    while (bs.HasNext()) {
+      const ByteBlock blk = bs.NextBlock();
+      for (uint32_t i = 0; i < blk.count; ++i) out.push_back(blk.vals[i]);
+    }
+    return out;  // delta transform preserves sort order
+  }
   CgrNodeDecoder dec(g, u);
   if (!g.options().segment_len_bytes) {
     uint64_t deg = dec.ReadDegree();
@@ -112,6 +167,10 @@ std::vector<NodeId> DecodeAdjacency(const CgrGraph& g, NodeId u) {
 }
 
 uint64_t DecodeDegree(const CgrGraph& g, NodeId u) {
+  if (g.options().codec != CodecId::kCgr) {
+    uint64_t pos = g.bit_start(u) / 8;
+    return GetLeb128(g.bits().data(), &pos);
+  }
   CgrNodeDecoder dec(g, u);
   if (!g.options().segment_len_bytes) return dec.ReadDegree();
   uint64_t deg = 0;

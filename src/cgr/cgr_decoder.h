@@ -16,7 +16,16 @@
 
 namespace gcgt {
 
-/// Serial stream of residuals (one list, or one segment of a list).
+/// Stream of residuals (one list, or one segment of a list).
+///
+/// Decode is batched word-at-a-time: Refill() peeks one 64-bit window from
+/// the BitReader and extracts up to kBatch whole codewords from it in
+/// registers (unary via countl_zero, payload via shifts), falling back to
+/// the serial VlcDecode path for any codeword that does not fit the window
+/// (giant zeta codewords, end-of-stream). The buffer records the exact bit
+/// position after every codeword, so bit_pos() observed between Next()
+/// calls is identical to the historical one-codeword-at-a-time reader —
+/// which keeps the SIMT engines' per-step memory charges bit-identical.
 class ResidualStream {
  public:
   ResidualStream() : reader_(nullptr, 0), scheme_(VlcScheme::kGamma) {}
@@ -27,17 +36,27 @@ class ResidualStream {
       : reader_(g.bits().data(), g.total_bits(), bit_pos),
         scheme_(g.options().scheme),
         u_(u),
-        remaining_(count) {}
+        remaining_(count),
+        logical_pos_(bit_pos) {}
 
   uint64_t remaining() const { return remaining_; }
   bool HasNext() const { return remaining_ > 0; }
 
   /// Decodes the next residual. Precondition: HasNext().
-  NodeId Next();
+  NodeId Next() {
+    if (buf_pos_ == buf_len_) Refill();
+    --remaining_;
+    prev_ = buf_val_[buf_pos_];
+    logical_pos_ = buf_end_[buf_pos_];
+    ++buf_pos_;
+    first_ = false;
+    return prev_;
+  }
 
-  /// Current bit/byte position, for cost accounting.
-  uint64_t bit_pos() const { return reader_.pos(); }
-  size_t byte_pos() const { return reader_.byte_pos(); }
+  /// Bit/byte position after the last consumed residual, for cost
+  /// accounting. Read-ahead buffering is invisible here.
+  uint64_t bit_pos() const { return logical_pos_; }
+  size_t byte_pos() const { return logical_pos_ >> 3; }
   bool overflowed() const { return reader_.overflowed(); }
 
   // Accessors for warp-centric decoding (core/warp_centric.h), which decodes
@@ -47,18 +66,36 @@ class ResidualStream {
   NodeId source() const { return u_; }
   void ExternalAdvance(uint64_t bit_pos, NodeId prev, uint64_t consumed) {
     reader_.Seek(bit_pos);
+    logical_pos_ = bit_pos;
     prev_ = prev;
     first_ = false;
+    dec_prev_ = prev;
+    dec_first_ = false;
+    buf_pos_ = buf_len_ = 0;  // read-ahead is stale after an external seek
     remaining_ -= consumed;
   }
 
  private:
+  static constexpr uint32_t kBatch = 8;
+
+  void Refill();
+
   BitReader reader_;
   VlcScheme scheme_;
   NodeId u_ = 0;
   uint64_t remaining_ = 0;
+  // Consumer-visible delta state (last value handed out by Next()).
   bool first_ = true;
   NodeId prev_ = 0;
+  uint64_t logical_pos_ = 0;
+  // Decoder-side delta state (runs ahead of the consumer by the buffer).
+  bool dec_first_ = true;
+  NodeId dec_prev_ = 0;
+  // Decoded read-ahead: value and exact end bit position per codeword.
+  NodeId buf_val_[kBatch];
+  uint64_t buf_end_[kBatch];
+  uint32_t buf_pos_ = 0;
+  uint32_t buf_len_ = 0;
 };
 
 /// Step-wise decoder for one node's CGR encoding. Methods must be called in

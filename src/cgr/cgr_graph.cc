@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "cgr/byte_codecs.h"
 #include "cgr/cgr_encoder.h"
 #include "util/bit_stream.h"
 
@@ -22,15 +23,28 @@ Result<CgrGraph> CgrGraph::Encode(const Graph& g, const CgrOptions& options) {
   cg.num_edges_ = g.num_edges();
   cg.bit_start_.reserve(g.num_nodes() + 1);
 
-  CgrEncoder encoder(options);
-  BitWriter writer;
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+  if (options.codec == CodecId::kCgr) {
+    CgrEncoder encoder(options);
+    BitWriter writer;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      cg.bit_start_.push_back(writer.num_bits());
+      GCGT_RETURN_NOT_OK(encoder.EncodeNode(u, g.Neighbors(u), &writer));
+    }
     cg.bit_start_.push_back(writer.num_bits());
-    GCGT_RETURN_NOT_OK(encoder.EncodeNode(u, g.Neighbors(u), &writer));
+    cg.total_bits_ = writer.num_bits();
+    cg.bits_ = writer.TakeBytes();
+  } else {
+    // Byte codecs: everything byte-aligned, bit_start_ = byte offset * 8.
+    std::vector<uint8_t> bytes;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      cg.bit_start_.push_back(bytes.size() * 8);
+      GCGT_RETURN_NOT_OK(
+          EncodeNodeBytes(options.codec, u, g.Neighbors(u), &bytes));
+    }
+    cg.bit_start_.push_back(bytes.size() * 8);
+    cg.total_bits_ = bytes.size() * 8;
+    cg.bits_ = std::move(bytes);
   }
-  cg.bit_start_.push_back(writer.num_bits());
-  cg.total_bits_ = writer.num_bits();
-  cg.bits_ = writer.TakeBytes();
   g_graphs_encoded.fetch_add(1, std::memory_order_relaxed);  // successes only
   return cg;
 }

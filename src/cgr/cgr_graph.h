@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "cgr/codec.h"
 #include "cgr/vlc.h"
 #include "graph/graph.h"
 #include "util/status.h"
@@ -32,6 +33,12 @@ namespace gcgt {
 
 /// Encoder configuration (paper Table 2 defaults).
 struct CgrOptions {
+  /// Which adjacency codec the encoded graph uses. The byte codecs ignore
+  /// scheme/min_interval_len/segment_len_bytes (no intervals, no segments);
+  /// bit_start(u) is byte-aligned for them. The codec id participates in
+  /// artifact fingerprints so artifacts of different codecs never alias.
+  CodecId codec = CodecId::kCgr;
+
   VlcScheme scheme = VlcScheme::kZeta3;
 
   /// Minimum run length that becomes an interval. kNoIntervals disables

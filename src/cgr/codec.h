@@ -1,0 +1,48 @@
+// Codec identifiers for the pluggable adjacency-codec layer.
+//
+// An encoded graph carries its CodecId (via CgrOptions::codec) so every
+// consumer — decode loops, session fingerprints, the service registry — can
+// dispatch on it and so a graph encoded with one codec can never be
+// misinterpreted (or cache-served) as another.
+//
+//   kCgr         bit-packed interval/residual VLC stream (paper §3.1); the
+//                default and the only codec with interval extraction and
+//                residual segmentation.
+//   kStreamVByte byte-aligned delta varint, all 2-bit length control bytes
+//                grouped ahead of the data bytes (4 values per control byte).
+//   kVarintGb    byte-aligned delta varint, one control byte interleaved in
+//                front of each group of 4 values (Group Varint).
+//
+// Both byte codecs share the per-node layout implemented in byte_codecs.h:
+// a LEB128 degree header followed by zigzag(first - u) and raw gaps.
+#ifndef GCGT_CGR_CODEC_H_
+#define GCGT_CGR_CODEC_H_
+
+#include <cstdint>
+
+namespace gcgt {
+
+enum class CodecId : uint8_t {
+  kCgr = 0,
+  kStreamVByte = 1,
+  kVarintGb = 2,
+};
+
+inline const char* CodecName(CodecId id) {
+  switch (id) {
+    case CodecId::kCgr:
+      return "cgr";
+    case CodecId::kStreamVByte:
+      return "streamvbyte";
+    case CodecId::kVarintGb:
+      return "varintgb";
+  }
+  return "?";
+}
+
+inline constexpr CodecId kAllCodecs[] = {CodecId::kCgr, CodecId::kStreamVByte,
+                                         CodecId::kVarintGb};
+
+}  // namespace gcgt
+
+#endif  // GCGT_CGR_CODEC_H_

@@ -4,11 +4,16 @@
 #include <atomic>
 #include <cassert>
 #include <cstdio>
+#include <memory>
 #include <optional>
+#include <unordered_map>
 
+#include "cgr/byte_codecs.h"
+#include "cgr/cgr_decoder.h"
 #include "core/bc_filters.h"
 #include "core/cc_filter.h"
 #include "core/memory_layout.h"
+#include "core/replay_cache.h"
 #include "core/warp_centric.h"
 #include "util/thread_pool.h"
 #include "util/zigzag.h"
@@ -55,10 +60,15 @@ struct Lane {
   bool valid = false;
   NodeId u = 0;
   // Cache lines of this lane's last charged decode read (see
-  // WarpSim::PushRange); empty when lo > hi.
+  // WarpSim::PushRange); empty when lo > hi. Byte codecs keep two decode
+  // cursors (StreamVByte's control and data areas are disjoint), so they get
+  // a second cache.
   uint64_t chg_lo = 1;
   uint64_t chg_hi = 0;
+  uint64_t chg2_lo = 1;
+  uint64_t chg2_hi = 0;
   std::optional<CgrNodeDecoder> dec;
+  ByteCodecStream bs;  // byte-codec block cursor (codec != kCgr only)
   uint64_t deg = 0;        // unsegmented degree header
   uint32_t itv_total = 0;  // intervals announced by the header
   uint32_t itv_read = 0;   // intervals decoded so far
@@ -78,6 +88,28 @@ struct Lane {
   uint32_t seg_count = 0;
   uint32_t seg_next = 0;
 };
+
+/// A replay-cache admission in flight: the admitted node's adjacency is
+/// captured from its normal miss expansion (AppendStep sees every enumerated
+/// (u, v) pair exactly once), so admission never decodes on the host — not
+/// even a degree probe; the degree gate is applied to the captured size in
+/// the round epilogue. `claimed` lets exactly one warp bind the slot when
+/// the frontier holds the node more than once — the capture content is the
+/// full adjacency either way, so the winner does not matter for determinism.
+struct FillSlot {
+  std::atomic<bool> claimed{false};
+  // Set when a same-round repeat of the node is waiting to replay from this
+  // capture; the admission then copies instead of moving, so the slot's
+  // content survives even if the admitted entry is evicted this round.
+  bool has_late_hit = false;
+  std::vector<NodeId> adj;
+};
+/// Maps node -> its in-flight capture slot, dense by node id (nullptr =
+/// no admission in flight). Slots are owned by the engine's per-round pool
+/// (EngineScratch::slot_pool) and reused across rounds, so steady-state
+/// admission allocates nothing, and the per-chunk capture binding is one
+/// array read per node instead of a hash lookup.
+using FillMap = std::vector<FillSlot*>;
 
 /// Simulates one warp over one frontier chunk. An instance is reusable
 /// across chunks (one lives in each worker thread's scratch); all phase
@@ -120,6 +152,7 @@ class WarpSim {
     trace_ = trace;
     claim_filter_ = nullptr;
     claim_writer_ = nullptr;
+    BindFill(chunk);
     return Run(chunk);
   }
 
@@ -130,8 +163,23 @@ class WarpSim {
     trace_ = nullptr;
     claim_filter_ = &filter;
     claim_writer_ = &writer;
+    BindFill(chunk);
     return Run(chunk);
   }
+
+  /// Arms admission capture for subsequent Run* calls (nullptr disarms). The
+  /// array itself is never mutated by the sim; claimed slots' vectors are.
+  void SetFillMap(const FillMap* fill_map) { fill_map_ = fill_map; }
+
+  /// Expands replay-cache hits: each node's decoded adjacency streams from
+  /// the replay buffer (charged as replay_txns — one directory line plus the
+  /// dense 4B/edge data lines) straight into warp-wide append slots. No
+  /// decode slots, no bit-array reads. Always serial (cache decisions are
+  /// made in frontier order).
+  WarpStats RunReplay(std::span<const NodeId> chunk,
+                      const std::vector<NodeId>* const* adjs,
+                      FrontierFilter& filter, std::vector<NodeId>* out,
+                      StepTrace* trace);
 
  private:
   WarpStats Run(std::span<const NodeId> chunk);
@@ -144,6 +192,7 @@ class WarpSim {
   }
 
   void HeaderPhase(std::span<const NodeId> chunk);
+  void ByteCodecPhase(std::span<const NodeId> chunk);
   void RunIntuitive();
   void IntervalPhase();
   void SetupUnsegmentedResiduals();
@@ -155,8 +204,14 @@ class WarpSim {
   void SegmentedSerialResiduals();
 
   // Charges one decode instruction slot touching `ranges` of the bit array.
+  // Also counts the 8-byte words those ranges span (WarpStats::decode_words,
+  // observability only — PushRange's lane caches mean this counts novel-line
+  // fetches, which is exactly the stream the word-at-a-time decoders read).
   void ChargeDecode(size_t active, std::span<const BitRange> ranges) {
     ctx_.DecodeStep(static_cast<int>(active));
+    uint64_t words = 0;
+    for (const BitRange& r : ranges) words += r.second / 8 - r.first / 8 + 1;
+    if (words > 0) ctx_.DecodeWords(words);
     ctx_.MemAccessRanges(ranges);
   }
 
@@ -180,6 +235,23 @@ class WarpSim {
     }
     ranges_.push_back(r);
   }
+  // Binds this chunk's admission-capture lanes: lane i points at its node's
+  // pending fill vector when this warp won the slot's claim. src_lane indexes
+  // the chunk, so AppendStep can route captures with one array lookup.
+  void BindFill(std::span<const NodeId> chunk) {
+    fill_active_ = false;
+    if (fill_map_ == nullptr) return;
+    lane_fill_.assign(static_cast<size_t>(o_.lanes), nullptr);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      FillSlot* slot = (*fill_map_)[chunk[i]];
+      if (slot != nullptr &&
+          !slot->claimed.exchange(true, std::memory_order_relaxed)) {
+        lane_fill_[i] = &slot->adj;
+        fill_active_ = true;
+      }
+    }
+  }
+
   // One visited-check/append slot over `items`. Does not clear the storage;
   // callers reuse and clear their own buffers.
   void AppendStep(std::span<AppendItem> items);
@@ -196,6 +268,11 @@ class WarpSim {
   // accesses with one array lookup (see simt::DenseRegionFilter).
   simt::DenseRegionFilter label_filter_;
   simt::DenseRegionFilter offset_filter_;
+
+  // Admission capture (see FillSlot): armed by the engine per round.
+  const FillMap* fill_map_ = nullptr;
+  std::vector<std::vector<NodeId>*> lane_fill_;
+  bool fill_active_ = false;
 
   // Per-run bindings (exactly one of filter_/claim_writer_ is set).
   FrontierFilter* filter_ = nullptr;
@@ -238,6 +315,16 @@ void WarpSim::AppendStep(std::span<AppendItem> items) {
   if (trace_ != nullptr) {
     trace_->BeginStep(TraceOp::kAppend);
     for (const auto& it : items) trace_->Lane(it.exec_lane, ItemLabel(it));
+  }
+  if (fill_active_) {
+    // Admission capture: every enumerated (u, v) funnels through here once,
+    // in the owning lane's emission order, so the pending fill receives the
+    // node's full adjacency as a free side effect of the miss expansion.
+    for (const auto& it : items) {
+      if (std::vector<NodeId>* fv = lane_fill_[it.src_lane]) {
+        fv->push_back(it.v);
+      }
+    }
   }
   // Visited/label gather for the filtering check. Label words are 4-byte
   // aligned in a dense region (one line holds line_bytes/4 consecutive
@@ -388,6 +475,183 @@ void WarpSim::HeaderPhase(std::span<const NodeId> chunk) {
     if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
     ChargeDecode(active, ranges_);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-codec walk (StreamVByte / VarintGB): no intervals, no VLC — every
+// lane streams 4-delta blocks out of its node's byte-aligned encoding. One
+// table-driven block decode per lane per round, appends batched through the
+// shared buffer exactly like the stealing stage, so warp-wide append slots
+// stay full even when lane degrees diverge.
+// ---------------------------------------------------------------------------
+void WarpSim::ByteCodecPhase(std::span<const NodeId> chunk) {
+  for (int i = 0; i < o_.lanes; ++i) {
+    Lane& ln = lanes_[i];
+    ln.valid = static_cast<size_t>(i) < chunk.size();
+    ln.chg_lo = 1;
+    ln.chg_hi = 0;
+    ln.chg2_lo = 1;
+    ln.chg2_hi = 0;
+    ln.res_idx = 0;
+    if (ln.valid) {
+      ln.u = chunk[i];
+      ln.bs = ByteCodecStream(g_, ln.u);
+    }
+  }
+  // Coalesced frontier load + bitStart offset gather (same as HeaderPhase).
+  ctx_.Step(static_cast<int>(chunk.size()));
+  ctx_.MemAccessRange(kQueueBase, 4ull * chunk.size());
+  if (offset_filter_.enabled()) {
+    uint64_t novel = 0;
+    for (NodeId u : chunk) novel += offset_filter_.Touch(u);
+    if (novel > 0) ctx_.ChargeTransactions(novel);
+  } else {
+    ctx_.MemAccessIndexed(chunk.size(), 8, [chunk](size_t i) {
+      return kOffsetsBase + 8ull * chunk[i];
+    });
+  }
+
+  // LEB128 degree headers.
+  ranges_.clear();
+  size_t active = 0;
+  for (Lane& ln : lanes_) {
+    if (!ln.valid) continue;
+    PushRange(g_.bit_start(ln.u), ln.bs.header_end_byte() * 8, ln.chg_lo,
+              ln.chg_hi);
+    ++active;
+  }
+  if (trace_ != nullptr) trace_->BeginStep(TraceOp::kHeader);
+  ChargeDecode(active, ranges_);
+  ctx_.SharedOp();  // exclusiveScan over degrees for buffer offsets
+
+  buffer_.clear();
+  size_t head = 0;  // buffered items before head were already appended
+  auto flush = [&](bool final_flush) {
+    while (buffer_.size() - head >= static_cast<size_t>(o_.lanes) ||
+           (final_flush && buffer_.size() > head)) {
+      size_t take = std::min<size_t>(buffer_.size() - head, o_.lanes);
+      std::span<AppendItem> round(buffer_.data() + head, take);
+      for (size_t i = 0; i < take; ++i) {
+        round[i].exec_lane = static_cast<int>(i);
+      }
+      head += take;
+      AppendStep(round);
+    }
+  };
+
+  // Lockstep block rounds: each lane with blocks left decodes one group of
+  // up to 4 neighbors per decode slot.
+  for (;;) {
+    ranges_.clear();
+    active = 0;
+    if (trace_ != nullptr) trace_->BeginStep(TraceOp::kDecodeResidual);
+    for (int l = 0; l < o_.lanes; ++l) {
+      Lane& ln = lanes_[l];
+      if (!ln.valid || !ln.bs.HasNext()) continue;
+      const ByteBlock blk = ln.bs.NextBlock();
+      if (g_.options().codec == CodecId::kVarintGb) {
+        // Control byte and data are contiguous: one span.
+        PushRange(blk.ctrl_byte * 8, (blk.data_last + 1) * 8, ln.chg_lo,
+                  ln.chg_hi);
+      } else {
+        // StreamVByte: control area and data area are disjoint cursors.
+        PushRange(blk.ctrl_byte * 8, (blk.ctrl_byte + 1) * 8, ln.chg_lo,
+                  ln.chg_hi);
+        PushRange(blk.data_first * 8, (blk.data_last + 1) * 8, ln.chg2_lo,
+                  ln.chg2_hi);
+      }
+      ++active;
+      if (trace_ != nullptr) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "t%d:res%d", l, ln.res_idx);
+        trace_->Lane(l, buf);
+      }
+      for (uint32_t i = 0; i < blk.count; ++i) {
+        AppendItem it;
+        it.src_lane = l;
+        it.u = ln.u;
+        it.v = blk.vals[i];
+        it.origin = TraceOp::kDecodeResidual;
+        it.idx1 = ln.res_idx++;
+        buffer_.push_back(it);
+      }
+    }
+    if (active == 0) break;
+    ChargeDecode(active, ranges_);
+    ctx_.SharedOp();  // buffer write
+    flush(false);
+  }
+  flush(true);
+}
+
+WarpStats WarpSim::RunReplay(std::span<const NodeId> chunk,
+                             const std::vector<NodeId>* const* adjs,
+                             FrontierFilter& filter, std::vector<NodeId>* out,
+                             StepTrace* trace) {
+  // The hot path of the replay win: no decode slots, no AppendItem staging,
+  // no per-item label gather — one tight filter/append loop per edge, with
+  // the warp-wide slot charges reconstructed arithmetically afterwards. The
+  // charges are a pure function of (chunk, adjacency, accept count), so the
+  // stats stay deterministic and thread-count invariant. Replay rows price
+  // adjacency reads as replay_txns; label traffic is represented by the
+  // filter's atomics and the queue-append lines. Per-step traces are not
+  // emitted (Fig. 4 trace runs use replay-off configs).
+  (void)trace;
+  assert(chunk.size() <= static_cast<size_t>(o_.lanes));
+  ctx_.Step(static_cast<int>(chunk.size()));
+  ctx_.MemAccessRange(kQueueBase, 4ull * chunk.size());
+
+  const uint64_t line = static_cast<uint64_t>(o_.cost.cache_line_bytes);
+  uint64_t rtxns = 0;
+  uint64_t edges = 0;
+  const size_t tail0 = out->size();
+
+  auto expand = [&](auto& f) {
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      const std::vector<NodeId>& adj = *adjs[i];
+      const NodeId u = chunk[i];
+      // One directory-slot line + the dense 4B/edge data lines.
+      rtxns += 1 + (4ull * adj.size() + line - 1) / line;
+      edges += adj.size();
+      for (NodeId v : adj) {
+        if (f.Filter(u, v)) out->push_back(f.AppendTarget(u, v));
+      }
+    }
+    if (int extra = f.TakeAtomics(); extra > 0) ctx_.Atomic(extra);
+  };
+  switch (filter.kind()) {
+    case FrontierFilter::Kind::kBfs:
+      expand(static_cast<BfsFilter&>(filter));
+      break;
+    case FrontierFilter::Kind::kCc:
+      expand(static_cast<CcFilter&>(filter));
+      break;
+    case FrontierFilter::Kind::kBcForward:
+      expand(static_cast<BcForwardFilter&>(filter));
+      break;
+    case FrontierFilter::Kind::kBcBackward:
+      expand(static_cast<BcBackwardFilter&>(filter));
+      break;
+    default:
+      expand(filter);
+      break;
+  }
+
+  // Append slots at `lanes` items per round: one shared-memory scan and one
+  // queue-tail atomic per slot, exactly like AppendStep charges them.
+  for (uint64_t done = 0; done < edges; done += o_.lanes) {
+    ctx_.AppendStepOp(
+        static_cast<int>(std::min<uint64_t>(o_.lanes, edges - done)));
+    ctx_.SharedOp();
+    ctx_.Atomic(1);
+  }
+  if (out->size() > tail0) {
+    ctx_.MemAccessRange(kQueueBase + 4ull * tail0,
+                        4ull * (out->size() - tail0));
+  }
+  ctx_.ReplayHits(chunk.size());
+  ctx_.ReplayTxns(rtxns);
+  return ctx_.TakeStats();
 }
 
 // ---------------------------------------------------------------------------
@@ -828,6 +1092,11 @@ void WarpSim::WarpCentricStream(int lane_idx) {
     }
     ctx_.DecodeStep(o_.lanes);
     ctx_.MemAccessRange(kBitsBase + base / 8, o_.lanes / 8 + 10);
+    {
+      const uint64_t first = kBitsBase + base / 8;
+      const uint64_t last = first + static_cast<uint64_t>(o_.lanes / 8 + 10) - 1;
+      ctx_.DecodeWords(last / 8 - first / 8 + 1);
+    }
     // Pointer-jumping identification rounds (Lemma 5.2).
     for (int i = 0; i < r.rounds; ++i) {
       ctx_.Step(o_.lanes);
@@ -1033,6 +1302,12 @@ void WarpSim::SegmentedSerialResiduals() {
 WarpStats WarpSim::Run(std::span<const NodeId> chunk) {
   label_filter_.NextWarp();
   offset_filter_.NextWarp();
+  if (g_.options().codec != CodecId::kCgr) {
+    // Byte codecs have no interval/residual split; the scheduling levels
+    // collapse into one table-driven block walk.
+    ByteCodecPhase(chunk);
+    return ctx_.TakeStats();
+  }
   HeaderPhase(chunk);
   if (o_.level == GcgtLevel::kIntuitive) {
     RunIntuitive();
@@ -1090,12 +1365,63 @@ struct EngineScratch {
     for (size_t t = 0; t < pool->num_threads(); ++t) {
       workers.push_back(std::make_unique<WorkerState>(g, o));
     }
+    replay.Configure(o.replay_cache_bytes, o.replay_min_degree,
+                     o.replay_min_touches, g.num_nodes());
+    if (replay.enabled()) {
+      pending_fill.assign(g.num_nodes(), nullptr);
+      // Apply the degree gate once here (prepare time) instead of per
+      // capture: gated nodes never register, so queries pay zero admission
+      // bookkeeping for them. On a real GPU the degrees come off the CSR
+      // offset array for free; here one decode sweep at prepare amortizes
+      // across every query on the session.
+      if (o.replay_min_degree > 1) {
+        const uint64_t min_degree =
+            static_cast<uint64_t>(o.replay_min_degree);
+        for (NodeId u = 0; u < g.num_nodes(); ++u) {
+          if (DecodeDegree(g, u) < min_degree) replay.RejectForever(u);
+        }
+      }
+    }
   }
 
   ThreadPool* pool;  // process-shared, never null
   std::vector<std::unique_ptr<WorkerState>> workers;
   std::vector<ChunkRecord> records;
   WarpSim serial_sim;
+  // Decoded-adjacency replay cache + per-round hit/miss partition (reused
+  // across rounds; capacity persists). All replay decisions happen serially
+  // in frontier order in ProcessFrontier's prologue.
+  ReplayCache replay;
+  std::vector<NodeId> replay_nodes;
+  std::vector<NodeId> miss_nodes;
+  std::vector<const std::vector<NodeId>*> replay_adjs;
+  // Admissions in flight this round (filled by AppendStep capture during the
+  // miss expansion, admitted in ProcessFrontier's epilogue in frontier
+  // order). fill_nodes keeps the deterministic admission order; late_nodes
+  // are same-round repeats of admission candidates, served from the capture.
+  FillMap pending_fill;
+  std::vector<NodeId> fill_nodes;
+  std::vector<NodeId> late_nodes;
+  std::vector<const std::vector<NodeId>*> late_adjs;
+
+  /// Reusable FillSlot arena: slots keep their adj capacity across rounds,
+  /// so a round's admissions cost one claimed-flag store and a clear() each.
+  FillSlot* AcquireSlot() {
+    if (slots_used == slot_pool.size()) {
+      slot_pool.push_back(std::make_unique<FillSlot>());
+    }
+    FillSlot* slot = slot_pool[slots_used++].get();
+    slot->claimed.store(false, std::memory_order_relaxed);
+    slot->has_late_hit = false;
+    slot->adj.clear();
+    return slot;
+  }
+  void ReleaseSlots() {
+    for (NodeId u : fill_nodes) pending_fill[u] = nullptr;
+    slots_used = 0;
+  }
+  std::vector<std::unique_ptr<FillSlot>> slot_pool;
+  size_t slots_used = 0;
 };
 
 }  // namespace internal
@@ -1116,6 +1442,10 @@ CgrTraversalEngine::CgrTraversalEngine(const CgrGraph& graph,
 
 CgrTraversalEngine::~CgrTraversalEngine() = default;
 
+void CgrTraversalEngine::ResetReplay() const {
+  if (scratch_) scratch_->replay.Reset();
+}
+
 internal::EngineScratch& CgrTraversalEngine::Scratch() const {
   if (!scratch_) {
     scratch_ = std::make_unique<internal::EngineScratch>(graph_, options_);
@@ -1130,8 +1460,117 @@ void CgrTraversalEngine::ProcessFrontier(std::span<const NodeId> frontier,
                                          StepTrace* trace) const {
   if (frontier.empty()) return;
   const size_t lanes = static_cast<size_t>(options_.lanes);
-  const size_t num_chunks = (frontier.size() + lanes - 1) / lanes;
   internal::EngineScratch& scratch = Scratch();
+
+  // Replay prologue (serial, frontier order): partition the frontier into
+  // replay hits and misses, make this round's admission decisions, and
+  // expand the hits from the replay buffer. Hits run before misses, so the
+  // round's append order is (hits in frontier order, then misses in frontier
+  // order) — deterministic and thread-count independent, since everything
+  // here is serial and the miss frontier then flows through the standard
+  // serial/parallel machinery below.
+  std::span<const NodeId> work = frontier;
+  const bool replay_on = scratch.replay.enabled();
+  if (replay_on) {
+    scratch.replay_nodes.clear();
+    scratch.miss_nodes.clear();
+    scratch.replay_adjs.clear();
+    scratch.fill_nodes.clear();
+    scratch.late_nodes.clear();
+    scratch.late_adjs.clear();
+    for (NodeId u : frontier) {
+      if (const std::vector<NodeId>* adj = scratch.replay.Touch(u)) {
+        scratch.replay_nodes.push_back(u);
+        scratch.replay_adjs.push_back(adj);
+        continue;
+      }
+      // A repeat of a node already registered for admission this round: its
+      // adjacency will be captured by the first occurrence's expansion, so
+      // the duplicate replays from that capture in the epilogue instead of
+      // decoding again ("late hit").
+      if (FillSlot* slot = scratch.pending_fill[u]) {
+        slot->has_late_hit = true;
+        scratch.late_nodes.push_back(u);
+        continue;
+      }
+      // Admission: the node expands as a miss this round and its (u, v)
+      // pairs are captured from that expansion into pending_fill — no second
+      // decode, not even a degree probe (the degree gate runs against the
+      // captured size in the epilogue). Hits start next round.
+      if (scratch.replay.WantsAdmit(u)) {
+        scratch.pending_fill[u] = scratch.AcquireSlot();
+        scratch.fill_nodes.push_back(u);
+      }
+      scratch.miss_nodes.push_back(u);
+    }
+    for (size_t off = 0; off < scratch.replay_nodes.size(); off += lanes) {
+      const size_t n =
+          std::min<size_t>(lanes, scratch.replay_nodes.size() - off);
+      warp_stats->push_back(scratch.serial_sim.RunReplay(
+          std::span<const NodeId>(scratch.replay_nodes).subspan(off, n),
+          scratch.replay_adjs.data() + off, filter, out_frontier, trace));
+    }
+    if (scratch.miss_nodes.empty()) return;
+    work = scratch.miss_nodes;
+    if (!scratch.fill_nodes.empty()) {
+      scratch.serial_sim.SetFillMap(&scratch.pending_fill);
+      for (auto& w : scratch.workers) w->sim.SetFillMap(&scratch.pending_fill);
+    }
+  }
+
+  // Runs after the miss expansion on every exit path: gates and admits the
+  // captured adjacencies (frontier order, so LRU state stays deterministic),
+  // charges the fill writes as a standalone cache-maintenance stats entry —
+  // fills and evictions are not any warp's decode work, and a dedicated
+  // entry keeps mem_txns semantics untouched — then expands this round's
+  // late hits from the captures.
+  auto finish_fills = [&]() {
+    if (!replay_on || scratch.fill_nodes.empty()) return;
+    scratch.serial_sim.SetFillMap(nullptr);
+    for (auto& w : scratch.workers) w->sim.SetFillMap(nullptr);
+    uint64_t fill_txns = 0;
+    uint64_t evictions = 0;
+    const uint64_t line = static_cast<uint64_t>(options_.cost.cache_line_bytes);
+    for (NodeId u : scratch.fill_nodes) {
+      FillSlot& slot = *scratch.pending_fill[u];
+      if (!scratch.replay.MeetsDegreeGate(slot.adj.size())) {
+        scratch.replay.Reject(u);
+        continue;
+      }
+      // The captured vector moves into the cache (no copy), except when a
+      // same-round late hit still needs the slot's content — the admitted
+      // entry could be evicted by a later admission this very round.
+      const uint64_t degree = slot.adj.size();
+      ReplayCache::AdmitResult r = scratch.replay.Admit(
+          u, slot.has_late_hit ? std::vector<NodeId>(slot.adj)
+                               : std::move(slot.adj));
+      if (r.admitted) {
+        fill_txns += 1 + (4ull * degree + line - 1) / line;
+        evictions += r.evictions;
+      }
+    }
+    if (fill_txns > 0 || evictions > 0) {
+      simt::WarpStats maint;
+      maint.replay_txns = fill_txns;
+      maint.replay_evictions = evictions;
+      warp_stats->push_back(maint);
+    }
+    // Late hits: repeats of this round's admission candidates, expanded from
+    // the captured adjacency after the misses (deterministic order; the
+    // has_late_hit copy above guarantees the slot content is intact).
+    for (NodeId u : scratch.late_nodes) {
+      scratch.late_adjs.push_back(&scratch.pending_fill[u]->adj);
+    }
+    for (size_t off = 0; off < scratch.late_nodes.size(); off += lanes) {
+      const size_t n = std::min<size_t>(lanes, scratch.late_nodes.size() - off);
+      warp_stats->push_back(scratch.serial_sim.RunReplay(
+          std::span<const NodeId>(scratch.late_nodes).subspan(off, n),
+          scratch.late_adjs.data() + off, filter, out_frontier, trace));
+    }
+    scratch.ReleaseSlots();
+  };
+
+  const size_t num_chunks = (work.size() + lanes - 1) / lanes;
 
   // Serial reference path: one chunk at a time, filter decisions inline.
   // Taken for single-threaded configs, StepTrace recording (trace steps of
@@ -1140,11 +1579,12 @@ void CgrTraversalEngine::ProcessFrontier(std::span<const NodeId> frontier,
   const bool serial = options_.num_threads == 1 || trace != nullptr ||
                       num_chunks == 1 || scratch.pool->num_threads() == 1;
   if (serial) {
-    for (size_t off = 0; off < frontier.size(); off += lanes) {
-      size_t n = std::min<size_t>(lanes, frontier.size() - off);
+    for (size_t off = 0; off < work.size(); off += lanes) {
+      size_t n = std::min<size_t>(lanes, work.size() - off);
       warp_stats->push_back(scratch.serial_sim.RunSerial(
-          frontier.subspan(off, n), filter, out_frontier, trace));
+          work.subspan(off, n), filter, out_frontier, trace));
     }
+    finish_fills();
     return;
   }
 
@@ -1161,7 +1601,7 @@ void CgrTraversalEngine::ProcessFrontier(std::span<const NodeId> frontier,
         internal::WorkerState& ws = *scratch.workers[worker];
         for (size_t ci = begin; ci < end; ++ci) {
           const size_t off = ci * lanes;
-          const size_t n = std::min<size_t>(lanes, frontier.size() - off);
+          const size_t n = std::min<size_t>(lanes, work.size() - off);
           internal::ChunkRecord& rec = scratch.records[ci];
           rec.worker = static_cast<uint32_t>(worker);
           rec.chunk_size = static_cast<uint32_t>(n);
@@ -1169,7 +1609,7 @@ void CgrTraversalEngine::ProcessFrontier(std::span<const NodeId> frontier,
           rec.batch_begin = ws.arena.batch_ends.size();
           ClaimBatchWriter writer(ws.arena, static_cast<uint64_t>(ci) << 32);
           rec.stats =
-              ws.sim.RunEnumerate(frontier.subspan(off, n), filter, writer);
+              ws.sim.RunEnumerate(work.subspan(off, n), filter, writer);
           rec.batch_end = ws.arena.batch_ends.size();
         }
       });
@@ -1215,6 +1655,7 @@ void CgrTraversalEngine::ProcessFrontier(std::span<const NodeId> frontier,
     }
     warp_stats->push_back(rec.stats);
   }
+  finish_fills();
 }
 
 }  // namespace gcgt

@@ -72,10 +72,19 @@ class CgrTraversalEngine {
   /// query"; tests assert this counter stays flat across a query batch.
   static uint64_t ConstructedCount();
 
-  /// Device bytes of the compressed adjacency data + bitStart offsets.
+  /// Invalidates the decoded-adjacency replay cache (epoch bump). Called at
+  /// every query start via TraversalPipeline::Reset so replay state can
+  /// never leak across queries (results and metrics stay a pure function of
+  /// graph + options + query). No-op when the cache is disabled.
+  void ResetReplay() const;
+
+  /// Device bytes of the compressed adjacency data + bitStart offsets, plus
+  /// the configured replay-cache capacity (the replay buffer lives in device
+  /// memory, so it must count against the budget).
   uint64_t BaseDeviceBytes() const {
     return graph_.bits().size() +
-           (static_cast<uint64_t>(graph_.num_nodes()) + 1) * sizeof(uint64_t);
+           (static_cast<uint64_t>(graph_.num_nodes()) + 1) * sizeof(uint64_t) +
+           options_.replay_cache_bytes;
   }
 
   const CgrGraph& graph() const { return graph_; }

@@ -1,0 +1,155 @@
+// Capacity-bounded decoded-adjacency replay cache for hot vertices.
+//
+// The decode hot loop pays VLC/byte-codec work every time a vertex enters a
+// frontier. Vertices that keep re-entering (CC fixpoint rounds, the forward
+// and backward sweeps of every BC source) can instead replay their decoded
+// adjacency from a flat device buffer; the SIMT engines charge those reads
+// as the dedicated WarpStats::replay_txns class (see cost_model.h).
+//
+// The per-node decision state (touch counts, resident/rejected flags) is
+// dense — O(1) array reads on the per-frontier-node hot path, no hashing
+// except for resident entries — sized once at Configure from the graph's
+// node count.
+//
+// Determinism contract: every decision (touch counting, admission, LRU
+// eviction) is made serially in frontier order by the engine's round
+// prologue/epilogue, and the cache is invalidated at query start
+// (TraversalPipeline::Reset -> CgrTraversalEngine::ResetReplay), so a
+// query's results and metrics depend only on the graph, options and query —
+// never on thread count or on what ran before it.
+#ifndef GCGT_CORE_REPLAY_CACHE_H_
+#define GCGT_CORE_REPLAY_CACHE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gcgt {
+
+class ReplayCache {
+ public:
+  /// Modeled bytes of an entry beyond its neighbor ids (directory slot:
+  /// node id, offset, length, LRU links).
+  static constexpr uint64_t kEntryOverheadBytes = 32;
+
+  void Configure(uint64_t capacity_bytes, int min_degree, int min_touches,
+                 uint64_t num_nodes) {
+    capacity_ = capacity_bytes;
+    min_degree_ = min_degree < 0 ? 0 : static_cast<uint64_t>(min_degree);
+    min_touches_ = min_touches < 1 ? 1 : static_cast<uint32_t>(min_touches);
+    if (enabled()) {
+      touches_.assign(num_nodes, 0);
+      flags_.assign(num_nodes, 0);
+      index_.assign(num_nodes, {});
+    }
+    Reset();
+  }
+
+  bool enabled() const { return capacity_ > 0; }
+  uint64_t size_bytes() const { return size_bytes_; }
+  uint64_t capacity_bytes() const { return capacity_; }
+
+  /// Epoch invalidation: drops all entries and touch counts. Called at every
+  /// query start so cross-query state can never leak into results/metrics.
+  void Reset() {
+    lru_.clear();
+    std::fill(touches_.begin(), touches_.end(), 0u);
+    // Per-epoch bits clear; the prepare-time degree pre-gate survives.
+    for (uint8_t& f : flags_) f &= kPermaReject;
+    size_bytes_ = 0;
+  }
+
+  /// Records a frontier touch of u and returns its cached adjacency if
+  /// resident (refreshing LRU recency), else nullptr.
+  const std::vector<NodeId>* Touch(NodeId u) {
+    ++touches_[u];
+    if ((flags_[u] & kResident) == 0) return nullptr;
+    lru_.splice(lru_.begin(), lru_, index_[u]);
+    return &index_[u]->adj;
+  }
+
+  /// True when the engine should capture-and-admit u this round: touch gate
+  /// met (counting the Touch() just made), not already resident, and not
+  /// previously rejected (degree gate / could-never-fit) this epoch — the
+  /// negative flag keeps a hot-but-small vertex from being re-captured every
+  /// round.
+  bool WantsAdmit(NodeId u) const {
+    return enabled() && flags_[u] == 0 && touches_[u] >= min_touches_;
+  }
+
+  bool MeetsDegreeGate(uint64_t degree) const { return degree >= min_degree_; }
+
+  /// Marks u as not-admittable for the rest of this epoch (used by the
+  /// engine when the degree gate fails, so the vertex's adjacency is not
+  /// re-captured every round it re-enters a frontier).
+  void Reject(NodeId u) { flags_[u] |= kRejected; }
+
+  /// Marks u as never-admittable across all epochs. The engine applies the
+  /// degree gate here once at prepare time (a real GPU reads degrees off the
+  /// CSR offsets for free), so gated nodes never pay capture bookkeeping on
+  /// any query.
+  void RejectForever(NodeId u) { flags_[u] |= kPermaReject; }
+
+  /// Inserts u's decoded adjacency, evicting least-recently-used entries
+  /// until it fits. Returns the number of evictions, or rejects (returning
+  /// {false, 0}) entries that could never fit.
+  struct AdmitResult {
+    bool admitted = false;
+    uint64_t evictions = 0;
+  };
+  AdmitResult Admit(NodeId u, std::vector<NodeId> adj) {
+    const uint64_t bytes = EntryBytes(adj.size());
+    if (!enabled() || bytes > capacity_ || !MeetsDegreeGate(adj.size())) {
+      Reject(u);
+      return {};
+    }
+    AdmitResult r;
+    while (size_bytes_ + bytes > capacity_) {
+      Entry& victim = lru_.back();
+      size_bytes_ -= EntryBytes(victim.adj.size());
+      flags_[victim.u] &= static_cast<uint8_t>(~kResident);
+      lru_.pop_back();
+      ++r.evictions;
+    }
+    lru_.push_front(Entry{u, std::move(adj)});
+    index_[u] = lru_.begin();
+    flags_[u] |= kResident;
+    size_bytes_ += bytes;
+    r.admitted = true;
+    return r;
+  }
+
+  static uint64_t EntryBytes(size_t degree) {
+    return kEntryOverheadBytes + 4ull * degree;
+  }
+
+ private:
+  static constexpr uint8_t kResident = 1;
+  static constexpr uint8_t kRejected = 2;
+  static constexpr uint8_t kPermaReject = 4;
+
+  struct Entry {
+    NodeId u;
+    std::vector<NodeId> adj;
+  };
+
+  uint64_t capacity_ = 0;
+  uint64_t min_degree_ = 0;
+  uint32_t min_touches_ = 1;
+  uint64_t size_bytes_ = 0;
+  std::list<Entry> lru_;
+  // Dense per-node state, indexed by node id. index_[u] is meaningful only
+  // while flags_[u] has kResident set — eviction and Reset just clear the
+  // flag and never touch the iterator, so lookups stay O(1) with no hashing.
+  std::vector<std::list<Entry>::iterator> index_;
+  std::vector<uint32_t> touches_;
+  std::vector<uint8_t> flags_;  // kResident/kRejected bits
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_CORE_REPLAY_CACHE_H_

@@ -66,6 +66,10 @@ class TraversalPipeline {
     timeline_.Reset();
     levels_.clear();
     device_bytes_ = 0;
+    // New query epoch: hot-vertex replay state must not leak across queries.
+    // (BC resets once per query, so replay persists across a BC query's
+    // sources and backward sweeps — by design.)
+    engine_->ResetReplay();
   }
 
   /// Installs the token Run/RunBackward poll once per round (cooperative

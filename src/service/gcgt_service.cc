@@ -228,6 +228,14 @@ void GcgtService::Serve(std::unordered_map<uint64_t, WorkerSession>& sessions,
   const uint64_t fingerprint = job.query.graph;
   const Backend backend = job.query.backend;
 
+  // Canonicalize BC source sets (sort + dedup) before anything reads the
+  // query: the executed query and the cache key then always agree, so a
+  // cache hit is bit-identical to a fresh run of the canonical query, and
+  // equivalent submissions ({3,1}, {1,3,3}) share one cached result.
+  if (auto* bc = std::get_if<BcQuery>(&job.query.query)) {
+    bc->sources = CanonicalBcSources(std::move(bc->sources));
+  }
+
   bool degraded = false;
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     // Queued-time expiry: a query whose deadline passed (or that was

@@ -1,8 +1,15 @@
 #include "service/result_cache.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace gcgt {
+
+std::vector<NodeId> CanonicalBcSources(std::vector<NodeId> sources) {
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  return sources;
+}
 
 ResultCache::ResultCache(size_t max_bytes, size_t num_shards) {
   const size_t n = std::bit_ceil(num_shards < 1 ? size_t{1} : num_shards);
@@ -12,7 +19,8 @@ ResultCache::ResultCache(size_t max_bytes, size_t num_shards) {
 }
 
 bool ResultCache::Cacheable(const Query& query) {
-  return !std::holds_alternative<BcQuery>(query);
+  (void)query;
+  return true;  // BC included: keyed by its canonical source set
 }
 
 std::optional<ResultCacheKey> ResultCache::KeyFor(uint64_t fingerprint,
@@ -31,7 +39,11 @@ std::optional<ResultCacheKey> ResultCache::KeyFor(uint64_t fingerprint,
     key.source = 0;
     return key;
   }
-  return std::nullopt;  // BC: see Cacheable()
+  const auto& bc = std::get<BcQuery>(query);
+  key.kind = QueryKind::kBc;
+  key.source = 0;
+  key.bc_sources = CanonicalBcSources(bc.sources);
+  return key;
 }
 
 size_t ResultCache::ResultBytes(const QueryResult& result) {

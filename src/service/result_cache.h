@@ -1,12 +1,15 @@
 // Cross-query result cache of the serving tier: a sharded LRU keyed by
 // {artifact fingerprint, backend, query key}.
 //
-// Only whole-result-memoizable queries are cached: BFS-from-source and CC.
-// Their results are pure functions of the prepared artifact (which the
-// fingerprint pins, engine options included), so a hit is bit-identical to a
-// fresh run — result vectors AND metrics, which the engines produce
-// deterministically. Multi-source BC is never cached: its key would be a
-// source multiset and real workloads rarely repeat one exactly.
+// All three query kinds memoize whole results. BFS and CC keys are trivial
+// (source / nothing); BC keys carry the CANONICAL source set — sorted
+// ascending, duplicates removed — and the service rewrites every BC query to
+// that form before running it (see GcgtService::Serve), so the executed
+// query and the cache key always agree and equivalent submissions ({3,1},
+// {1,3,3}) share one entry. Results are pure functions of the prepared
+// artifact (which the fingerprint pins, engine options included) and the
+// canonical query, so a hit is bit-identical to a fresh run — result vectors
+// AND metrics, which the engines produce deterministically.
 //
 // Sharding: each shard is an independent mutex + LRU list + hash map, and a
 // key's shard is a pure function of its hash, so concurrent workers only
@@ -38,15 +41,24 @@ struct ResultCacheKey {
   uint64_t fingerprint = 0;            ///< artifact (graph + options) id
   Backend backend = Backend::kCgrSimt;
   QueryKind kind = QueryKind::kBfs;
-  NodeId source = 0;                   ///< BFS source; 0 for CC
+  NodeId source = 0;                   ///< BFS source; 0 for CC/BC
+  /// BC only: the canonical source set (sorted, deduped). Empty otherwise.
+  std::vector<NodeId> bc_sources;
 
   bool operator==(const ResultCacheKey&) const = default;
 
   uint64_t Hash() const {
     uint64_t h = Mix64(fingerprint ^ (static_cast<uint64_t>(backend) << 32));
-    return Mix64(h ^ (static_cast<uint64_t>(kind) << 40) ^ source);
+    h = Mix64(h ^ (static_cast<uint64_t>(kind) << 40) ^ source);
+    for (NodeId s : bc_sources) h = Mix64(h ^ s);
+    return h;
   }
 };
+
+/// Canonical form of a BC source set: sorted ascending, duplicates removed.
+/// The service rewrites every BC query to this form before serving it, so
+/// the executed query matches the cache key exactly (bit-identical hits).
+std::vector<NodeId> CanonicalBcSources(std::vector<NodeId> sources);
 
 struct ResultCacheStats {
   uint64_t hits = 0;
@@ -63,7 +75,8 @@ class ResultCache {
   /// rounded up to a power of two (>= 1).
   ResultCache(size_t max_bytes, size_t num_shards);
 
-  /// The cacheability rule: BFS and CC memoize whole results, BC never does.
+  /// The cacheability rule: every query kind memoizes whole results (BC
+  /// under its canonical source set).
   static bool Cacheable(const Query& query);
 
   /// The cache key for a cacheable (artifact, backend, query), nullopt

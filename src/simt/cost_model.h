@@ -36,6 +36,12 @@ struct CostModel {
   /// deduplicates lines).
   double cycles_per_mem_txn = 24.0;
   double cycles_per_atomic = 24.0;     ///< one global atomic
+  /// One line of the decoded-adjacency replay buffer/directory. Same price
+  /// as a device-memory line: the replay buffer lives in device memory too —
+  /// its win is fewer decode slots and dense (4B/edge) streaming reads, not
+  /// cheaper bytes. A separate knob so "what if replay hit L2" stays a
+  /// modelable question.
+  double cycles_per_replay_txn = 24.0;
   double kernel_launch_cycles = 3000;  ///< fixed cost per kernel launch
 
   int cache_line_bytes = 128;

@@ -344,6 +344,16 @@ struct WarpStats {
   uint64_t mem_txns = 0;          ///< distinct 128B lines fetched
   uint64_t shared_ops = 0;
   uint64_t atomics = 0;
+  // Replay-cache charge class (decoded-adjacency replay of hot vertices).
+  // replay_txns is a separate class from mem_txns on purpose: mem_txns keeps
+  // meaning "lines of the compressed graph + queue/label regions", so the
+  // cache's cost stays explicit instead of silently folded in.
+  uint64_t replay_hits = 0;       ///< frontier nodes served from the cache
+  uint64_t replay_txns = 0;       ///< replay buffer/directory lines touched
+  uint64_t replay_evictions = 0;  ///< entries evicted to admit new ones
+  /// 8-byte words spanned by charged decode reads (observability only — not
+  /// priced; the lines are already in mem_txns).
+  uint64_t decode_words = 0;
 
   double Cycles(const CostModel& m) const {
     // decode/append slots are priced at their own rates.
@@ -353,7 +363,8 @@ struct WarpStats {
            m.cycles_per_append_step * static_cast<double>(append_steps) +
            m.cycles_per_shared_op * static_cast<double>(shared_ops) +
            m.cycles_per_mem_txn * static_cast<double>(mem_txns) +
-           m.cycles_per_atomic * static_cast<double>(atomics);
+           m.cycles_per_atomic * static_cast<double>(atomics) +
+           m.cycles_per_replay_txn * static_cast<double>(replay_txns);
   }
 
   WarpStats& operator+=(const WarpStats& o) {
@@ -365,6 +376,10 @@ struct WarpStats {
     mem_txns += o.mem_txns;
     shared_ops += o.shared_ops;
     atomics += o.atomics;
+    replay_hits += o.replay_hits;
+    replay_txns += o.replay_txns;
+    replay_evictions += o.replay_evictions;
+    decode_words += o.decode_words;
     return *this;
   }
 
@@ -526,6 +541,14 @@ class WarpContext {
 
   void SharedOp(int count = 1) { stats_.shared_ops += count; }
   void Atomic(int count = 1) { stats_.atomics += count; }
+
+  // ---- Replay-cache charge class + decode observability.
+  void ReplayHits(uint64_t count) { stats_.replay_hits += count; }
+  /// Replay buffer/directory lines, charged without L1 dedup (the buffer is
+  /// read streaming, once per hit). Priced at cycles_per_replay_txn.
+  void ReplayTxns(uint64_t count) { stats_.replay_txns += count; }
+  void ReplayEvictions(uint64_t count) { stats_.replay_evictions += count; }
+  void DecodeWords(uint64_t count) { stats_.decode_words += count; }
 
   /// Directly charges `count` memory transactions for lines the caller
   /// guarantees are distinct and not yet touched by this warp. Engines use

@@ -167,6 +167,20 @@ class BitReader {
     }
   }
 
+  /// Peeks up to 64 bits at the current position without advancing, returned
+  /// MSB-aligned (bit at pos_ is bit 63 of the result). `*valid` receives the
+  /// number of in-bounds bits (<= 64); bits below them are zero. Lets batched
+  /// decoders extract several codewords from one load instead of re-reading
+  /// the window per symbol.
+  uint64_t PeekWindow(int* valid) const {
+    const size_t avail = pos_ < num_bits_ ? num_bits_ - pos_ : 0;
+    const int width = static_cast<int>(std::min<size_t>(64, avail));
+    *valid = width;
+    if (width == 0) return 0;
+    const uint64_t v = PeekFast(width);
+    return width == 64 ? v : v << (64 - width);
+  }
+
   size_t pos() const { return pos_; }
   void Seek(size_t bit_pos) { pos_ = bit_pos; }
   size_t num_bits() const { return num_bits_; }

@@ -162,8 +162,8 @@ TEST(GcgtService, SingleWorkerCacheAccountingIsDeterministic) {
   auto id = service.RegisterGraph(g);
   ASSERT_TRUE(id.ok());
 
-  // Sequential waits on one worker: the second ask of each cacheable query
-  // is exactly one hit; BC is never cached.
+  // Sequential waits on one worker: the second ask of each query is exactly
+  // one hit (BC caches under its canonical source set).
   auto bfs_a = service.Submit({id.value(), BfsQuery{4}}).get();
   auto bfs_b = service.Submit({id.value(), BfsQuery{4}}).get();
   auto cc_a = service.Submit({id.value(), CcQuery{}}).get();
@@ -178,9 +178,37 @@ TEST(GcgtService, SingleWorkerCacheAccountingIsDeterministic) {
   ExpectBitIdentical(bc_b.value(), bc_a.value(), 5);
 
   const ServiceStats stats = service.Stats();
-  EXPECT_EQ(stats.cache.hits, 2u);        // BFS repeat + CC repeat
-  EXPECT_EQ(stats.cache.insertions, 2u);  // first BFS + first CC
+  EXPECT_EQ(stats.cache.hits, 3u);        // BFS + CC + BC repeats
+  EXPECT_EQ(stats.cache.insertions, 3u);  // first BFS + first CC + first BC
   EXPECT_EQ(stats.completed, 6u);
+}
+
+TEST(GcgtService, BcSourceSetsCanonicalizeInTheResultCache) {
+  Graph g = MakeGraph("er");
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  GcgtService service(opt);
+  auto id = service.RegisterGraph(g);
+  ASSERT_TRUE(id.ok());
+
+  // The same source SET in different orders and with duplicates: one cached
+  // entry serves all of them, and every answer is bit-identical to the first
+  // (the service runs the canonical sorted+deduped query).
+  auto a = service.Submit({id.value(), BcQuery{{9, 2, 5}}}).get();
+  auto b = service.Submit({id.value(), BcQuery{{2, 5, 9}}}).get();
+  auto c = service.Submit({id.value(), BcQuery{{5, 9, 2, 5, 2}}}).get();
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ExpectBitIdentical(b.value(), a.value(), 1);
+  ExpectBitIdentical(c.value(), a.value(), 2);
+
+  // A different source set is a different key, not a hit.
+  auto d = service.Submit({id.value(), BcQuery{{2, 5}}}).get();
+  ASSERT_TRUE(d.ok());
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache.hits, 2u);        // b and c
+  EXPECT_EQ(stats.cache.insertions, 2u);  // a and d
+  EXPECT_EQ(stats.completed, 4u);
 }
 
 TEST(GcgtService, StressClientsTimesBackendsTimesWorkersTimesCache) {
