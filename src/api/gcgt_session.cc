@@ -38,12 +38,14 @@ uint64_t HashOptions(uint64_t h, const PrepareOptions& o) {
   h = HashCombine(h, static_cast<uint64_t>(o.cgr.scheme));
   h = HashCombine(h, static_cast<uint64_t>(o.cgr.min_interval_len));
   h = HashCombine(h, static_cast<uint64_t>(o.cgr.segment_len_bytes));
+  h = HashCombine(h, static_cast<uint64_t>(o.ooc_partitions));
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.level));
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.lanes));
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.warp_centric_min_residuals));
   h = HashCombine(h, o.gcgt.replay_cache_bytes);
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.replay_min_degree));
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.replay_min_touches));
+  h = HashCombine(h, o.gcgt.ooc_resident_bytes);
   h = HashCombine(h, o.gcgt.cost.cycles_per_step);
   h = HashCombine(h, o.gcgt.cost.cycles_per_decode_step);
   h = HashCombine(h, o.gcgt.cost.cycles_per_append_step);
@@ -51,6 +53,7 @@ uint64_t HashOptions(uint64_t h, const PrepareOptions& o) {
   h = HashCombine(h, o.gcgt.cost.cycles_per_mem_txn);
   h = HashCombine(h, o.gcgt.cost.cycles_per_atomic);
   h = HashCombine(h, o.gcgt.cost.cycles_per_replay_txn);
+  h = HashCombine(h, o.gcgt.cost.external_latency_multiplier);
   h = HashCombine(h, o.gcgt.cost.kernel_launch_cycles);
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.cost.cache_line_bytes));
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.cost.num_sms));
@@ -62,6 +65,10 @@ uint64_t HashOptions(uint64_t h, const PrepareOptions& o) {
 }
 
 }  // namespace
+
+uint64_t CombineOptionsFingerprint(uint64_t h, const PrepareOptions& options) {
+  return HashOptions(h, options);
+}
 
 uint64_t ComputeArtifactFingerprint(const Graph& graph,
                                     const PrepareOptions& options) {
@@ -149,7 +156,14 @@ Result<GcgtSession> GcgtSession::Prepare(const Graph& graph,
     prepared = prepared.Relabeled(session.perm_);
   }
 
-  auto cgr = CgrGraph::Encode(prepared, options.cgr);
+  if (options.ooc_partitions < 0) {
+    return Status::InvalidArgument("ooc_partitions must be >= 0");
+  }
+  auto cgr = options.ooc_partitions > 0
+                 ? CgrGraph::EncodePartitioned(prepared, options.cgr,
+                                               options.ooc_partitions,
+                                               options.gcgt.num_threads)
+                 : CgrGraph::Encode(prepared, options.cgr);
   if (!cgr.ok()) return cgr.status();
 
   // The uncompressed `prepared` copy is NOT retained: a session serving only
@@ -182,9 +196,16 @@ uint64_t GcgtSession::artifact_fingerprint() const {
     uint64_t h = 0x6763677466707632ULL;  // "gcgtfpv2"
     h = HashCombine(h, cgr_->total_bits());
     for (uint8_t byte : cgr_->bits()) h = HashCombine(h, uint64_t{byte});
+    // The partition plan must be identity-affecting: P=4 and P=8 encodes of
+    // one graph have IDENTICAL bits (EncodePartitioned reproduces the serial
+    // layout) but page differently under a budget, so their metrics differ.
+    for (const CgrPartition& p : cgr_->partitions()) {
+      h = HashCombine(h, (uint64_t{p.node_begin} << 32) | p.node_end);
+    }
     PrepareOptions fp_opt;
     fp_opt.gcgt = options_.gcgt;
     fp_opt.cgr = cgr_->options();
+    fp_opt.ooc_partitions = static_cast<int>(cgr_->partitions().size());
     fingerprint_ = HashOptions(h, fp_opt);
     has_fingerprint_ = true;
   }
@@ -195,6 +216,22 @@ GcgtSession GcgtSession::Attach(const CgrGraph& cgr, const Graph& graph,
                                 const GcgtOptions& options) {
   GcgtSession session = Attach(cgr, options);
   session.graph_ = std::make_shared<const Graph>(graph);
+  return session;
+}
+
+GcgtSession GcgtSession::Adopt(std::unique_ptr<const CgrGraph> cgr,
+                               const GcgtOptions& options) {
+  GcgtSession session = Attach(*cgr, options);
+  session.owned_cgr_ = std::move(cgr);
+  return session;
+}
+
+GcgtSession GcgtSession::Adopt(std::unique_ptr<const CgrGraph> cgr,
+                               const GcgtOptions& options,
+                               uint64_t fingerprint) {
+  GcgtSession session = Adopt(std::move(cgr), options);
+  session.fingerprint_ = fingerprint;
+  session.has_fingerprint_ = true;
   return session;
 }
 
@@ -355,6 +392,8 @@ void AccumulateMetrics(TraversalMetrics& total, const TraversalMetrics& one) {
   total.model_ms += one.model_ms;
   total.kernels += one.kernels;
   total.device_bytes = std::max(total.device_bytes, one.device_bytes);
+  total.resident_bytes_peak =
+      std::max(total.resident_bytes_peak, one.resident_bytes_peak);
   total.warp += one.warp;
 }
 

@@ -72,6 +72,14 @@ struct PrepareOptions {
   uint64_t reorder_seed = 42;
   /// CGR encoder parameters (paper Table 2 defaults).
   CgrOptions cgr;
+  /// Out-of-core tier: number of partitions to encode the graph into
+  /// (CgrGraph::EncodePartitioned, sharded across the thread pool). 0 keeps
+  /// the classic single-blob encode. The encoded bits are byte-identical
+  /// either way; partitioning only adds the partition table that the
+  /// PartitionPager pages by — but the count still participates in the
+  /// artifact fingerprint, since it changes the container layout and the
+  /// paging (hence metrics) of budgeted runs.
+  int ooc_partitions = 0;
   /// Engine configuration: scheduling level, lanes, host threads, cost model
   /// and device budget. lanes/cost/device are shared with the CSR backends.
   GcgtOptions gcgt;
@@ -87,6 +95,13 @@ struct PrepareOptions {
 /// and metrics are bit-identical for every host thread count.
 uint64_t ComputeArtifactFingerprint(const Graph& graph,
                                     const PrepareOptions& options);
+
+/// Folds the result-affecting PrepareOptions fields into an existing hash —
+/// the options half of ComputeArtifactFingerprint. Callers that already hold
+/// a graph-identity hash (e.g. a container header's stored fingerprint) use
+/// this to derive the registry key for a specific serving configuration
+/// without re-hashing the graph.
+uint64_t CombineOptionsFingerprint(uint64_t h, const PrepareOptions& options);
 
 struct BfsQuery {
   NodeId source = 0;
@@ -195,6 +210,19 @@ class GcgtSession {
   /// share one encode across many sessions (e.g. one per device budget).
   static GcgtSession Attach(const CgrGraph& cgr, const Graph& graph,
                             const GcgtOptions& options);
+
+  /// Attach that takes OWNERSHIP of the encoded graph — the container-load
+  /// path (ooc::CgrContainer::ToCgrGraph materializes a CgrGraph nobody else
+  /// holds). The fingerprint is computed lazily like Attach's.
+  static GcgtSession Adopt(std::unique_ptr<const CgrGraph> cgr,
+                           const GcgtOptions& options = {});
+
+  /// Adopt with the artifact fingerprint supplied up front (trusted
+  /// verbatim) — the registry path, where the identity comes from the
+  /// container header combined with the serving options and must match the
+  /// registration key exactly.
+  static GcgtSession Adopt(std::unique_ptr<const CgrGraph> cgr,
+                           const GcgtOptions& options, uint64_t fingerprint);
 
   GcgtSession(GcgtSession&&) = default;
   GcgtSession& operator=(GcgtSession&&) = default;

@@ -99,8 +99,10 @@ Status CgrEncoder::EncodeUnsegmented(NodeId u, const IntervalDecomposition& d,
 }
 
 Status CgrEncoder::EncodeSegmented(NodeId u, const IntervalDecomposition& d,
-                                   BitWriter* writer) const {
+                                   BitWriter* writer,
+                                   CgrNodeShape* shape) const {
   const VlcScheme scheme = options_.scheme;
+  const uint64_t node_start = writer->num_bits();
   VlcEncode(scheme, d.intervals.size() + 1, writer);
   EncodeIntervals(u, d.intervals, writer);
 
@@ -151,8 +153,16 @@ Status CgrEncoder::EncodeSegmented(NodeId u, const IntervalDecomposition& d,
   }
 
   VlcEncode(scheme, segments.size() + 1, writer);
-  if (segments.empty()) return Status::OK();
+  if (segments.empty()) {
+    if (shape) *shape = {writer->num_bits() - node_start, 0, false};
+    return Status::OK();
+  }
+  if (shape) {
+    shape->head_bits = writer->num_bits() - node_start;
+    shape->aligned = true;
+  }
   writer->AlignTo(8);
+  const uint64_t aligned_point = writer->num_bits();
 
   for (size_t s = 0; s < segments.size(); ++s) {
     const auto [first_idx, count] = segments[s];
@@ -169,14 +179,20 @@ Status CgrEncoder::EncodeSegmented(NodeId u, const IntervalDecomposition& d,
       writer->PutZeros(static_cast<int>(seg_bits - used));  // blank area
     }
   }
+  if (shape) shape->tail_bits = writer->num_bits() - aligned_point;
   return Status::OK();
 }
 
 Status CgrEncoder::EncodeNode(NodeId u, std::span<const NodeId> neighbors,
-                              BitWriter* writer) const {
+                              BitWriter* writer, CgrNodeShape* shape) const {
   IntervalDecomposition d = DecomposeAdjacency(neighbors, options_.min_interval_len);
-  if (options_.segment_len_bytes == 0) return EncodeUnsegmented(u, d, writer);
-  return EncodeSegmented(u, d, writer);
+  if (options_.segment_len_bytes == 0) {
+    const uint64_t node_start = writer->num_bits();
+    Status s = EncodeUnsegmented(u, d, writer);
+    if (s.ok() && shape) *shape = {writer->num_bits() - node_start, 0, false};
+    return s;
+  }
+  return EncodeSegmented(u, d, writer, shape);
 }
 
 }  // namespace gcgt

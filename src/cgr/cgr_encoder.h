@@ -9,6 +9,22 @@
 
 namespace gcgt {
 
+/// Position-independent shape of one node's CGR encoding, recorded during
+/// EncodeNode. The segmented layout pads to the next byte boundary between
+/// the header codewords and the first segment (cgr_graph.h layout notes), so
+/// a node's TOTAL encoded length depends on the absolute bit offset it starts
+/// at — but only through that one pad. head/tail/aligned are pure functions
+/// of the adjacency content, which is what makes the sharded partitioned
+/// encode (CgrGraph::EncodePartitioned) byte-identical to the serial one:
+///   total(start) = head_bits
+///                + aligned ? pad8(start + head_bits) + tail_bits : 0
+/// with pad8(x) = (8 - x % 8) % 8.
+struct CgrNodeShape {
+  uint64_t head_bits = 0;  ///< bits before the pad-to-byte point
+  uint64_t tail_bits = 0;  ///< bits after the pad (the residual segments)
+  bool aligned = false;    ///< true when the encoding pads to a byte boundary
+};
+
 /// Stateless helper that encodes single adjacency lists; CgrGraph::Encode
 /// drives it over a whole graph. Exposed separately for unit tests that pin
 /// the paper's Fig. 2 example.
@@ -17,15 +33,18 @@ class CgrEncoder {
   explicit CgrEncoder(const CgrOptions& options) : options_(options) {}
 
   /// Appends the encoding of node u's adjacency list to `writer`.
-  /// `neighbors` must be sorted ascending and deduplicated.
+  /// `neighbors` must be sorted ascending and deduplicated. When `shape` is
+  /// non-null it receives the node's position-independent encoding shape
+  /// (see CgrNodeShape) — the writer's absolute position only influences the
+  /// pad emitted between head and tail, never the recorded shape.
   Status EncodeNode(NodeId u, std::span<const NodeId> neighbors,
-                    BitWriter* writer) const;
+                    BitWriter* writer, CgrNodeShape* shape = nullptr) const;
 
  private:
   Status EncodeUnsegmented(NodeId u, const IntervalDecomposition& d,
                            BitWriter* writer) const;
   Status EncodeSegmented(NodeId u, const IntervalDecomposition& d,
-                         BitWriter* writer) const;
+                         BitWriter* writer, CgrNodeShape* shape) const;
   void EncodeIntervals(NodeId u, const std::vector<CgrInterval>& intervals,
                        BitWriter* writer) const;
 

@@ -1,10 +1,12 @@
 #include "cgr/cgr_graph.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "cgr/byte_codecs.h"
 #include "cgr/cgr_encoder.h"
 #include "util/bit_stream.h"
+#include "util/thread_pool.h"
 
 namespace gcgt {
 namespace {
@@ -46,6 +48,228 @@ Result<CgrGraph> CgrGraph::Encode(const Graph& g, const CgrOptions& options) {
     cg.bits_ = std::move(bytes);
   }
   g_graphs_encoded.fetch_add(1, std::memory_order_relaxed);  // successes only
+  return cg;
+}
+
+std::vector<CgrPartition> PlanPartitions(const Graph& g, int num_partitions) {
+  const NodeId v = g.num_nodes();
+  const int max_p = static_cast<int>(std::min<uint64_t>(
+      std::max<NodeId>(1, v), std::numeric_limits<int>::max()));
+  const int num_p = std::clamp(num_partitions, 1, max_p);
+  const std::vector<EdgeId>& off = g.offsets();
+
+  std::vector<CgrPartition> parts(static_cast<size_t>(num_p));
+  NodeId begin = 0;
+  for (int p = 0; p < num_p; ++p) {
+    NodeId end;
+    if (p == num_p - 1) {
+      end = v;
+    } else {
+      // Cut where the cumulative edge count first reaches the ideal share.
+      const EdgeId target =
+          g.num_edges() * static_cast<uint64_t>(p + 1) / num_p;
+      end = static_cast<NodeId>(
+          std::lower_bound(off.begin(), off.end(), target) - off.begin());
+      // Leave at least one node for this partition and each later one.
+      const NodeId hi = v - static_cast<NodeId>(num_p - 1 - p);
+      end = std::clamp<NodeId>(end, begin + 1, hi);
+    }
+    parts[p].node_begin = begin;
+    parts[p].node_end = end;
+    begin = end;
+  }
+  return parts;
+}
+
+Result<CgrGraph> CgrGraph::EncodePartitioned(const Graph& g,
+                                             const CgrOptions& options,
+                                             int num_partitions,
+                                             int num_threads) {
+  GCGT_RETURN_NOT_OK(options.Validate());
+  if (num_partitions < 0) {
+    return Status::InvalidArgument("num_partitions must be >= 0");
+  }
+  std::vector<CgrPartition> parts = PlanPartitions(g, num_partitions);
+  const size_t num_p = parts.size();
+  const NodeId v = g.num_nodes();
+
+  CgrGraph cg;
+  cg.options_ = options;
+  cg.num_nodes_ = v;
+  cg.num_edges_ = g.num_edges();
+
+  ThreadPool& pool = SharedThreadPool(
+      num_threads > 0 ? static_cast<size_t>(num_threads) : 0);
+  std::vector<Status> part_status(num_p, Status::OK());
+
+  if (options.codec == CodecId::kCgr) {
+    // Phase A (parallel): measure every node's position-independent shape.
+    std::vector<CgrNodeShape> shapes(v);
+    pool.ParallelFor(num_p, 1, [&](size_t, size_t pb, size_t pe) {
+      for (size_t p = pb; p < pe; ++p) {
+        CgrEncoder encoder(options);
+        BitWriter scratch;
+        for (NodeId u = parts[p].node_begin; u < parts[p].node_end; ++u) {
+          Status s = encoder.EncodeNode(u, g.Neighbors(u), &scratch,
+                                        &shapes[u]);
+          if (!s.ok()) {
+            part_status[p] = std::move(s);
+            break;
+          }
+        }
+      }
+    });
+    for (Status& s : part_status) GCGT_RETURN_NOT_OK(s);
+
+    // Phase B (serial): prefix-sum the offsets. A node's total length is its
+    // shape plus the pad-to-byte the segmented layout emits at this offset.
+    cg.bit_start_.resize(static_cast<size_t>(v) + 1);
+    uint64_t pos = 0;
+    for (NodeId u = 0; u < v; ++u) {
+      cg.bit_start_[u] = pos;
+      const CgrNodeShape& s = shapes[u];
+      pos += s.head_bits;
+      if (s.aligned) pos += (8 - pos % 8) % 8 + s.tail_bits;
+    }
+    cg.bit_start_[v] = pos;
+    cg.total_bits_ = pos;
+
+    // Phase C (parallel): re-encode each partition into a local writer
+    // seeded with the partition's start-bit phase, so every pad-to-byte
+    // falls exactly where the serial encode would put it.
+    std::vector<std::vector<uint8_t>> local(num_p);
+    pool.ParallelFor(num_p, 1, [&](size_t, size_t pb, size_t pe) {
+      for (size_t p = pb; p < pe; ++p) {
+        CgrEncoder encoder(options);
+        BitWriter w;
+        const uint64_t start_bit = cg.bit_start_[parts[p].node_begin];
+        const int seed = static_cast<int>(start_bit % 8);
+        w.PutZeros(seed);
+        Status s = Status::OK();
+        for (NodeId u = parts[p].node_begin; u < parts[p].node_end; ++u) {
+          s = encoder.EncodeNode(u, g.Neighbors(u), &w);
+          if (!s.ok()) break;
+        }
+        if (s.ok()) {
+          const uint64_t want =
+              cg.bit_start_[parts[p].node_end] - start_bit;
+          if (w.num_bits() - seed != want) {
+            s = Status::Internal(
+                "partitioned encode disagrees with measured shape");
+          }
+        }
+        if (!s.ok()) {
+          part_status[p] = std::move(s);
+          continue;
+        }
+        local[p] = w.TakeBytes();
+      }
+    });
+    for (Status& s : part_status) GCGT_RETURN_NOT_OK(s);
+
+    // Phase D (serial): OR-splice the local streams. BitWriter zero-fills
+    // partial bytes, so OR-merging the shared boundary byte between adjacent
+    // partitions reproduces the serial stream exactly.
+    cg.bits_.assign(static_cast<size_t>((pos + 7) / 8), 0);
+    for (size_t p = 0; p < num_p; ++p) {
+      const size_t base =
+          static_cast<size_t>(cg.bit_start_[parts[p].node_begin] / 8);
+      for (size_t j = 0; j < local[p].size(); ++j) {
+        cg.bits_[base + j] |= local[p][j];
+      }
+    }
+  } else {
+    // Byte codecs are byte-aligned and position-independent: encode each
+    // partition in parallel, then concatenate with an offset fixup.
+    std::vector<std::vector<uint8_t>> local(num_p);
+    std::vector<std::vector<uint64_t>> local_off(num_p);
+    pool.ParallelFor(num_p, 1, [&](size_t, size_t pb, size_t pe) {
+      for (size_t p = pb; p < pe; ++p) {
+        local_off[p].reserve(parts[p].num_nodes());
+        for (NodeId u = parts[p].node_begin; u < parts[p].node_end; ++u) {
+          local_off[p].push_back(local[p].size());
+          Status s = EncodeNodeBytes(options.codec, u, g.Neighbors(u),
+                                     &local[p]);
+          if (!s.ok()) {
+            part_status[p] = std::move(s);
+            break;
+          }
+        }
+      }
+    });
+    for (Status& s : part_status) GCGT_RETURN_NOT_OK(s);
+
+    cg.bit_start_.reserve(static_cast<size_t>(v) + 1);
+    uint64_t base_bytes = 0;
+    for (size_t p = 0; p < num_p; ++p) {
+      for (uint64_t o : local_off[p]) {
+        cg.bit_start_.push_back((base_bytes + o) * 8);
+      }
+      base_bytes += local[p].size();
+      cg.bits_.insert(cg.bits_.end(), local[p].begin(), local[p].end());
+    }
+    cg.bit_start_.push_back(base_bytes * 8);
+    cg.total_bits_ = base_bytes * 8;
+  }
+
+  for (CgrPartition& part : parts) {
+    part.byte_begin = cg.bit_start_[part.node_begin] / 8;
+    part.byte_end = (cg.bit_start_[part.node_end] + 7) / 8;
+  }
+  cg.partitions_ = std::move(parts);
+  g_graphs_encoded.fetch_add(1, std::memory_order_relaxed);  // successes only
+  return cg;
+}
+
+Result<CgrGraph> CgrGraph::Assemble(const CgrOptions& options,
+                                    NodeId num_nodes, EdgeId num_edges,
+                                    std::vector<uint8_t> bits,
+                                    std::vector<uint64_t> bit_start,
+                                    std::vector<CgrPartition> partitions) {
+  GCGT_RETURN_NOT_OK(options.Validate());
+  if (bit_start.size() != static_cast<size_t>(num_nodes) + 1) {
+    return Status::InvalidArgument("bit_start size != num_nodes + 1");
+  }
+  if (bit_start.front() != 0) {
+    return Status::InvalidArgument("bit_start must begin at 0");
+  }
+  for (size_t i = 1; i < bit_start.size(); ++i) {
+    if (bit_start[i] < bit_start[i - 1]) {
+      return Status::InvalidArgument("bit_start offsets not monotone");
+    }
+  }
+  const uint64_t total_bits = bit_start.back();
+  if (bits.size() != static_cast<size_t>((total_bits + 7) / 8)) {
+    return Status::InvalidArgument("bits size inconsistent with offsets");
+  }
+  if (partitions.empty()) {
+    return Status::InvalidArgument("partition table must not be empty");
+  }
+  NodeId expect = 0;
+  for (const CgrPartition& p : partitions) {
+    if (p.node_begin != expect || p.node_end < p.node_begin ||
+        p.node_end > num_nodes) {
+      return Status::InvalidArgument("partition table not contiguous");
+    }
+    if (p.byte_begin != bit_start[p.node_begin] / 8 ||
+        p.byte_end != (bit_start[p.node_end] + 7) / 8) {
+      return Status::InvalidArgument(
+          "partition byte range inconsistent with offsets");
+    }
+    expect = p.node_end;
+  }
+  if (expect != num_nodes) {
+    return Status::InvalidArgument("partition table does not cover all nodes");
+  }
+
+  CgrGraph cg;
+  cg.options_ = options;
+  cg.num_nodes_ = num_nodes;
+  cg.num_edges_ = num_edges;
+  cg.total_bits_ = total_bits;
+  cg.bits_ = std::move(bits);
+  cg.bit_start_ = std::move(bit_start);
+  cg.partitions_ = std::move(partitions);
   return cg;
 }
 

@@ -80,11 +80,61 @@ struct IntervalDecomposition {
 IntervalDecomposition DecomposeAdjacency(std::span<const NodeId> neighbors,
                                          int min_interval_len);
 
+/// One shard of a partitioned CGR encoding: a contiguous node range plus the
+/// byte range of bits() that holds those nodes' encodings. Adjacent
+/// partitions may share a boundary byte (a node range can end mid-byte);
+/// byte ranges therefore overlap by at most one byte and together cover the
+/// whole bit stream. The out-of-core tier (src/ooc) pages these units.
+struct CgrPartition {
+  NodeId node_begin = 0;    ///< first node of the partition
+  NodeId node_end = 0;      ///< one past the last node (exclusive)
+  uint64_t byte_begin = 0;  ///< bit_start(node_begin) / 8
+  uint64_t byte_end = 0;    ///< (bit_start(node_end) + 7) / 8
+
+  uint64_t num_bytes() const { return byte_end - byte_begin; }
+  NodeId num_nodes() const { return node_end - node_begin; }
+  bool operator==(const CgrPartition&) const = default;
+};
+
+/// Edge-balanced contiguous node partition plan: boundaries are lower-bound
+/// cuts of the CSR offsets at the ideal cumulative edge count, clamped so
+/// every partition gets at least one node. num_partitions is clamped to
+/// [1, max(1, num_nodes)]. A pure function of the offsets and the (clamped)
+/// partition count — byte ranges are filled in by the encode, node ranges
+/// here. Deterministic: the same plan on every thread count.
+std::vector<CgrPartition> PlanPartitions(const Graph& g, int num_partitions);
+
 /// A graph compressed into CGR. Immutable after Encode().
 class CgrGraph {
  public:
   /// Compresses `g`. Fails with InvalidArgument on bad options.
   static Result<CgrGraph> Encode(const Graph& g, const CgrOptions& options);
+
+  /// Compresses `g` sharded: the per-node encoding of `num_partitions`
+  /// edge-balanced contiguous node ranges (PlanPartitions) runs across the
+  /// SharedThreadPool(num_threads). The bit stream, offsets and partition
+  /// table are byte-identical on every thread count, and the bits equal
+  /// serial Encode()'s output exactly: node shapes are measured in a first
+  /// parallel pass (CgrNodeShape — position-independent), offsets are
+  /// prefix-summed serially, then each partition re-encodes seeded with its
+  /// start bit's phase mod 8 so the segmented layout's pad-to-byte lands in
+  /// the same place, and the zero-filled partial boundary bytes are
+  /// OR-spliced. The result carries partitions() for the out-of-core tier.
+  static Result<CgrGraph> EncodePartitioned(const Graph& g,
+                                            const CgrOptions& options,
+                                            int num_partitions,
+                                            int num_threads = 0);
+
+  /// Reconstructs an encoded graph from externally stored parts (the
+  /// src/ooc container reader). Validates the structural invariants —
+  /// monotone offsets starting at 0, bits sized to the offsets, a partition
+  /// table contiguously covering [0, num_nodes) with byte ranges consistent
+  /// with the offsets — and fails with InvalidArgument on any violation.
+  /// Does not count as an encode for EncodedCount().
+  static Result<CgrGraph> Assemble(const CgrOptions& options, NodeId num_nodes,
+                                   EdgeId num_edges, std::vector<uint8_t> bits,
+                                   std::vector<uint64_t> bit_start,
+                                   std::vector<CgrPartition> partitions);
 
   /// Process-wide count of successful Encode() runs. The service registry's
   /// contract is "one encode per artifact fingerprint"; tests assert this
@@ -100,6 +150,12 @@ class CgrGraph {
   uint64_t total_bits() const { return total_bits_; }
   /// Bit offset of node u's encoding.
   uint64_t bit_start(NodeId u) const { return bit_start_[u]; }
+
+  /// Partition table when built by EncodePartitioned / Assemble; empty for
+  /// plain Encode() (an unpartitioned graph is "one big partition" only when
+  /// written to a container, see src/ooc).
+  const std::vector<CgrPartition>& partitions() const { return partitions_; }
+  bool partitioned() const { return !partitions_.empty(); }
 
   /// Adjacency-data bits per edge (the paper's compression metric).
   double BitsPerEdge() const {
@@ -126,6 +182,7 @@ class CgrGraph {
   uint64_t total_bits_ = 0;
   std::vector<uint8_t> bits_;
   std::vector<uint64_t> bit_start_;  // size num_nodes + 1
+  std::vector<CgrPartition> partitions_;  // empty unless partitioned
 };
 
 }  // namespace gcgt

@@ -15,6 +15,7 @@
 #include "core/memory_layout.h"
 #include "core/replay_cache.h"
 #include "core/warp_centric.h"
+#include "ooc/partition_pager.h"
 #include "util/thread_pool.h"
 #include "util/zigzag.h"
 
@@ -1382,6 +1383,10 @@ struct EngineScratch {
         }
       }
     }
+    if (g.partitioned() && o.ooc_resident_bytes > 0) {
+      pager.Configure(g.partitions(), o.ooc_resident_bytes,
+                      o.cost.cache_line_bytes);
+    }
   }
 
   ThreadPool* pool;  // process-shared, never null
@@ -1392,6 +1397,10 @@ struct EngineScratch {
   // across rounds; capacity persists). All replay decisions happen serially
   // in frontier order in ProcessFrontier's prologue.
   ReplayCache replay;
+  // Out-of-core partition pager (disabled unless the graph is partitioned
+  // and a resident budget is set). Driven serially in frontier order by
+  // ProcessFrontier's prologue, like the replay cache.
+  ooc::PartitionPager pager;
   std::vector<NodeId> replay_nodes;
   std::vector<NodeId> miss_nodes;
   std::vector<const std::vector<NodeId>*> replay_adjs;
@@ -1444,6 +1453,14 @@ CgrTraversalEngine::~CgrTraversalEngine() = default;
 
 void CgrTraversalEngine::ResetReplay() const {
   if (scratch_) scratch_->replay.Reset();
+}
+
+void CgrTraversalEngine::ResetPager() const {
+  if (scratch_) scratch_->pager.Reset();
+}
+
+uint64_t CgrTraversalEngine::PagerResidentPeak() const {
+  return scratch_ ? scratch_->pager.resident_bytes_peak() : 0;
 }
 
 internal::EngineScratch& CgrTraversalEngine::Scratch() const {
@@ -1516,6 +1533,30 @@ void CgrTraversalEngine::ProcessFrontier(std::span<const NodeId> frontier,
       scratch.serial_sim.SetFillMap(&scratch.pending_fill);
       for (auto& w : scratch.workers) w->sim.SetFillMap(&scratch.pending_fill);
     }
+  }
+
+  // Pager prologue (serial, frontier order): fault in every partition this
+  // round's expansion will decode from, pinning it so the round's own
+  // working set can't evict itself. The external-tier traffic is charged as
+  // one standalone maintenance WarpStats entry (like the replay-fill entry):
+  // faults and spills are not any warp's decode work, and a dedicated entry
+  // keeps the in-core mem_txns semantics untouched — which is what keeps
+  // results and all pre-existing charges bit-identical to the in-core run.
+  // Replay hits above bypass the pager by design: they expand from the
+  // decoded replay buffer, which is device-resident, not from the encoded
+  // partition bytes.
+  if (scratch.pager.enabled()) {
+    simt::WarpStats page;
+    for (NodeId u : work) {
+      const ooc::PartitionPager::Touch t = scratch.pager.TouchNode(u);
+      page.partition_faults += t.faults;
+      page.partition_spills += t.spills;
+      page.partition_pins += t.pins;
+      page.fault_txns += t.fault_txns;
+      page.spill_txns += t.spill_txns;
+    }
+    scratch.pager.EndRound();
+    warp_stats->push_back(page);
   }
 
   // Runs after the miss expansion on every exit path: gates and admits the

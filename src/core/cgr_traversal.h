@@ -22,6 +22,7 @@
 #ifndef GCGT_CORE_CGR_TRAVERSAL_H_
 #define GCGT_CORE_CGR_TRAVERSAL_H_
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <vector>
@@ -45,6 +46,9 @@ struct TraversalMetrics {
   double model_ms = 0.0;       ///< simulated elapsed time
   int kernels = 0;             ///< kernel launches (BFS: one per level)
   uint64_t device_bytes = 0;   ///< modeled device footprint
+  /// High-water mark of the out-of-core pager's resident set (0 when the
+  /// pager is disabled).
+  uint64_t resident_bytes_peak = 0;
   simt::WarpStats warp;        ///< aggregate warp statistics
 };
 
@@ -78,11 +82,34 @@ class CgrTraversalEngine {
   /// graph + options + query). No-op when the cache is disabled.
   void ResetReplay() const;
 
+  /// Evicts the out-of-core pager's resident set and zeroes its counters.
+  /// Called at every query start via TraversalPipeline::Reset — each query
+  /// starts cold, so fault/spill counts stay a pure function of graph +
+  /// options + query. No-op when the pager is disabled.
+  void ResetPager() const;
+
+  /// High-water mark of the pager's resident set since the last ResetPager
+  /// (0 when disabled).
+  uint64_t PagerResidentPeak() const;
+
+  /// True when frontier expansion pages partitions through the out-of-core
+  /// tier instead of holding all encoded bits device-resident.
+  bool PagerEnabled() const {
+    return graph_.partitioned() && options_.ooc_resident_bytes > 0;
+  }
+
   /// Device bytes of the compressed adjacency data + bitStart offsets, plus
   /// the configured replay-cache capacity (the replay buffer lives in device
-  /// memory, so it must count against the budget).
+  /// memory, so it must count against the budget). With the out-of-core
+  /// pager enabled only the resident budget counts for the adjacency data —
+  /// the rest of the encoded bits live in the external tier and are paid for
+  /// per touch via the fault/spill charge class instead.
   uint64_t BaseDeviceBytes() const {
-    return graph_.bits().size() +
+    uint64_t adjacency = graph_.bits().size();
+    if (PagerEnabled()) {
+      adjacency = std::min<uint64_t>(adjacency, options_.ooc_resident_bytes);
+    }
+    return adjacency +
            (static_cast<uint64_t>(graph_.num_nodes()) + 1) * sizeof(uint64_t) +
            options_.replay_cache_bytes;
   }

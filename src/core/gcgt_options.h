@@ -52,6 +52,19 @@ struct GcgtOptions {
   uint64_t replay_cache_bytes = 0;
   int replay_min_degree = 32;
   int replay_min_touches = 2;
+  /// Out-of-core tier: device-resident budget (bytes) for the encoded
+  /// adjacency data of a PARTITIONED graph (CgrGraph::partitioned()). 0
+  /// disables paging — the whole bit stream is device-resident, exactly as
+  /// before. When enabled, only min(budget, encoded bytes) counts against
+  /// the device-memory check; frontier expansion faults non-resident
+  /// partitions in through the PartitionPager (LRU spill, pin/unpin per
+  /// round) and the moved lines are charged as the external-tier class
+  /// (WarpStats::fault_txns/spill_txns, CostModel::
+  /// external_latency_multiplier). Results and labels stay bit-identical to
+  /// the in-core engine at every budget; only wall time and the new modeled
+  /// charges differ. The pager is reset at every query start, so every query
+  /// starts cold and metrics stay deterministic.
+  uint64_t ooc_resident_bytes = 0;
   simt::CostModel cost;
   simt::DeviceSpec device;
 };

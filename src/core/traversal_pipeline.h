@@ -70,6 +70,8 @@ class TraversalPipeline {
     // (BC resets once per query, so replay persists across a BC query's
     // sources and backward sweeps — by design.)
     engine_->ResetReplay();
+    // Same epoch rule for the out-of-core pager: every query starts cold.
+    engine_->ResetPager();
   }
 
   /// Installs the token Run/RunBackward poll once per round (cooperative
@@ -113,6 +115,7 @@ class TraversalPipeline {
     m.model_ms = timeline_.TotalMs();
     m.kernels = timeline_.num_kernels();
     m.device_bytes = device_bytes_;
+    m.resident_bytes_peak = engine_->PagerResidentPeak();
     m.warp = timeline_.aggregate();
     return m;
   }

@@ -3,10 +3,24 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace gcgt {
 namespace {
+
+long ProcessId() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<long>(::getpid());
+#else
+  return 0;
+#endif
+}
 
 constexpr uint32_t kBinMagic = 0x47435231;  // "GCR1"
 
@@ -18,6 +32,35 @@ struct FileCloser {
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 }  // namespace
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<Status(std::FILE*)>& write_fn) {
+  char unique[64];
+  std::snprintf(unique, sizeof(unique), ".tmp.%ld.%zu", ProcessId(),
+                std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  const std::string tmp = path + unique;
+  std::error_code ec;
+
+  Status s = Status::OK();
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) return Status::IOError("cannot open for write: " + tmp);
+    s = write_fn(f.get());
+    if (s.ok() && std::fflush(f.get()) != 0) {
+      s = Status::IOError("flush failed: " + tmp);
+    }
+  }
+  if (!s.ok()) {
+    std::filesystem::remove(tmp, ec);
+    return s;
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("rename failed: " + path);
+  }
+  return Status::OK();
+}
 
 Status WriteEdgeListFile(const Graph& g, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "w"));
@@ -73,9 +116,10 @@ Status WriteBinaryCsr(const Graph& g, const std::string& path) {
       std::fwrite(&num_edges, sizeof(num_edges), 1, f.get()) != 1) {
     return Status::IOError("short write: " + path);
   }
-  if (num_nodes > 0 &&
-      std::fwrite(g.offsets().data(), sizeof(EdgeId), num_nodes + 1, f.get()) !=
-          num_nodes + 1) {
+  // offsets() always has num_nodes + 1 entries, even for an empty graph —
+  // the reader unconditionally expects them.
+  if (std::fwrite(g.offsets().data(), sizeof(EdgeId), num_nodes + 1, f.get()) !=
+      num_nodes + 1) {
     return Status::IOError("short write (offsets): " + path);
   }
   if (num_edges > 0 &&

@@ -1,0 +1,304 @@
+#include "ooc/cgr_container.h"
+
+#include <cstring>
+
+#include "graph/graph_io.h"
+#include "util/random.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GCGT_OOC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace gcgt::ooc {
+namespace {
+
+constexpr uint32_t kMagic = 0x434F4347;  // "GCOC" little-endian
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 64;
+constexpr size_t kPartitionEntryBytes = 24;
+
+uint64_t ChainHash(uint64_t h, uint64_t v) {
+  return Mix64(h ^ (v + 0x9e3779b97f4a7c15ULL));
+}
+
+/// Hash over every header field before the hash slot, in file order.
+uint64_t HeaderHash(uint64_t fingerprint, const CgrOptions& o,
+                    uint32_t num_nodes, uint32_t num_partitions,
+                    uint64_t num_edges, uint64_t total_bits) {
+  uint64_t h = ChainHash(kMagic, kVersion);
+  h = ChainHash(h, fingerprint);
+  h = ChainHash(h, static_cast<uint64_t>(o.codec));
+  h = ChainHash(h, static_cast<uint64_t>(o.scheme));
+  h = ChainHash(h, static_cast<uint64_t>(o.min_interval_len));
+  h = ChainHash(h, static_cast<uint64_t>(o.segment_len_bytes));
+  h = ChainHash(h, num_nodes);
+  h = ChainHash(h, num_partitions);
+  h = ChainHash(h, num_edges);
+  h = ChainHash(h, total_bits);
+  return h;
+}
+
+/// Little-endian field cursor over a byte buffer.
+class FieldReader {
+ public:
+  FieldReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  T Get() {
+    T v{};
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  size_t pos() const { return pos_; }
+  size_t size() const { return size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+template <typename T>
+Status PutField(std::FILE* f, T v) {
+  if (std::fwrite(&v, sizeof(T), 1, f) != 1) {
+    return Status::IOError("short write (container field)");
+  }
+  return Status::OK();
+}
+
+Status PutBytes(std::FILE* f, const void* data, size_t size) {
+  if (size > 0 && std::fwrite(data, 1, size, f) != size) {
+    return Status::IOError("short write (container section)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCgrContainer(const CgrGraph& graph, uint64_t fingerprint,
+                         const std::string& path) {
+  // An unpartitioned graph becomes one whole-range partition.
+  std::vector<CgrPartition> whole;
+  std::span<const CgrPartition> parts(graph.partitions());
+  if (parts.empty()) {
+    whole.push_back({0, graph.num_nodes(), 0,
+                     (graph.total_bits() + 7) / 8});
+    parts = whole;
+  }
+  const CgrOptions& o = graph.options();
+  const uint32_t num_nodes = graph.num_nodes();
+  const uint32_t num_partitions = static_cast<uint32_t>(parts.size());
+
+  return WriteFileAtomic(path, [&](std::FILE* f) -> Status {
+    GCGT_RETURN_NOT_OK(PutField<uint32_t>(f, kMagic));
+    GCGT_RETURN_NOT_OK(PutField<uint32_t>(f, kVersion));
+    GCGT_RETURN_NOT_OK(PutField<uint64_t>(f, fingerprint));
+    GCGT_RETURN_NOT_OK(PutField<uint32_t>(f, static_cast<uint32_t>(o.codec)));
+    GCGT_RETURN_NOT_OK(PutField<uint32_t>(f, static_cast<uint32_t>(o.scheme)));
+    GCGT_RETURN_NOT_OK(
+        PutField<int32_t>(f, static_cast<int32_t>(o.min_interval_len)));
+    GCGT_RETURN_NOT_OK(
+        PutField<int32_t>(f, static_cast<int32_t>(o.segment_len_bytes)));
+    GCGT_RETURN_NOT_OK(PutField<uint32_t>(f, num_nodes));
+    GCGT_RETURN_NOT_OK(PutField<uint32_t>(f, num_partitions));
+    GCGT_RETURN_NOT_OK(PutField<uint64_t>(f, graph.num_edges()));
+    GCGT_RETURN_NOT_OK(PutField<uint64_t>(f, graph.total_bits()));
+    GCGT_RETURN_NOT_OK(PutField<uint64_t>(
+        f, HeaderHash(fingerprint, o, num_nodes, num_partitions,
+                      graph.num_edges(), graph.total_bits())));
+
+    std::vector<uint64_t> bit_start(static_cast<size_t>(num_nodes) + 1);
+    for (uint32_t u = 0; u <= num_nodes; ++u) {
+      bit_start[u] = graph.bit_start(u);
+    }
+    GCGT_RETURN_NOT_OK(
+        PutBytes(f, bit_start.data(), bit_start.size() * sizeof(uint64_t)));
+
+    for (const CgrPartition& p : parts) {
+      GCGT_RETURN_NOT_OK(PutField<uint32_t>(f, p.node_begin));
+      GCGT_RETURN_NOT_OK(PutField<uint32_t>(f, p.node_end));
+      GCGT_RETURN_NOT_OK(PutField<uint64_t>(f, p.byte_begin));
+      GCGT_RETURN_NOT_OK(PutField<uint64_t>(f, p.byte_end));
+    }
+
+    return PutBytes(f, graph.bits().data(), graph.bits().size());
+  });
+}
+
+CgrContainer& CgrContainer::operator=(CgrContainer&& other) noexcept {
+  if (this == &other) return *this;
+#if GCGT_OOC_HAVE_MMAP
+  if (map_addr_ != nullptr) ::munmap(map_addr_, map_len_);
+#endif
+  options_ = other.options_;
+  fingerprint_ = other.fingerprint_;
+  num_nodes_ = other.num_nodes_;
+  num_edges_ = other.num_edges_;
+  total_bits_ = other.total_bits_;
+  bit_start_ = std::move(other.bit_start_);
+  partitions_ = std::move(other.partitions_);
+  payload_ = other.payload_;
+  map_addr_ = other.map_addr_;
+  map_len_ = other.map_len_;
+  buffer_ = std::move(other.buffer_);
+  other.map_addr_ = nullptr;
+  other.map_len_ = 0;
+  other.payload_ = {};
+  // payload_ pointing into buffer_ stays valid: vector move preserves the
+  // heap allocation.
+  return *this;
+}
+
+CgrContainer::~CgrContainer() {
+#if GCGT_OOC_HAVE_MMAP
+  if (map_addr_ != nullptr) ::munmap(map_addr_, map_len_);
+#endif
+}
+
+Result<CgrContainer> CgrContainer::Open(const std::string& path,
+                                        ReadMode mode) {
+  CgrContainer c;
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+
+#if GCGT_OOC_HAVE_MMAP
+  if (mode == ReadMode::kMmap) {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st;
+      if (::fstat(fd, &st) == 0 && st.st_size >= 0) {
+        const size_t len = static_cast<size_t>(st.st_size);
+        if (len == 0) {
+          ::close(fd);
+          return Status::InvalidArgument("container truncated: " + path);
+        }
+        void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (addr != MAP_FAILED) {
+          c.map_addr_ = addr;
+          c.map_len_ = len;
+          data = static_cast<const uint8_t*>(addr);
+          size = len;
+        }
+      }
+      ::close(fd);
+    }
+    // Fall through to buffered on any mmap-path failure.
+  }
+#endif
+
+  if (data == nullptr) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IOError("cannot open container: " + path);
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long end = std::ftell(f);
+    if (end < 0) {
+      std::fclose(f);
+      return Status::IOError("cannot size container: " + path);
+    }
+    std::fseek(f, 0, SEEK_SET);
+    c.buffer_.resize(static_cast<size_t>(end));
+    const size_t got =
+        end > 0 ? std::fread(c.buffer_.data(), 1, c.buffer_.size(), f) : 0;
+    std::fclose(f);
+    if (got != c.buffer_.size()) {
+      return Status::IOError("short read of container: " + path);
+    }
+    data = c.buffer_.data();
+    size = c.buffer_.size();
+  }
+
+  if (size < kHeaderBytes) {
+    return Status::InvalidArgument("container truncated: " + path);
+  }
+  FieldReader r(data, size);
+  const uint32_t magic = r.Get<uint32_t>();
+  const uint32_t version = r.Get<uint32_t>();
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad container magic: " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported container version: " + path);
+  }
+  c.fingerprint_ = r.Get<uint64_t>();
+  const uint32_t codec = r.Get<uint32_t>();
+  const uint32_t scheme = r.Get<uint32_t>();
+  c.options_.min_interval_len = r.Get<int32_t>();
+  c.options_.segment_len_bytes = r.Get<int32_t>();
+  const uint32_t num_nodes = r.Get<uint32_t>();
+  const uint32_t num_partitions = r.Get<uint32_t>();
+  c.num_edges_ = r.Get<uint64_t>();
+  c.total_bits_ = r.Get<uint64_t>();
+  const uint64_t stored_hash = r.Get<uint64_t>();
+  c.num_nodes_ = num_nodes;
+  if (codec > static_cast<uint32_t>(CodecId::kVarintGb)) {
+    return Status::InvalidArgument("unknown codec id in container: " + path);
+  }
+  if (scheme > static_cast<uint32_t>(VlcScheme::kZeta5)) {
+    return Status::InvalidArgument("unknown vlc scheme in container: " + path);
+  }
+  c.options_.codec = static_cast<CodecId>(codec);
+  c.options_.scheme = static_cast<VlcScheme>(scheme);
+  if (HeaderHash(c.fingerprint_, c.options_, num_nodes, num_partitions,
+                 c.num_edges_, c.total_bits_) != stored_hash) {
+    return Status::InvalidArgument("container header hash mismatch: " + path);
+  }
+  GCGT_RETURN_NOT_OK(c.options_.Validate());
+
+  // The declared sections must tile the file exactly; checked BEFORE any
+  // allocation so a corrupt count cannot balloon memory.
+  const uint64_t offsets_bytes = (static_cast<uint64_t>(num_nodes) + 1) * 8;
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(num_partitions) * kPartitionEntryBytes;
+  const uint64_t payload_bytes = (c.total_bits_ + 7) / 8;
+  if (num_partitions == 0 ||
+      size != kHeaderBytes + offsets_bytes + table_bytes + payload_bytes) {
+    return Status::InvalidArgument("container size mismatch: " + path);
+  }
+
+  c.bit_start_.resize(static_cast<size_t>(num_nodes) + 1);
+  std::memcpy(c.bit_start_.data(), data + r.pos(),
+              static_cast<size_t>(offsets_bytes));
+  FieldReader t(data + kHeaderBytes + offsets_bytes, table_bytes);
+  c.partitions_.resize(num_partitions);
+  for (CgrPartition& p : c.partitions_) {
+    p.node_begin = t.Get<uint32_t>();
+    p.node_end = t.Get<uint32_t>();
+    p.byte_begin = t.Get<uint64_t>();
+    p.byte_end = t.Get<uint64_t>();
+  }
+  c.payload_ = std::span<const uint8_t>(
+      data + kHeaderBytes + offsets_bytes + table_bytes,
+      static_cast<size_t>(payload_bytes));
+
+  // Deep offset validation is deferred to ToCgrGraph()/Assemble; the
+  // partition table's bounds are checked here so PartitionBytes() can never
+  // read out of range.
+  NodeId expect = 0;
+  for (const CgrPartition& p : c.partitions_) {
+    if (p.node_begin != expect || p.node_end < p.node_begin ||
+        p.node_end > num_nodes || p.byte_begin > p.byte_end ||
+        p.byte_end > payload_bytes) {
+      return Status::InvalidArgument("corrupt partition table: " + path);
+    }
+    expect = p.node_end;
+  }
+  if (expect != num_nodes) {
+    return Status::InvalidArgument("corrupt partition table: " + path);
+  }
+  return c;
+}
+
+Result<CgrGraph> CgrContainer::ToCgrGraph() const {
+  std::vector<uint8_t> bits(payload_.begin(), payload_.end());
+  return CgrGraph::Assemble(options_, num_nodes_, num_edges_, std::move(bits),
+                            bit_start_, partitions_);
+}
+
+}  // namespace gcgt::ooc

@@ -1,0 +1,117 @@
+// Partitioned, memory-mappable CGR container format (the out-of-core tier's
+// on-disk artifact).
+//
+// Layout (little-endian, all sections 8-byte aligned):
+//
+//   offset  size  field
+//   0       4     magic "GCOC" (0x434F4347)
+//   4       4     version (1)
+//   8       8     artifact fingerprint (graph + prepare options)
+//   16      4     codec id            (CgrOptions::codec)
+//   20      4     vlc scheme          (CgrOptions::scheme)
+//   24      4     min_interval_len    (CgrOptions)
+//   28      4     segment_len_bytes   (CgrOptions)
+//   32      4     num_nodes
+//   36      4     num_partitions
+//   40      8     num_edges
+//   48      8     total_bits
+//   56      8     header hash (Mix64 chain over all preceding fields)
+//   64      (num_nodes+1)*8     bit_start offsets
+//   ...     num_partitions*24   partition table
+//                               {u32 node_begin, u32 node_end,
+//                                u64 byte_begin, u64 byte_end}
+//   ...     (total_bits+7)/8    encoded adjacency payload
+//
+// The file size must equal the sum of those sections exactly; any mismatch,
+// bad magic/version, or header-hash failure makes Open() return
+// Status::InvalidArgument (never crash). The writer stages through a temp
+// file and renames into place (WriteFileAtomic), so readers never observe a
+// partial container.
+#ifndef GCGT_OOC_CGR_CONTAINER_H_
+#define GCGT_OOC_CGR_CONTAINER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cgr/cgr_graph.h"
+#include "util/status.h"
+
+namespace gcgt::ooc {
+
+/// Serializes an encoded graph (plus its artifact fingerprint) to `path`
+/// atomically. An unpartitioned graph is written as one whole-range
+/// partition, so every container is pageable.
+Status WriteCgrContainer(const CgrGraph& graph, uint64_t fingerprint,
+                         const std::string& path);
+
+/// Read-side view of a container file. Move-only; owns the mapping or the
+/// buffered copy. Offsets and the partition table are materialized eagerly
+/// (they are small); the payload stays a span into the mapping (kMmap) or
+/// the buffered file image, so partition bytes can be consumed without a
+/// second copy until a CgrGraph is materialized.
+class CgrContainer {
+ public:
+  enum class ReadMode {
+    kMmap,      ///< map the file read-only; falls back to kBuffered when
+                ///< mmap is unavailable (non-unix) or fails
+    kBuffered,  ///< plain buffered read of the whole file
+  };
+
+  /// Validates magic, version, header hash and the exact file size before
+  /// touching anything else; every corruption mode returns InvalidArgument.
+  static Result<CgrContainer> Open(const std::string& path,
+                                   ReadMode mode = ReadMode::kMmap);
+
+  CgrContainer(CgrContainer&& other) noexcept { *this = std::move(other); }
+  CgrContainer& operator=(CgrContainer&& other) noexcept;
+  CgrContainer(const CgrContainer&) = delete;
+  CgrContainer& operator=(const CgrContainer&) = delete;
+  ~CgrContainer();
+
+  uint64_t fingerprint() const { return fingerprint_; }
+  const CgrOptions& options() const { return options_; }
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeId num_edges() const { return num_edges_; }
+  uint64_t total_bits() const { return total_bits_; }
+  const std::vector<uint64_t>& bit_start() const { return bit_start_; }
+  const std::vector<CgrPartition>& partitions() const { return partitions_; }
+
+  /// Encoded adjacency payload — points into the mapping / file image.
+  std::span<const uint8_t> payload() const { return payload_; }
+  uint64_t PayloadBytes() const { return payload_.size(); }
+  /// Encoded bytes of partition p (byte ranges of adjacent partitions may
+  /// share a boundary byte).
+  std::span<const uint8_t> PartitionBytes(size_t p) const {
+    const CgrPartition& part = partitions_[p];
+    return payload_.subspan(part.byte_begin, part.num_bytes());
+  }
+  /// True when the payload is served from an mmap (kMmap mode succeeded).
+  bool mmapped() const { return map_addr_ != nullptr; }
+
+  /// Materializes an in-memory encoded graph (copies the payload) and
+  /// re-validates all structural invariants via CgrGraph::Assemble.
+  Result<CgrGraph> ToCgrGraph() const;
+
+ private:
+  CgrContainer() = default;
+
+  CgrOptions options_;
+  uint64_t fingerprint_ = 0;
+  NodeId num_nodes_ = 0;
+  EdgeId num_edges_ = 0;
+  uint64_t total_bits_ = 0;
+  std::vector<uint64_t> bit_start_;
+  std::vector<CgrPartition> partitions_;
+  std::span<const uint8_t> payload_;
+
+  // Exactly one of these backs payload_ (or neither, for an empty payload).
+  void* map_addr_ = nullptr;
+  size_t map_len_ = 0;
+  std::vector<uint8_t> buffer_;
+};
+
+}  // namespace gcgt::ooc
+
+#endif  // GCGT_OOC_CGR_CONTAINER_H_

@@ -83,6 +83,49 @@ Result<uint64_t> GcgtService::RegisterGraph(const Graph& graph,
   return fingerprint;
 }
 
+Result<uint64_t> GcgtService::RegisterContainer(
+    const std::string& path, const GcgtOptions& options,
+    ooc::CgrContainer::ReadMode mode) {
+  Result<ooc::CgrContainer> container = ooc::CgrContainer::Open(path, mode);
+  if (!container.ok()) return container.status();
+  const ooc::CgrContainer& c = container.value();
+  // Registry key = the header's stored artifact fingerprint folded with the
+  // serving options. The stored fingerprint already identifies graph bytes,
+  // encode options and partition plan; folding `options` keeps one container
+  // registered under two budgets (or cost models) as two distinct artifacts,
+  // mirroring how RegisterGraph keys on graph AND options.
+  PrepareOptions fp_opt;
+  fp_opt.cgr = c.options();
+  fp_opt.ooc_partitions = static_cast<int>(c.partitions().size());
+  fp_opt.gcgt = options;
+  const uint64_t fingerprint =
+      CombineOptionsFingerprint(c.fingerprint(), fp_opt);
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (auto it = registry_.find(fingerprint); it != registry_.end()) {
+      // Same collision shape guard as RegisterGraph.
+      if (it->second->num_query_nodes() != c.num_nodes()) {
+        return Status::Internal(
+            "artifact fingerprint collision: a different graph is already "
+            "registered under this fingerprint");
+      }
+      return fingerprint;  // container already materialized
+    }
+  }
+  // Materialize OUTSIDE the lock, same rationale as RegisterGraph.
+  auto built = PreparedGraph::BuildFromContainer(c, options, fingerprint);
+  if (!built.ok()) return built.status();
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto [it, inserted] =
+      registry_.try_emplace(fingerprint, std::move(built.value()));
+  if (!inserted && it->second->num_query_nodes() != c.num_nodes()) {
+    return Status::Internal(
+        "artifact fingerprint collision: a different graph is already "
+        "registered under this fingerprint");
+  }
+  return fingerprint;
+}
+
 std::shared_ptr<const PreparedGraph> GcgtService::FindGraph(
     uint64_t fingerprint) const {
   std::lock_guard<std::mutex> lock(registry_mu_);
@@ -317,7 +360,26 @@ void GcgtService::Serve(std::unordered_map<uint64_t, WorkerSession>& sessions,
   }();
 
   if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
-  if (!result.ok()) {
+  if (result.ok()) {
+    // Out-of-core pager accounting. Cache hits replay the memoized metrics
+    // of the run that produced them, so a hit on a paged artifact counts the
+    // same faults the original traversal charged — the stats describe the
+    // modeled cost of the results served, not host-side work performed.
+    const TraversalMetrics& m = result.value().metrics();
+    if (m.warp.partition_faults != 0) {
+      partition_faults_.fetch_add(m.warp.partition_faults,
+                                  std::memory_order_relaxed);
+    }
+    if (m.warp.partition_spills != 0) {
+      partition_spills_.fetch_add(m.warp.partition_spills,
+                                  std::memory_order_relaxed);
+    }
+    uint64_t peak = m.resident_bytes_peak;
+    uint64_t seen = resident_bytes_peak_.load(std::memory_order_relaxed);
+    while (peak > seen && !resident_bytes_peak_.compare_exchange_weak(
+                              seen, peak, std::memory_order_relaxed)) {
+    }
+  } else {
     if (result.status().IsCancelled()) {
       cancelled_.fetch_add(1, std::memory_order_relaxed);
     } else if (result.status().IsDeadlineExceeded()) {
@@ -343,6 +405,10 @@ ServiceStats GcgtService::Stats() const {
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   stats.breaker_rejected = breaker_rejected_.load(std::memory_order_relaxed);
+  stats.partition_faults = partition_faults_.load(std::memory_order_relaxed);
+  stats.partition_spills = partition_spills_.load(std::memory_order_relaxed);
+  stats.resident_bytes_peak =
+      resident_bytes_peak_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(breakers_mu_);
     for (const auto& [fp, breaker] : breakers_) {

@@ -147,6 +147,12 @@ struct ServiceStats {
   uint64_t deadline_exceeded = 0; ///< queries ending DeadlineExceeded
   uint64_t breaker_rejected = 0;  ///< failed fast on an open breaker
   uint64_t breaker_opened = 0;    ///< breaker trips across all artifacts
+  // Out-of-core pager counters, summed over every successful result served
+  // (cache hits replay the memoized metrics, so they count identically):
+  uint64_t partition_faults = 0;  ///< partitions faulted in from the
+                                  ///< external tier
+  uint64_t partition_spills = 0;  ///< partitions spilled to fit the budget
+  uint64_t resident_bytes_peak = 0;  ///< max resident set across all queries
 };
 
 class GcgtService {
@@ -164,6 +170,21 @@ class GcgtService {
   /// the existing artifact. Safe to call concurrently with serving.
   Result<uint64_t> RegisterGraph(const Graph& graph,
                                  const PrepareOptions& options = {});
+
+  /// Registers an out-of-core container file (ooc::WriteCgrContainer) as a
+  /// servable artifact: the encoded bits are adopted verbatim — zero
+  /// re-encodes, ever — and `options` configures the serving engines (set
+  /// options.ooc_resident_bytes to page the partitions under a budget). The
+  /// returned id combines the container header's stored fingerprint with the
+  /// serving options, so one container registered under two budgets yields
+  /// two artifacts that never alias in the registry or the result cache.
+  /// Note: a container stores the PREPARED graph — queries on a
+  /// container-backed artifact address prepared node ids (the
+  /// reorder/VNC translation of the original Prepare() session is not part
+  /// of the container format).
+  Result<uint64_t> RegisterContainer(
+      const std::string& path, const GcgtOptions& options = {},
+      ooc::CgrContainer::ReadMode mode = ooc::CgrContainer::ReadMode::kMmap);
 
   /// The registered artifact (nullptr when unknown). Entries live for the
   /// service's lifetime.
@@ -248,6 +269,9 @@ class GcgtService {
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> breaker_rejected_{0};
+  std::atomic<uint64_t> partition_faults_{0};
+  std::atomic<uint64_t> partition_spills_{0};
+  std::atomic<uint64_t> resident_bytes_peak_{0};
 };
 
 }  // namespace gcgt

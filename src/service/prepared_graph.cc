@@ -16,4 +16,19 @@ Result<std::shared_ptr<const PreparedGraph>> PreparedGraph::Build(
       new PreparedGraph(std::move(master).value()));
 }
 
+Result<std::shared_ptr<const PreparedGraph>> PreparedGraph::BuildFromContainer(
+    const ooc::CgrContainer& container, const GcgtOptions& options,
+    uint64_t fingerprint) {
+  Result<CgrGraph> cgr = container.ToCgrGraph();
+  if (!cgr.ok()) return cgr.status();
+  GcgtSession master = GcgtSession::Adopt(
+      std::make_unique<const CgrGraph>(std::move(cgr).value()), options,
+      fingerprint);
+  // Same eager-decode rule as Build(): worker clones must never race on the
+  // master's lazy uncompressed view.
+  master.graph();
+  return std::shared_ptr<const PreparedGraph>(
+      new PreparedGraph(std::move(master)));
+}
+
 }  // namespace gcgt

@@ -18,6 +18,7 @@
 
 #include "api/gcgt_session.h"
 #include "graph/graph.h"
+#include "ooc/cgr_container.h"
 #include "util/status.h"
 
 namespace gcgt {
@@ -31,6 +32,16 @@ class PreparedGraph {
   /// registry hashes before encoding to dedup, so Build never re-hashes.
   static Result<std::shared_ptr<const PreparedGraph>> Build(
       const Graph& graph, const PrepareOptions& options, uint64_t fingerprint);
+
+  /// Freezes an artifact materialized from an out-of-core container instead
+  /// of running the prepare pipeline: the container's encoded bits become
+  /// the master session's (owned) CgrGraph with zero re-encodes.
+  /// `fingerprint` is the registry key the caller derived from the container
+  /// header + serving options (CombineOptionsFingerprint); it is trusted
+  /// verbatim so PreparedGraph::fingerprint() matches the registration key.
+  static Result<std::shared_ptr<const PreparedGraph>> BuildFromContainer(
+      const ooc::CgrContainer& container, const GcgtOptions& options,
+      uint64_t fingerprint);
 
   /// Identity: ComputeArtifactFingerprint(input graph, options).
   uint64_t fingerprint() const { return master_.artifact_fingerprint(); }

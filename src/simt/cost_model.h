@@ -42,6 +42,13 @@ struct CostModel {
   /// cheaper bytes. A separate knob so "what if replay hit L2" stays a
   /// modelable question.
   double cycles_per_replay_txn = 24.0;
+  /// External-tier (out-of-core) latency: one line moved by a partition
+  /// fault or spill costs cycles_per_mem_txn * this multiplier. 8x models a
+  /// CXL/NVLink-class external memory a small integer factor slower than
+  /// device HBM (PAPERS.md: EMOGI, the CXL external-memory study); raise it
+  /// toward ~100x to model PCIe paging instead. Only the PartitionPager's
+  /// fault_txns/spill_txns are priced with it — in-core traffic never is.
+  double external_latency_multiplier = 8.0;
   double kernel_launch_cycles = 3000;  ///< fixed cost per kernel launch
 
   int cache_line_bytes = 128;

@@ -354,6 +354,18 @@ struct WarpStats {
   /// 8-byte words spanned by charged decode reads (observability only — not
   /// priced; the lines are already in mem_txns).
   uint64_t decode_words = 0;
+  // Out-of-core partition-pager charge class (src/ooc/partition_pager.h).
+  // Like replay_txns, the external-tier traffic is its own class so mem_txns
+  // keeps meaning "device-resident lines": a fault streams a non-resident
+  // partition's compressed bytes in from the external tier, a spill writes a
+  // victim's bytes back, and both are priced at cycles_per_mem_txn *
+  // external_latency_multiplier. Pins are observability only (not priced):
+  // the number of distinct partitions a round held resident.
+  uint64_t partition_faults = 0;  ///< non-resident partitions faulted in
+  uint64_t partition_spills = 0;  ///< resident partitions evicted to fit
+  uint64_t partition_pins = 0;    ///< partitions pinned by a round's frontier
+  uint64_t fault_txns = 0;        ///< external-tier lines moved by faults
+  uint64_t spill_txns = 0;        ///< external-tier lines moved by spills
 
   double Cycles(const CostModel& m) const {
     // decode/append slots are priced at their own rates.
@@ -364,7 +376,9 @@ struct WarpStats {
            m.cycles_per_shared_op * static_cast<double>(shared_ops) +
            m.cycles_per_mem_txn * static_cast<double>(mem_txns) +
            m.cycles_per_atomic * static_cast<double>(atomics) +
-           m.cycles_per_replay_txn * static_cast<double>(replay_txns);
+           m.cycles_per_replay_txn * static_cast<double>(replay_txns) +
+           m.cycles_per_mem_txn * m.external_latency_multiplier *
+               static_cast<double>(fault_txns + spill_txns);
   }
 
   WarpStats& operator+=(const WarpStats& o) {
@@ -380,6 +394,11 @@ struct WarpStats {
     replay_txns += o.replay_txns;
     replay_evictions += o.replay_evictions;
     decode_words += o.decode_words;
+    partition_faults += o.partition_faults;
+    partition_spills += o.partition_spills;
+    partition_pins += o.partition_pins;
+    fault_txns += o.fault_txns;
+    spill_txns += o.spill_txns;
     return *this;
   }
 

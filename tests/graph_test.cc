@@ -171,6 +171,45 @@ TEST(GraphIo, BinaryCsrRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(GraphIo, BinaryCsrRoundTripEdgeShapes) {
+  // Single node, empty graph, and interleaved empty adjacency rows — the
+  // shapes a length-prefixed format gets wrong first.
+  std::vector<Graph> graphs;
+  graphs.push_back(Graph::FromEdges(1, {}));
+  graphs.push_back(Graph::FromEdges(0, {}));
+  graphs.push_back(Graph::FromEdges(5, {{0, 4}, {2, 2}, {4, 0}}));
+  for (const Graph& g : graphs) {
+    std::string path = ::testing::TempDir() + "/shape.bin";
+    ASSERT_TRUE(WriteBinaryCsr(g, path).ok());
+    auto back = ReadBinaryCsr(path);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value().offsets(), g.offsets());
+    EXPECT_EQ(back.value().neighbors(), g.neighbors());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(GraphIo, WriteFileAtomicNeverExposesPartialFiles) {
+  std::string path = ::testing::TempDir() + "/atomic.bin";
+  // Seed the target with known content.
+  ASSERT_TRUE(WriteFileAtomic(path, [](std::FILE* f) {
+                std::fputs("original", f);
+                return Status::OK();
+              }).ok());
+  // A failing writer must leave the previous content untouched.
+  EXPECT_FALSE(WriteFileAtomic(path, [](std::FILE* f) {
+                 std::fputs("partial", f);
+                 return Status::Internal("simulated failure");
+               }).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {};
+  size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "original");
+  std::remove(path.c_str());
+}
+
 TEST(GraphIo, MissingFileFails) {
   EXPECT_FALSE(ReadEdgeListFile("/nonexistent/file.txt").ok());
   EXPECT_FALSE(ReadBinaryCsr("/nonexistent/file.bin").ok());
