@@ -357,6 +357,11 @@ Result<QueryResult> GcgtSession::Run(const Query& query,
   // the next query's Reset() clears it, keeping the session reusable.
   pipeline_->SetCancelToken(run.cancel);
 
+  // Brownout plumb-through: apply (or clear, for the default UINT64_MAX)
+  // this query's replay-budget cap before the pipeline Reset()s the cache.
+  // Cheap no-op for sessions whose artifacts have no replay budget.
+  engine_->SetReplayBudgetCap(run.replay_budget_cap);
+
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     switch (run.backend) {
       case Backend::kCgrSimt: return RunCgr(translated, run.trace);

@@ -176,6 +176,13 @@ struct RunOptions {
   /// poll at query start and between BC sources. An aborted session stays
   /// fully usable — the next query Reset()s all per-query state.
   CancelToken cancel{};
+  /// Serving-tier brownout: caps the kCgrSimt replay-cache budget for THIS
+  /// query at min(prepared replay_cache_bytes, this cap); UINT64_MAX = no
+  /// cap. Result labels are unchanged — only modeled replay metrics move —
+  /// so GcgtService never memoizes capped runs under the artifact's
+  /// canonical identity. Ignored by the baseline backends (no replay
+  /// cache there).
+  uint64_t replay_budget_cap = UINT64_MAX;
 };
 
 class GcgtSession {

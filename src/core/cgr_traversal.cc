@@ -1455,6 +1455,14 @@ void CgrTraversalEngine::ResetReplay() const {
   if (scratch_) scratch_->replay.Reset();
 }
 
+void CgrTraversalEngine::SetReplayBudgetCap(uint64_t cap_bytes) const {
+  replay_cap_ = cap_bytes;
+  if (scratch_) {
+    scratch_->replay.SetCapacity(
+        std::min(options_.replay_cache_bytes, replay_cap_));
+  }
+}
+
 void CgrTraversalEngine::ResetPager() const {
   if (scratch_) scratch_->pager.Reset();
 }
@@ -1466,6 +1474,12 @@ uint64_t CgrTraversalEngine::PagerResidentPeak() const {
 internal::EngineScratch& CgrTraversalEngine::Scratch() const {
   if (!scratch_) {
     scratch_ = std::make_unique<internal::EngineScratch>(graph_, options_);
+    if (replay_cap_ < options_.replay_cache_bytes) {
+      // The scratch Configure()s the replay cache at the full configured
+      // budget (the per-node state arrays size off enablement there); a
+      // pre-existing brownout cap then only bounds the capacity.
+      scratch_->replay.SetCapacity(replay_cap_);
+    }
   }
   return *scratch_;
 }

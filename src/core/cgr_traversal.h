@@ -82,6 +82,16 @@ class CgrTraversalEngine {
   /// graph + options + query). No-op when the cache is disabled.
   void ResetReplay() const;
 
+  /// Serving-tier brownout hook: caps the replay cache's capacity at
+  /// min(configured budget, cap_bytes) for subsequent queries, evicting
+  /// resident entries to fit immediately. UINT64_MAX restores the configured
+  /// budget. Result labels are unaffected (the replay cache only changes
+  /// which charge class pays for hot adjacencies), but modeled metrics DO
+  /// change, so capped runs must not be memoized under the artifact's
+  /// canonical identity (GcgtService skips the result cache for them).
+  /// Single-caller, like every other engine entry point.
+  void SetReplayBudgetCap(uint64_t cap_bytes) const;
+
   /// Evicts the out-of-core pager's resident set and zeroes its counters.
   /// Called at every query start via TraversalPipeline::Reset — each query
   /// starts cold, so fault/spill counts stay a pure function of graph +
@@ -122,6 +132,10 @@ class CgrTraversalEngine {
 
   const CgrGraph& graph_;
   GcgtOptions options_;
+  /// Brownout cap on the replay-cache capacity (UINT64_MAX = uncapped);
+  /// effective capacity is min(options_.replay_cache_bytes, replay_cap_).
+  /// Mutable for the same reason as scratch_: single-caller serving state.
+  mutable uint64_t replay_cap_ = UINT64_MAX;
   // Lazily-built reusable worker state (thread pool, per-thread WarpSims and
   // enumeration arenas). Mutable: ProcessFrontier is logically const but
   // reuses this scratch across levels to keep the hot path allocation-free.

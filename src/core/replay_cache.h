@@ -53,6 +53,22 @@ class ReplayCache {
   uint64_t size_bytes() const { return size_bytes_; }
   uint64_t capacity_bytes() const { return capacity_; }
 
+  /// Re-bounds the capacity without re-sizing the per-node state arrays,
+  /// evicting LRU entries until the resident set fits. The serving tier's
+  /// brownout mode shrinks (and later restores) the budget this way between
+  /// queries; callers must never raise the capacity above the value the
+  /// arrays were Configure()d for enablement with (the engine caps at
+  /// min(configured, cap), so this cannot happen from the service path).
+  void SetCapacity(uint64_t capacity_bytes) {
+    capacity_ = capacity_bytes;
+    while (size_bytes_ > capacity_ && !lru_.empty()) {
+      Entry& victim = lru_.back();
+      size_bytes_ -= EntryBytes(victim.adj.size());
+      flags_[victim.u] &= static_cast<uint8_t>(~kResident);
+      lru_.pop_back();
+    }
+  }
+
   /// Epoch invalidation: drops all entries and touch counts. Called at every
   /// query start so cross-query state can never leak into results/metrics.
   void Reset() {

@@ -16,8 +16,11 @@
 // Only SERVICE-side failures should be recorded (Status::kInternal — worker
 // exceptions, injected faults): client errors (InvalidArgument, NotFound),
 // per-query resource verdicts (OutOfMemory) and caller aborts (Cancelled,
-// DeadlineExceeded) say nothing about the artifact's health. The service
-// enforces that classification; the breaker just counts.
+// DeadlineExceeded) say nothing about the artifact's health. The watchdog's
+// stuck-worker detections also count as failures here — an attempt parked
+// past its deadline is service-side sickness whatever verdict it eventually
+// returns. The service enforces that classification; the breaker just
+// counts.
 //
 // Time is injected (`now_fn`) so every transition is unit-testable with a
 // fake clock. All methods are thread-safe.

@@ -9,9 +9,21 @@
 
 namespace gcgt {
 
+namespace {
+
+AdmissionQueueOptions QueueOptionsFrom(const ServiceOptions& options) {
+  AdmissionQueueOptions q;
+  q.capacity = options.queue_capacity;
+  q.edf = options.qos.edf;
+  q.shed_target = options.qos.shed_target;
+  q.shed_interval = options.qos.shed_interval;
+  return q;
+}
+
+}  // namespace
+
 GcgtService::GcgtService(const ServiceOptions& options)
-    : options_(options),
-      queue_(options.queue_capacity) {
+    : options_(options), queue_(QueueOptionsFrom(options)) {
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.max_attempts < 1) options_.max_attempts = 1;
   if (options_.cache_bytes > 0) {
@@ -22,9 +34,16 @@ GcgtService::GcgtService(const ServiceOptions& options)
   // both are set, and once-only so repeated service constructions never
   // reset the deterministic ordinal sequence mid-run.
   FaultInjector::InitFromEnv();
+  slots_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
   workers_.reserve(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  if (options_.qos.watchdog_interval.count() > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
@@ -35,11 +54,21 @@ void GcgtService::Shutdown() {
   // (including the destructor) block until the winner finishes draining, so
   // no caller returns while workers are still running. Submissions racing
   // with shutdown either make it into the queue (drained, future fulfilled)
-  // or see the closed queue and fail fast with Unavailable — BoundedQueue
-  // guarantees a false Push never consumes the item.
+  // or see the closed queue and fail fast with Unavailable — AdmissionQueue
+  // guarantees a false Push never consumes the item. The watchdog is joined
+  // AFTER the drain: hedges it dispatches into the closed queue fail
+  // harmlessly (TryPush kClosed releases the attempt).
   std::call_once(shutdown_once_, [&] {
     queue_.Close();  // workers drain the accepted jobs, then exit
     for (std::thread& worker : workers_) worker.join();
+    if (watchdog_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(watchdog_mu_);
+        watchdog_stop_ = true;
+      }
+      watchdog_cv_.notify_all();
+      watchdog_.join();
+    }
   });
 }
 
@@ -152,28 +181,109 @@ CircuitBreakerState GcgtService::BreakerState(uint64_t fingerprint) const {
                                : it->second->state();
 }
 
-std::future<Result<QueryResult>> GcgtService::Submit(ServiceQuery query) {
+std::shared_ptr<GcgtService::ArtifactHealth> GcgtService::HealthFor(
+    uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  auto it = health_.find(fingerprint);
+  if (it == health_.end()) {
+    it = health_.emplace(fingerprint, std::make_shared<ArtifactHealth>())
+             .first;
+  }
+  return it->second;
+}
+
+double GcgtService::HealthScore(uint64_t fingerprint) const {
+  std::shared_ptr<ArtifactHealth> health;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    auto it = health_.find(fingerprint);
+    if (it == health_.end()) return 1.0;
+    health = it->second;
+  }
+  const double ok =
+      static_cast<double>(health->ok.load(std::memory_order_relaxed));
+  const double failed =
+      static_cast<double>(health->failed.load(std::memory_order_relaxed));
+  const double stuck =
+      static_cast<double>(health->stuck.load(std::memory_order_relaxed));
+  // Failures weigh 4x a success, stuck detections 8x: one stuck worker
+  // (a whole engine wedged past its deadline) is a far stronger signal than
+  // one contained exception.
+  const double total = ok + 4.0 * failed + 8.0 * stuck;
+  return total <= 0.0 ? 1.0 : ok / total;
+}
+
+std::shared_ptr<GcgtService::JobState> GcgtService::MakeState(
+    ServiceQuery query) {
   if (options_.default_timeout.count() > 0) {
-    query.cancel = query.cancel.WithDeadlineMin(CancelToken::Clock::now() +
+    query.cancel = query.cancel.WithDeadlineMin(Clock::now() +
                                                 options_.default_timeout);
   }
-  Job job;
-  job.query = std::move(query);
-  std::future<Result<QueryResult>> future = job.promise.get_future();
+  // Canonicalize BC source sets (sort + dedup) at admission, before anything
+  // reads the query: the executed query, the cache key and any hedge attempt
+  // then always agree, so a cache hit is bit-identical to a fresh run of the
+  // canonical query and equivalent submissions ({3,1}, {1,3,3}) share one
+  // cached result.
+  if (auto* bc = std::get_if<BcQuery>(&query.query)) {
+    bc->sources = CanonicalBcSources(std::move(bc->sources));
+  }
+  auto state = std::make_shared<JobState>();
+  state->query = std::move(query);
+  state->admitted_at = Clock::now();
+  return state;
+}
+
+bool GcgtService::FairAdmit(uint64_t client_id) {
+  if (options_.qos.fair_tokens_per_sec <= 0.0) return true;
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(buckets_mu_);
+  auto it = buckets_.find(client_id);
+  if (it == buckets_.end()) {
+    it = buckets_
+             .try_emplace(client_id, options_.qos.fair_tokens_per_sec,
+                          options_.qos.fair_burst, now)
+             .first;
+  }
+  return it->second.TryAcquire(now);
+}
+
+void GcgtService::RegisterInflight(const std::shared_ptr<JobState>& state) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  inflight_.push_back(state);
+}
+
+std::future<Result<QueryResult>> GcgtService::Submit(ServiceQuery query) {
+  std::shared_ptr<JobState> state = MakeState(std::move(query));
+  std::future<Result<QueryResult>> future = state->promise.get_future();
   // Count BEFORE the job becomes visible to workers, so Stats() never
   // transiently reports completed > submitted.
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (FaultInjector::Global().ShouldInject(FaultPoint::kQueueAdmit)) {
-    // A simulated admission failure behaves like shutdown-time shedding:
-    // the future is fulfilled immediately with Unavailable.
+  if (!FairAdmit(state->query.client_id)) {
+    // Fair-admission sheds behave like shutdown-time shedding: the future
+    // is fulfilled immediately with Unavailable.
+    shed_rate_limited_.fetch_add(1, std::memory_order_relaxed);
     completed_.fetch_add(1, std::memory_order_relaxed);
-    job.promise.set_value(
+    state->fulfilled.store(true, std::memory_order_release);
+    state->promise.set_value(Status::Unavailable(
+        "fair admission: client exceeded its token-bucket rate"));
+    return future;
+  }
+  if (FaultInjector::Global().ShouldInject(FaultPoint::kQueueAdmit)) {
+    // A simulated admission failure behaves like shutdown-time shedding.
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    state->fulfilled.store(true, std::memory_order_release);
+    state->promise.set_value(
         Status::Unavailable("injected fault: queue admission shed"));
     return future;
   }
-  if (!queue_.Push(job)) {  // blocks while full; false only once closed
+  if (options_.qos.enable_hedging) RegisterInflight(state);
+  Job job{state, 0};
+  // deadline() is time_point::max() for un-deadlined tokens — exactly the
+  // queue's "no deadline" sentinel.
+  if (!queue_.Push(job, state->query.priority, state->query.cancel.deadline())) {
     submitted_.fetch_sub(1, std::memory_order_relaxed);
-    job.promise.set_value(Status::Unavailable("service is shut down"));
+    state->fulfilled.store(true, std::memory_order_release);
+    state->promise.set_value(Status::Unavailable("service is shut down"));
     return future;
   }
   return future;
@@ -181,27 +291,32 @@ std::future<Result<QueryResult>> GcgtService::Submit(ServiceQuery query) {
 
 Result<std::future<Result<QueryResult>>> GcgtService::TrySubmit(
     ServiceQuery query) {
-  if (options_.default_timeout.count() > 0) {
-    query.cancel = query.cancel.WithDeadlineMin(CancelToken::Clock::now() +
-                                                options_.default_timeout);
-  }
-  Job job;
-  job.query = std::move(query);
-  std::future<Result<QueryResult>> future = job.promise.get_future();
+  std::shared_ptr<JobState> state = MakeState(std::move(query));
+  std::future<Result<QueryResult>> future = state->promise.get_future();
   submitted_.fetch_add(1, std::memory_order_relaxed);  // see Submit()
+  if (!FairAdmit(state->query.client_id)) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    shed_rate_limited_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        "fair admission: client exceeded its token-bucket rate");
+  }
   if (FaultInjector::Global().ShouldInject(FaultPoint::kQueueAdmit)) {
     submitted_.fetch_sub(1, std::memory_order_relaxed);
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("injected fault: queue admission shed");
   }
-  switch (queue_.TryPush(job)) {
-    case BoundedQueue<Job>::PushResult::kOk:
+  if (options_.qos.enable_hedging) RegisterInflight(state);
+  Job job{state, 0};
+  switch (queue_.TryPush(job, state->query.priority,
+                         state->query.cancel.deadline())) {
+    case AdmissionQueue<Job>::PushResult::kOk:
       return future;
-    case BoundedQueue<Job>::PushResult::kFull:
+    case AdmissionQueue<Job>::PushResult::kFull:
       submitted_.fetch_sub(1, std::memory_order_relaxed);
       rejected_.fetch_add(1, std::memory_order_relaxed);
       return Status::Unavailable("admission control: queue is full");
-    case BoundedQueue<Job>::PushResult::kClosed:
+    case AdmissionQueue<Job>::PushResult::kClosed:
       submitted_.fetch_sub(1, std::memory_order_relaxed);
       return Status::Unavailable("service is shut down");
   }
@@ -216,18 +331,101 @@ std::vector<std::future<Result<QueryResult>>> GcgtService::SubmitBatch(
   return futures;
 }
 
-void GcgtService::WorkerLoop() {
+bool GcgtService::Fulfill(JobState& state, Result<QueryResult> result,
+                          const std::function<void()>& on_win) {
+  if (state.fulfilled.exchange(true, std::memory_order_acq_rel)) return false;
+  // The race is decided: stop the losing attempt (queued or mid-run) at its
+  // next cooperative poll. Cancelling the winner's own token is harmless —
+  // its result is already in hand.
+  state.attempt_cancel[0].Cancel();
+  state.attempt_cancel[1].Cancel();
+  ObserveLatency(Clock::now() - state.admitted_at);
+  if (!result.ok()) {
+    if (result.status().IsCancelled()) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+    } else if (result.status().IsDeadlineExceeded()) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // ALL per-query accounting lands before set_value wakes the client, so a
+  // Stats() read after .get() always sees this query fully counted.
+  if (on_win) on_win();
+  // Exactly-once fulfillment: every verdict funnels through this one
+  // set_value, so an accepted future can never be abandoned or set twice.
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  state.promise.set_value(std::move(result));
+  return true;
+}
+
+void GcgtService::FailAttempt(Job& job, Status status, FailCause cause) {
+  {
+    std::lock_guard<std::mutex> lock(job.state->verdict_mu);
+    job.state->error = std::move(status);
+    job.state->error_cause = cause;
+  }
+  ReleaseAttempt(*job.state);
+}
+
+void GcgtService::ReleaseAttempt(JobState& state) {
+  if (state.live_attempts.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    // A sibling attempt is still live (or already decided the query); a
+    // failed attempt must never preempt a hedge that might still succeed.
+    return;
+  }
+  // Last live attempt: its stored verdict decides the query — unless a
+  // sibling already fulfilled it (Fulfill no-ops then).
+  Status status = Status::OK();
+  FailCause cause = FailCause::kRun;
+  {
+    std::lock_guard<std::mutex> lock(state.verdict_mu);
+    status = state.error;
+    cause = state.error_cause;
+  }
+  // Cause attribution happens only on the fulfilling verdict, so each query
+  // lands in at most one overload counter (a swept-then-hedge-rescued query
+  // counts as a success, not an expiry).
+  Fulfill(state, std::move(status), [&] {
+    if (cause == FailCause::kExpiredInQueue) {
+      expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+    } else if (cause == FailCause::kShedOverload) {
+      shed_overload_.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+}
+
+void GcgtService::WorkerLoop(int worker_index) {
   // Per-worker serving state: one session (engine) per artifact served so
   // far. Thread-confined — never shared, so Run() stays single-caller.
   std::unordered_map<uint64_t, WorkerSession> sessions;
-  while (std::optional<Job> job = queue_.Pop()) {
-    Serve(sessions, std::move(*job));
+  for (;;) {
+    AdmissionQueue<Job>::PopOutcome out = queue_.Pop();
+    // Queue-swept entries first: they are already doomed, and failing them
+    // before serving the live item keeps their futures from waiting on an
+    // unrelated traversal.
+    for (Job& doomed : out.expired) {
+      FailAttempt(doomed,
+                  Status::DeadlineExceeded(
+                      "query deadline expired while queued"),
+                  FailCause::kExpiredInQueue);
+    }
+    for (Job& doomed : out.shed) {
+      FailAttempt(doomed,
+                  Status::Unavailable(
+                      "overload shed: queue sojourn above target"),
+                  FailCause::kShedOverload);
+    }
+    if (out.item) {
+      Serve(worker_index, sessions, std::move(*out.item));
+    } else if (!out.open) {
+      break;
+    }
   }
 }
 
 Result<QueryResult> GcgtService::Attempt(WorkerSession& ws,
                                          const ServiceQuery& query,
-                                         bool& degraded) {
+                                         const CancelToken& run_token,
+                                         uint64_t replay_cap, bool& degraded) {
   degraded = false;
   // Exception containment: ANYTHING a serve attempt throws — including the
   // injected fault below, which deliberately exercises this path — becomes
@@ -238,7 +436,8 @@ Result<QueryResult> GcgtService::Attempt(WorkerSession& ws,
     }
     RunOptions run;
     run.backend = query.backend;
-    run.cancel = query.cancel;
+    run.cancel = run_token;
+    run.replay_budget_cap = replay_cap;
     Result<QueryResult> result = ws.session.Run(query.query, run);
     if (!result.ok() && result.status().IsOutOfMemory() &&
         options_.enable_oom_fallback &&
@@ -266,32 +465,61 @@ Result<QueryResult> GcgtService::Attempt(WorkerSession& ws,
   }
 }
 
-void GcgtService::Serve(std::unordered_map<uint64_t, WorkerSession>& sessions,
+void GcgtService::Serve(int worker_index,
+                        std::unordered_map<uint64_t, WorkerSession>& sessions,
                         Job job) {
-  const uint64_t fingerprint = job.query.graph;
-  const Backend backend = job.query.backend;
+  JobState& state = *job.state;
+  const uint64_t fingerprint = state.query.graph;
+  const Backend backend = state.query.backend;
 
-  // Canonicalize BC source sets (sort + dedup) before anything reads the
-  // query: the executed query and the cache key then always agree, so a
-  // cache hit is bit-identical to a fresh run of the canonical query, and
-  // equivalent submissions ({3,1}, {1,3,3}) share one cached result.
-  if (auto* bc = std::get_if<BcQuery>(&job.query.query)) {
-    bc->sources = CanonicalBcSources(std::move(bc->sources));
+  if (state.fulfilled.load(std::memory_order_acquire)) {
+    // The sibling attempt of a hedged pair already answered while this one
+    // was queued: drop it without touching a session.
+    ReleaseAttempt(state);
+    return;
   }
 
+  // Publish what this worker is running so the watchdog can spot a stuck
+  // attempt (running past deadline + grace without honoring its polls).
+  struct SlotGuard {
+    WorkerSlot& slot;
+    SlotGuard(WorkerSlot& s, std::shared_ptr<JobState> running) : slot(s) {
+      std::lock_guard<std::mutex> lock(slot.mu);
+      slot.state = std::move(running);
+    }
+    ~SlotGuard() {
+      std::lock_guard<std::mutex> lock(slot.mu);
+      slot.state = nullptr;
+    }
+  } slot_guard(*slots_[worker_index], job.state);
+
+  // This attempt's run token: the client/deadline token plus this attempt's
+  // loser-abort flag (Fulfill cancels it when the sibling wins, so the
+  // losing traversal aborts at its next cooperative poll).
+  const CancelToken run_token =
+      state.query.cancel.WithLinkedSource(state.attempt_cancel[job.attempt]);
+
   bool degraded = false;
+  bool replay_capped = false;
+  FailCause cause = FailCause::kRun;
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
-    // Queued-time expiry: a query whose deadline passed (or that was
-    // cancelled) while waiting in the queue fails here without spending any
-    // worker time on it.
-    if (Status s = job.query.cancel.Check(); !s.ok()) return s;
+    // Expiry/abort between pop and serve (queue sweeps catch most expiries
+    // while QUEUED; this catches the rest) — fails without any worker time.
+    if (Status s = run_token.Check(); !s.ok()) return s;
+
+    // Injected spurious shed decision: behaves exactly like the sojourn
+    // controller shedding this query (Unavailable, counted shed_overload).
+    if (FaultInjector::Global().ShouldInject(FaultPoint::kShedDecision)) {
+      cause = FailCause::kShedOverload;
+      return Status::Unavailable("injected fault: spurious shed decision");
+    }
 
     // Cache next: a hit answers without touching any session, the breaker
     // or the retry machinery (a memoized result proves nothing about the
     // artifact's current health and costs nothing to serve).
     std::optional<ResultCacheKey> key;
     if (cache_) {
-      key = ResultCache::KeyFor(fingerprint, backend, job.query.query);
+      key = ResultCache::KeyFor(fingerprint, backend, state.query.query);
       if (key &&
           !FaultInjector::Global().ShouldInject(FaultPoint::kCacheLookup)) {
         if (std::shared_ptr<const QueryResult> hit = cache_->Lookup(*key)) {
@@ -323,18 +551,33 @@ void GcgtService::Serve(std::unordered_map<uint64_t, WorkerSession>& sessions,
       return Status::Unavailable("circuit breaker open for this artifact");
     }
 
+    // Brownout: cap this run's replay-cache budget. Sampled once per serve
+    // so the cap and the cache-insert skip below always agree.
+    uint64_t replay_cap = UINT64_MAX;
+    if (brownout_active_.load(std::memory_order_acquire)) {
+      const uint64_t budget =
+          it->second.artifact->options().gcgt.replay_cache_bytes;
+      if (budget > 0) {
+        replay_cap = static_cast<uint64_t>(static_cast<double>(budget) *
+                                           options_.qos.brownout_shrink);
+        replay_capped = true;
+      }
+    }
+
     // Attempt loop: only TRANSIENT failures (Internal) retry, with capped
     // exponential backoff. Client errors, OOM verdicts (the fallback already
     // ran inside Attempt) and caller aborts return immediately.
     Result<QueryResult> attempt = Status::Internal("no attempt ran");
     for (int n = 1; ; ++n) {
-      attempt = Attempt(it->second, job.query, degraded);
+      attempt = Attempt(it->second, state.query, run_token, replay_cap,
+                        degraded);
       if (attempt.ok() || !attempt.status().IsInternal() ||
           n >= options_.max_attempts) {
         break;
       }
-      // Never burn backoff sleeps on a query that is already dead.
-      if (Status s = job.query.cancel.Check(); !s.ok()) return s;
+      // Never burn backoff sleeps on a query that is already dead (or whose
+      // hedge sibling already won).
+      if (Status s = run_token.Check(); !s.ok()) return s;
       retries_.fetch_add(1, std::memory_order_relaxed);
       auto backoff = options_.retry_backoff_base * (int64_t{1} << (n - 1));
       std::this_thread::sleep_for(
@@ -342,16 +585,21 @@ void GcgtService::Serve(std::unordered_map<uint64_t, WorkerSession>& sessions,
                                               options_.retry_backoff_cap));
     }
 
-    // Only service-side verdicts feed the breaker (see circuit_breaker.h).
+    // Only service-side verdicts feed the breaker (see circuit_breaker.h)
+    // and the health score (watchdog stuck detections add the third input).
+    std::shared_ptr<ArtifactHealth> health = HealthFor(fingerprint);
     if (attempt.ok()) {
       breaker->RecordSuccess();
+      health->ok.fetch_add(1, std::memory_order_relaxed);
     } else if (attempt.status().IsInternal()) {
       breaker->RecordFailure();
+      health->failed.fetch_add(1, std::memory_order_relaxed);
     }
 
-    // Degraded results are never cached: their identity belongs to the
-    // fallback backend, not the key's requested backend.
-    if (attempt.ok() && !degraded && cache_ && key &&
+    // Degraded results are never cached (their identity belongs to the
+    // fallback backend); neither are replay-capped brownout results (their
+    // modeled metrics differ from the artifact's canonical identity).
+    if (attempt.ok() && !degraded && !replay_capped && cache_ && key &&
         !FaultInjector::Global().ShouldInject(FaultPoint::kCacheInsert)) {
       cache_->Insert(*key,
                      std::make_shared<const QueryResult>(attempt.value()));
@@ -359,37 +607,181 @@ void GcgtService::Serve(std::unordered_map<uint64_t, WorkerSession>& sessions,
     return attempt;
   }();
 
-  if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
-  if (result.ok()) {
-    // Out-of-core pager accounting. Cache hits replay the memoized metrics
-    // of the run that produced them, so a hit on a paged artifact counts the
-    // same faults the original traversal charged — the stats describe the
-    // modeled cost of the results served, not host-side work performed.
-    const TraversalMetrics& m = result.value().metrics();
-    if (m.warp.partition_faults != 0) {
-      partition_faults_.fetch_add(m.warp.partition_faults,
+  if (!result.ok()) {
+    FailAttempt(job, result.status(), cause);
+    return;
+  }
+
+  // Winner-only accounting: the losing result of a hedged pair is discarded,
+  // so stats keep describing the results actually served. Out-of-core pager
+  // metrics: cache hits replay the memoized metrics of the run that produced
+  // them, so a hit on a paged artifact counts the same faults the original
+  // traversal charged — the stats describe the modeled cost of the results
+  // served, not host-side work performed.
+  const bool attempt_degraded = degraded;
+  const TraversalMetrics metrics = result.value().metrics();
+  Fulfill(state, std::move(result), [&] {
+    if (job.attempt == 1) hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt_degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics.warp.partition_faults != 0) {
+      partition_faults_.fetch_add(metrics.warp.partition_faults,
                                   std::memory_order_relaxed);
     }
-    if (m.warp.partition_spills != 0) {
-      partition_spills_.fetch_add(m.warp.partition_spills,
+    if (metrics.warp.partition_spills != 0) {
+      partition_spills_.fetch_add(metrics.warp.partition_spills,
                                   std::memory_order_relaxed);
     }
-    uint64_t peak = m.resident_bytes_peak;
+    uint64_t peak = metrics.resident_bytes_peak;
     uint64_t seen = resident_bytes_peak_.load(std::memory_order_relaxed);
     while (peak > seen && !resident_bytes_peak_.compare_exchange_weak(
                               seen, peak, std::memory_order_relaxed)) {
     }
-  } else {
-    if (result.status().IsCancelled()) {
-      cancelled_.fetch_add(1, std::memory_order_relaxed);
-    } else if (result.status().IsDeadlineExceeded()) {
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  });
+  ReleaseAttempt(state);
+}
+
+void GcgtService::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, options_.qos.watchdog_interval,
+                          [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    lock.unlock();
+    // An injected tick fault skips the whole scan — the system must stay
+    // correct (just slower to hedge/detect) when the watchdog misses beats.
+    if (!FaultInjector::Global().ShouldInject(FaultPoint::kWatchdogTick)) {
+      ScanStuck();
+      if (options_.qos.enable_hedging) ScanHedges();
+      if (options_.qos.brownout_watermark_bytes > 0 && cache_) {
+        ScanBrownout();
+      }
+    }
+    lock.lock();
+  }
+}
+
+void GcgtService::ScanStuck() {
+  const Clock::time_point now = Clock::now();
+  for (const std::unique_ptr<WorkerSlot>& slot_ptr : slots_) {
+    std::shared_ptr<JobState> state;
+    {
+      std::lock_guard<std::mutex> lock(slot_ptr->mu);
+      state = slot_ptr->state;
+    }
+    if (!state || state->fulfilled.load(std::memory_order_acquire)) continue;
+    const CancelToken& token = state->query.cancel;
+    if (!token.has_deadline()) continue;
+    if (now < token.deadline() + options_.qos.stuck_grace) continue;
+    // Running this long past the deadline means the engine is not honoring
+    // its cooperative cancel polls (e.g. a single-source CPU Brandes run
+    // that only polls between sources) — report once per query.
+    if (state->stuck_reported.exchange(true, std::memory_order_acq_rel)) {
+      continue;
+    }
+    watchdog_stuck_.fetch_add(1, std::memory_order_relaxed);
+    HealthFor(state->query.graph)
+        ->stuck.fetch_add(1, std::memory_order_relaxed);
+    BreakerFor(state->query.graph)->RecordFailure();
+  }
+}
+
+std::chrono::nanoseconds GcgtService::HedgeDelay() const {
+  if (options_.qos.hedge_delay.count() > 0) return options_.qos.hedge_delay;
+  // Adaptive: a multiple of the observed completion-latency EWMA, floored —
+  // the tail-at-scale rule of thumb (hedge when a query outlives the typical
+  // one by a comfortable factor).
+  const uint64_t ewma = latency_ewma_ns_.load(std::memory_order_relaxed);
+  const auto adaptive = std::chrono::nanoseconds(static_cast<int64_t>(
+      static_cast<double>(ewma) * options_.qos.hedge_latency_factor));
+  return std::max(adaptive, options_.qos.hedge_min_delay);
+}
+
+void GcgtService::ObserveLatency(Clock::duration latency) {
+  const int64_t raw =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(latency).count();
+  const uint64_t ns = raw < 0 ? 0 : static_cast<uint64_t>(raw);
+  const uint64_t prev = latency_ewma_ns_.load(std::memory_order_relaxed);
+  const uint64_t next = prev == 0 ? ns : (prev * 7 + ns) / 8;
+  latency_ewma_ns_.store(next, std::memory_order_relaxed);
+}
+
+void GcgtService::ScanHedges() {
+  const Clock::time_point now = Clock::now();
+  const std::chrono::nanoseconds delay = HedgeDelay();
+  std::vector<std::shared_ptr<JobState>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      std::shared_ptr<JobState> state = it->lock();
+      if (!state || state->fulfilled.load(std::memory_order_acquire)) {
+        it = inflight_.erase(it);  // prune completed/abandoned entries
+        continue;
+      }
+      if (!state->hedged.load(std::memory_order_relaxed) &&
+          now - state->admitted_at >= delay) {
+        candidates.push_back(std::move(state));
+      }
+      ++it;
     }
   }
-  // Exactly-once fulfillment: every path above funnels through this single
-  // set_value, so an accepted future can never be abandoned.
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  job.promise.set_value(std::move(result));
+  for (std::shared_ptr<JobState>& state : candidates) {
+    // Spare-capacity gate: hedges amplify load, and a hedge pushed behind a
+    // standing queue waits out the same backlog as its primary — pure waste.
+    // Only hedge when the queue is shallower than the worker pool (the
+    // hedge will be picked up about immediately); under real overload
+    // hedging self-disables.
+    if (queue_.size() >= static_cast<size_t>(options_.num_workers)) break;
+    if (state->hedged.exchange(true, std::memory_order_acq_rel)) continue;
+    if (FaultInjector::Global().ShouldInject(FaultPoint::kHedgeDispatch)) {
+      // Injected hedge-path fault: the dispatch is lost. The primary still
+      // owns the query, so correctness is untouched — only tail latency.
+      continue;
+    }
+    // The hedge only races a LIVE primary: raising live_attempts from zero
+    // is forbidden (a fully-failed query may already be fulfilled).
+    int live = state->live_attempts.load(std::memory_order_relaxed);
+    bool raised = false;
+    while (live > 0) {
+      if (state->live_attempts.compare_exchange_weak(
+              live, live + 1, std::memory_order_acq_rel)) {
+        raised = true;
+        break;
+      }
+    }
+    if (!raised) continue;
+    Job hedge{state, 1};
+    if (queue_.TryPush(hedge, state->query.priority,
+                       state->query.cancel.deadline()) ==
+        AdmissionQueue<Job>::PushResult::kOk) {
+      hedged_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Queue full or closed: give the liveness back (fulfilling the stored
+      // verdict if the primary failed in the meantime).
+      ReleaseAttempt(*state);
+    }
+  }
+}
+
+void GcgtService::ScanBrownout() {
+  const Clock::time_point now = Clock::now();
+  const size_t watermark = options_.qos.brownout_watermark_bytes;
+  const size_t resident = cache_->Stats().bytes;
+  if (!brownout_active_.load(std::memory_order_relaxed)) {
+    if (resident > watermark) {
+      // Memory pressure: shed cache weight now and make workers run with
+      // shrunken replay budgets until pressure stays off for the hold.
+      brownout_since_ = now;
+      brownout_events_.fetch_add(1, std::memory_order_relaxed);
+      cache_->SetBudget(static_cast<size_t>(
+          static_cast<double>(options_.cache_bytes) *
+          options_.qos.brownout_shrink));
+      brownout_active_.store(true, std::memory_order_release);
+    }
+  } else if (now - brownout_since_ >= options_.qos.brownout_hold &&
+             resident <= watermark / 2) {
+    cache_->SetBudget(options_.cache_bytes);
+    brownout_active_.store(false, std::memory_order_release);
+  }
 }
 
 ServiceStats GcgtService::Stats() const {
@@ -405,6 +797,15 @@ ServiceStats GcgtService::Stats() const {
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   stats.breaker_rejected = breaker_rejected_.load(std::memory_order_relaxed);
+  stats.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  stats.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  stats.shed_rate_limited =
+      shed_rate_limited_.load(std::memory_order_relaxed);
+  stats.hedged = hedged_.load(std::memory_order_relaxed);
+  stats.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  stats.watchdog_stuck = watchdog_stuck_.load(std::memory_order_relaxed);
+  stats.brownout_events = brownout_events_.load(std::memory_order_relaxed);
+  stats.brownout_active = brownout_active_.load(std::memory_order_relaxed);
   stats.partition_faults = partition_faults_.load(std::memory_order_relaxed);
   stats.partition_spills = partition_spills_.load(std::memory_order_relaxed);
   stats.resident_bytes_peak =

@@ -81,7 +81,8 @@ std::shared_ptr<const QueryResult> ResultCache::Lookup(
 void ResultCache::Insert(const ResultCacheKey& key,
                          std::shared_ptr<const QueryResult> result) {
   const size_t bytes = ResultBytes(*result);
-  if (bytes > bytes_per_shard_) return;  // would evict the whole shard
+  const size_t budget = bytes_per_shard_.load(std::memory_order_relaxed);
+  if (bytes > budget) return;  // would evict the whole shard
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   if (auto it = shard.map.find(key); it != shard.map.end()) {
@@ -90,17 +91,30 @@ void ResultCache::Insert(const ResultCacheKey& key,
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  while (shard.bytes + bytes > bytes_per_shard_ && !shard.lru.empty()) {
+  TrimShardLocked(shard, budget >= bytes ? budget - bytes : 0);
+  shard.lru.push_front(Entry{key, std::move(result), bytes});
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResultCache::TrimShardLocked(Shard& shard, size_t budget) {
+  while (shard.bytes > budget && !shard.lru.empty()) {
     const Entry& victim = shard.lru.back();
     shard.bytes -= victim.bytes;
     shard.map.erase(victim.key);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.lru.push_front(Entry{key, std::move(result), bytes});
-  shard.map.emplace(key, shard.lru.begin());
-  shard.bytes += bytes;
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResultCache::SetBudget(size_t max_bytes) {
+  const size_t per_shard = max_bytes / shards_.size();
+  bytes_per_shard_.store(per_shard, std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    TrimShardLocked(*shard, per_shard);
+  }
 }
 
 ResultCacheStats ResultCache::Stats() const {

@@ -13,6 +13,9 @@ const char* FaultPointName(FaultPoint point) {
     case FaultPoint::kDecodeRound: return "decode_round";
     case FaultPoint::kCacheLookup: return "cache_lookup";
     case FaultPoint::kCacheInsert: return "cache_insert";
+    case FaultPoint::kHedgeDispatch: return "hedge_dispatch";
+    case FaultPoint::kShedDecision: return "shed_decision";
+    case FaultPoint::kWatchdogTick: return "watchdog_tick";
     case FaultPoint::kNumPoints: break;
   }
   return "?";

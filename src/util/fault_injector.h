@@ -38,6 +38,10 @@ enum class FaultPoint : int {
   kDecodeRound,     ///< TraversalPipeline round loop: Internal decode error
   kCacheLookup,     ///< result cache: lookup reports a miss
   kCacheInsert,     ///< result cache: insertion is dropped
+  kHedgeDispatch,   ///< watchdog: a due hedge re-dispatch is suppressed
+  kShedDecision,    ///< worker serve: a spurious overload shed (Unavailable)
+  kWatchdogTick,    ///< watchdog: a whole tick (stuck/hedge/brownout
+                    ///< scans) is skipped
   kNumPoints,
 };
 

@@ -1,0 +1,72 @@
+// Token bucket: the fair-admission primitive of the serving tier.
+//
+// GcgtService keeps one bucket per ServiceQuery::client_id so no tenant can
+// monopolize the admission queue: a client may admit `burst` queries
+// instantly and `tokens_per_sec` sustained; beyond that its submissions are
+// shed with Unavailable while other clients' buckets are untouched.
+//
+// Time is passed in explicitly (steady_clock time points) rather than read
+// internally, so refill math is a pure function of the call trace — fairness
+// bounds are unit-testable with a fake clock, and the caller amortizes one
+// clock read across the bucket-map lookup. Not thread-safe; the service
+// guards its bucket map with a mutex.
+#ifndef GCGT_UTIL_TOKEN_BUCKET_H_
+#define GCGT_UTIL_TOKEN_BUCKET_H_
+
+#include <algorithm>
+#include <chrono>
+
+namespace gcgt {
+
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Starts full: a new client gets its whole burst immediately.
+  TokenBucket(double tokens_per_sec, double burst, Clock::time_point now)
+      : rate_(tokens_per_sec < 0 ? 0 : tokens_per_sec),
+        burst_(burst < 1 ? 1 : burst),
+        tokens_(burst_),
+        last_(now) {}
+
+  /// Takes `cost` tokens if available as of `now`; false (and no tokens
+  /// consumed) otherwise. Monotonically non-decreasing `now` values are the
+  /// caller's responsibility (steady_clock provides this).
+  bool TryAcquire(Clock::time_point now, double cost = 1.0) {
+    Refill(now);
+    // A microtoken of slack absorbs accumulated refill error — both binary
+    // floating point and the clock's nanosecond truncation of intervals
+    // like 1/3 s — so a client submitting exactly at its sustained rate is
+    // never spuriously shed. Far below any fairness-relevant granularity.
+    if (tokens_ + 1e-6 < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  double tokens(Clock::time_point now) {
+    Refill(now);
+    return tokens_;
+  }
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void Refill(Clock::time_point now) {
+    if (now <= last_) return;
+    const double elapsed_sec =
+        std::chrono::duration_cast<std::chrono::duration<double>>(now - last_)
+            .count();
+    tokens_ = std::min(burst_, tokens_ + rate_ * elapsed_sec);
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_UTIL_TOKEN_BUCKET_H_
