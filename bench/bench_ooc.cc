@@ -45,6 +45,20 @@ bool SameResult(const gcgt::QueryResult& a, const gcgt::QueryResult& b) {
       return SameBits(a.bc().dependency, b.bc().dependency) &&
              SameBits(a.bc().depth, b.bc().depth) &&
              SameBits(a.bc().sigma, b.bc().sigma);
+    case QueryKind::kTriangle:
+      return a.triangle().triangles == b.triangle().triangles &&
+             SameBits(a.triangle().per_vertex, b.triangle().per_vertex);
+    case QueryKind::kCommonNeighbor:
+      return SameBits(a.common_neighbors().common,
+                      b.common_neighbors().common);
+    case QueryKind::kJaccard:
+      return a.jaccard().common == b.jaccard().common &&
+             a.jaccard().jaccard == b.jaccard().jaccard;
+    case QueryKind::kSimilarityTopK:
+      return a.similarity_topk().items == b.similarity_topk().items;
+    case QueryKind::kKCore:
+      return SameBits(a.kcore().in_core, b.kcore().in_core) &&
+             a.kcore().core_size == b.kcore().core_size;
   }
   return false;
 }

@@ -77,6 +77,27 @@ int main() {
   }
   std::printf("  [%.4f model ms total]\n\n", bc.value().metrics().model_ms);
 
+  // Decode-free set intersection (src/intersect): social analytics whose
+  // kernel merges adjacency lists straight off the compressed bitstream.
+  auto tri = session.Run(TriangleCountQuery{});
+  std::printf("triangles (friend-of-friend closures): %llu, %.4f model ms\n",
+              (unsigned long long)tri.value().triangle().triangles,
+              tri.value().metrics().model_ms);
+
+  auto core = session.Run(KCoreQuery{8});
+  std::printf("8-core (tightly-knit community): %u of %u users\n",
+              core.value().kcore().core_size, g.num_nodes());
+
+  // "People you may know": distance-2 candidates of a user ranked by
+  // Jaccard similarity of follow lists.
+  auto rec = session.Run(SimilarityTopKQuery{source, 5});
+  std::printf("user %u may know:", source);
+  for (const auto& item : rec.value().similarity_topk().items) {
+    std::printf(" %u(%.3f, %llu mutual)", item.node, item.jaccard,
+                (unsigned long long)item.common);
+  }
+  std::printf("\n\n");
+
   // Why scheduling matters on this graph: strategy ladder (paper Fig. 9).
   // The encodings are shared; each rung is a session attached to one.
   std::printf("scheduling ladder on this hub-skewed graph (BFS model ms):\n");

@@ -53,6 +53,8 @@ uint64_t HashOptions(uint64_t h, const PrepareOptions& o) {
   h = HashCombine(h, o.gcgt.cost.cycles_per_mem_txn);
   h = HashCombine(h, o.gcgt.cost.cycles_per_atomic);
   h = HashCombine(h, o.gcgt.cost.cycles_per_replay_txn);
+  h = HashCombine(h, o.gcgt.cost.cycles_per_intersect_op);
+  h = HashCombine(h, static_cast<uint64_t>(o.gcgt.intersect_full_decode));
   h = HashCombine(h, o.gcgt.cost.external_latency_multiplier);
   h = HashCombine(h, o.gcgt.cost.kernel_launch_cycles);
   h = HashCombine(h, static_cast<uint64_t>(o.gcgt.cost.cache_line_bytes));
@@ -307,7 +309,31 @@ Status GcgtSession::TranslateQuery(Query& query) const {
       }
       s = ToPrepared(s);
     }
+    return Status::OK();
   }
+  if (auto* cn = std::get_if<CommonNeighborQuery>(&query)) {
+    if (cn->u >= caller_nodes_ || cn->v >= caller_nodes_) {
+      return Status::InvalidArgument("common-neighbor endpoint out of range");
+    }
+    cn->u = ToPrepared(cn->u);
+    cn->v = ToPrepared(cn->v);
+    return Status::OK();
+  }
+  if (auto* jc = std::get_if<JaccardQuery>(&query)) {
+    if (jc->u >= caller_nodes_ || jc->v >= caller_nodes_) {
+      return Status::InvalidArgument("Jaccard endpoint out of range");
+    }
+    jc->u = ToPrepared(jc->u);
+    jc->v = ToPrepared(jc->v);
+    return Status::OK();
+  }
+  if (auto* topk = std::get_if<SimilarityTopKQuery>(&query)) {
+    if (topk->source >= caller_nodes_) {
+      return Status::InvalidArgument("similarity source out of range");
+    }
+    topk->source = ToPrepared(topk->source);
+  }
+  // TriangleCountQuery / KCoreQuery carry no node ids.
   return Status::OK();
 }
 
@@ -331,18 +357,55 @@ void GcgtSession::RemapResult(QueryResult& result) const {
     remap(bc->sigma);
     return;
   }
-  // CC: component labels are node ids; canonicalize each component to the
-  // smallest caller id it contains (virtual nodes fold into the components
-  // they connect, so the partition over real nodes is preserved).
-  auto& cc = std::get<GcgtCcResult>(result.value_);
-  std::vector<NodeId> canonical(cgr_->num_nodes(), kInvalidNode);
-  std::vector<NodeId> out(caller_nodes_);
-  for (NodeId u = 0; u < caller_nodes_; ++u) {
-    NodeId rep = cc.component[ToPrepared(u)];
-    if (canonical[rep] == kInvalidNode) canonical[rep] = u;  // u ascends: min
-    out[u] = canonical[rep];
+  if (auto* cc = std::get_if<GcgtCcResult>(&result.value_)) {
+    // CC: component labels are node ids; canonicalize each component to the
+    // smallest caller id it contains (virtual nodes fold into the components
+    // they connect, so the partition over real nodes is preserved).
+    std::vector<NodeId> canonical(cgr_->num_nodes(), kInvalidNode);
+    std::vector<NodeId> out(caller_nodes_);
+    for (NodeId u = 0; u < caller_nodes_; ++u) {
+      NodeId rep = cc->component[ToPrepared(u)];
+      if (canonical[rep] == kInvalidNode) canonical[rep] = u;  // u ascends: min
+      out[u] = canonical[rep];
+    }
+    cc->component = std::move(out);
+    return;
   }
-  cc.component = std::move(out);
+  if (auto* tri = std::get_if<GcgtTriangleResult>(&result.value_)) {
+    // The global count stays that of the prepared graph (§7.2 semantics);
+    // the per-vertex credits are restricted to real nodes.
+    remap(tri->per_vertex);
+    return;
+  }
+  if (auto* cn = std::get_if<GcgtCommonNeighborResult>(&result.value_)) {
+    // Membership scan in ascending CALLER order: drops virtual nodes and
+    // returns a sorted caller-space list.
+    std::vector<uint8_t> member(cgr_->num_nodes(), 0);
+    for (NodeId c : cn->common) member[c] = 1;
+    std::vector<NodeId> out;
+    out.reserve(cn->common.size());
+    for (NodeId u = 0; u < caller_nodes_; ++u) {
+      if (member[ToPrepared(u)]) out.push_back(u);
+    }
+    cn->common = std::move(out);
+    cn->count = cn->common.size();
+    return;
+  }
+  if (std::holds_alternative<GcgtJaccardResult>(result.value_)) {
+    return;  // scalar scores; no node ids to remap
+  }
+  if (auto* topk = std::get_if<GcgtSimilarityTopKResult>(&result.value_)) {
+    // Candidates were masked to real nodes by the engine; translate each id.
+    // Score ordering (computed over prepared ids) is preserved.
+    std::vector<NodeId> inv(cgr_->num_nodes(), kInvalidNode);
+    for (NodeId u = 0; u < caller_nodes_; ++u) inv[ToPrepared(u)] = u;
+    for (auto& item : topk->items) item.node = inv[item.node];
+    return;
+  }
+  auto& kcore = std::get<GcgtKCoreResult>(result.value_);
+  remap(kcore.in_core);
+  kcore.core_size = static_cast<NodeId>(
+      std::count(kcore.in_core.begin(), kcore.in_core.end(), uint8_t{1}));
 }
 
 Result<QueryResult> GcgtSession::Run(const Query& query,
@@ -350,6 +413,18 @@ Result<QueryResult> GcgtSession::Run(const Query& query,
   RunScope single_caller(busy_);  // see the threading contract on Run()
   Query translated = query;
   if (Status s = TranslateQuery(translated); !s.ok()) return s;
+
+  // The intersection query families bypass the traversal pipeline entirely:
+  // they run on the per-backend IntersectEngine, which does its own cancel
+  // polling, replay brownout and device-footprint admission.
+  if (translated.index() >= static_cast<size_t>(QueryKind::kTriangle)) {
+    Result<QueryResult> result = RunIntersect(translated, run.backend,
+                                              run.cancel,
+                                              run.replay_budget_cap);
+    if (!result.ok()) return result;
+    RemapResult(result.value());
+    return result;
+  }
 
   // Install this query's token (the default token clears a previous one);
   // the pipeline polls it once per traversal round, so kCgrSimt queries
@@ -458,6 +533,90 @@ Result<QueryResult> GcgtSession::RunCgr(const Query& query, StepTrace* trace) {
   result.sigma = bc_scratch_.sigma;
   result.metrics = pipeline_->Metrics();
   return QueryResult(std::move(result));
+}
+
+std::span<const uint8_t> GcgtSession::RealMask() const {
+  if (IdentityIdSpace()) return {};  // every prepared node is a caller node
+  if (real_mask_.empty()) {
+    real_mask_.assign(cgr_->num_nodes(), 0);
+    for (NodeId u = 0; u < caller_nodes_; ++u) real_mask_[ToPrepared(u)] = 1;
+  }
+  return real_mask_;
+}
+
+Result<QueryResult> GcgtSession::RunIntersect(const Query& query,
+                                              Backend backend,
+                                              const CancelToken& cancel,
+                                              uint64_t replay_budget_cap) {
+  using intersect::IntersectEngine;
+
+  if (backend == Backend::kCpuReference) {
+    GCGT_RETURN_NOT_OK(cancel.Check());
+    const Graph& g = graph();
+    if (std::holds_alternative<TriangleCountQuery>(query)) {
+      return QueryResult(intersect::CpuTriangleCount(g));
+    }
+    if (const auto* cn = std::get_if<CommonNeighborQuery>(&query)) {
+      return QueryResult(intersect::CpuCommonNeighbors(g, cn->u, cn->v));
+    }
+    if (const auto* jc = std::get_if<JaccardQuery>(&query)) {
+      return QueryResult(intersect::CpuJaccard(g, jc->u, jc->v));
+    }
+    if (const auto* topk = std::get_if<SimilarityTopKQuery>(&query)) {
+      return QueryResult(
+          intersect::CpuSimilarityTopK(g, topk->source, topk->k, RealMask()));
+    }
+    const auto& kc = std::get<KCoreQuery>(query);
+    return QueryResult(intersect::CpuKCore(g, kc.k));
+  }
+
+  IntersectEngine* eng = nullptr;
+  switch (backend) {
+    case Backend::kCgrSimt:
+      if (!isect_cgr_) {
+        isect_cgr_ = std::make_unique<IntersectEngine>(*cgr_, options_.gcgt);
+      }
+      eng = isect_cgr_.get();
+      break;
+    case Backend::kCsrBaseline:
+      if (!isect_csr_) {
+        isect_csr_ = std::make_unique<IntersectEngine>(
+            graph(), options_.gcgt, /*gunrock=*/false, 1.0);
+      }
+      eng = isect_csr_.get();
+      break;
+    case Backend::kCsrGunrock:
+      if (!isect_gunrock_) {
+        isect_gunrock_ = std::make_unique<IntersectEngine>(
+            graph(), options_.gcgt, /*gunrock=*/true,
+            options_.gunrock_memory_factor);
+      }
+      eng = isect_gunrock_.get();
+      break;
+    case Backend::kCpuReference:
+      break;  // handled above
+  }
+  if (eng == nullptr) return Status::InvalidArgument("unknown backend");
+  eng->SetReplayBudgetCap(replay_budget_cap);
+
+  auto wrap = [](auto r) -> Result<QueryResult> {
+    if (!r.ok()) return r.status();
+    return QueryResult(std::move(r.value()));
+  };
+  if (std::holds_alternative<TriangleCountQuery>(query)) {
+    return wrap(eng->TriangleCount(cancel));
+  }
+  if (const auto* cn = std::get_if<CommonNeighborQuery>(&query)) {
+    return wrap(eng->CommonNeighbors(cn->u, cn->v, cancel));
+  }
+  if (const auto* jc = std::get_if<JaccardQuery>(&query)) {
+    return wrap(eng->Jaccard(jc->u, jc->v, cancel));
+  }
+  if (const auto* topk = std::get_if<SimilarityTopKQuery>(&query)) {
+    return wrap(eng->SimilarityTopK(topk->source, topk->k, RealMask(), cancel));
+  }
+  const auto& kc = std::get<KCoreQuery>(query);
+  return wrap(eng->KCore(kc.k, cancel));
 }
 
 Result<QueryResult> GcgtSession::RunCsr(const Query& query, bool gunrock,

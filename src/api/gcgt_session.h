@@ -39,6 +39,8 @@
 #include "core/trace.h"
 #include "core/traversal_pipeline.h"
 #include "graph/graph.h"
+#include "intersect/intersect_engine.h"
+#include "intersect/intersect_results.h"
 #include "reorder/reorder.h"
 #include "util/cancel_token.h"
 #include "util/status.h"
@@ -115,10 +117,57 @@ struct BcQuery {
   std::vector<NodeId> sources;
 };
 
-/// A typed query value. Order matches QueryKind.
-using Query = std::variant<BfsQuery, CcQuery, BcQuery>;
+// ---- Intersection-shaped query families (src/intersect): answered
+// decode-free on the compressed graph by kCgrSimt, and by the same engine in
+// CSR/CPU modes on the other backends. Like the traversal quantities, they
+// are computed ON THE PREPARED GRAPH (§7.2 unified preprocessing): with VNC,
+// triangle/k-core/similarity structure includes virtual-node edges, and tie
+// ordering inside SimilarityTopKQuery uses prepared ids. All backends run the
+// same prepared graph, so results stay bit-identical across backends.
 
-enum class QueryKind { kBfs = 0, kCc = 1, kBc = 2 };
+/// Global + per-vertex triangle count.
+struct TriangleCountQuery {};
+
+/// Common neighbors of the unordered pair {u, v} (symmetric in u, v: a
+/// serving tier caches the pair under the canonical {min, max} key).
+struct CommonNeighborQuery {
+  NodeId u = 0;
+  NodeId v = 0;
+};
+
+/// Jaccard similarity of the unordered pair {u, v}.
+struct JaccardQuery {
+  NodeId u = 0;
+  NodeId v = 0;
+};
+
+/// Top-k distance-2 neighbors of `source` by Jaccard similarity ("people you
+/// may know"). With VNC, virtual nodes are never candidates.
+struct SimilarityTopKQuery {
+  NodeId source = 0;
+  uint32_t k = 10;
+};
+
+/// k-core membership (iterative peel of vertices with degree < k).
+struct KCoreQuery {
+  uint32_t k = 2;
+};
+
+/// A typed query value. Order matches QueryKind.
+using Query = std::variant<BfsQuery, CcQuery, BcQuery, TriangleCountQuery,
+                           CommonNeighborQuery, JaccardQuery,
+                           SimilarityTopKQuery, KCoreQuery>;
+
+enum class QueryKind {
+  kBfs = 0,
+  kCc = 1,
+  kBc = 2,
+  kTriangle = 3,
+  kCommonNeighbor = 4,
+  kJaccard = 5,
+  kSimilarityTopK = 6,
+  kKCore = 7,
+};
 
 /// The result of one query: the matching driver result plus its metrics.
 /// For a multi-source BcQuery, bc().dependency is the accumulated sum,
@@ -138,12 +187,32 @@ class QueryResult {
   explicit QueryResult(GcgtBfsResult r) : value_(std::move(r)) {}
   explicit QueryResult(GcgtCcResult r) : value_(std::move(r)) {}
   explicit QueryResult(GcgtBcResult r) : value_(std::move(r)) {}
+  explicit QueryResult(GcgtTriangleResult r) : value_(std::move(r)) {}
+  explicit QueryResult(GcgtCommonNeighborResult r) : value_(std::move(r)) {}
+  explicit QueryResult(GcgtJaccardResult r) : value_(std::move(r)) {}
+  explicit QueryResult(GcgtSimilarityTopKResult r) : value_(std::move(r)) {}
+  explicit QueryResult(GcgtKCoreResult r) : value_(std::move(r)) {}
 
   QueryKind kind() const { return static_cast<QueryKind>(value_.index()); }
 
   const GcgtBfsResult& bfs() const { return std::get<GcgtBfsResult>(value_); }
   const GcgtCcResult& cc() const { return std::get<GcgtCcResult>(value_); }
   const GcgtBcResult& bc() const { return std::get<GcgtBcResult>(value_); }
+  const GcgtTriangleResult& triangle() const {
+    return std::get<GcgtTriangleResult>(value_);
+  }
+  const GcgtCommonNeighborResult& common_neighbors() const {
+    return std::get<GcgtCommonNeighborResult>(value_);
+  }
+  const GcgtJaccardResult& jaccard() const {
+    return std::get<GcgtJaccardResult>(value_);
+  }
+  const GcgtSimilarityTopKResult& similarity_topk() const {
+    return std::get<GcgtSimilarityTopKResult>(value_);
+  }
+  const GcgtKCoreResult& kcore() const {
+    return std::get<GcgtKCoreResult>(value_);
+  }
 
   const TraversalMetrics& metrics() const {
     return std::visit([](const auto& r) -> const TraversalMetrics& {
@@ -161,7 +230,10 @@ class QueryResult {
 
  private:
   friend class GcgtSession;  // result remapping into the caller's id space
-  std::variant<GcgtBfsResult, GcgtCcResult, GcgtBcResult> value_;
+  std::variant<GcgtBfsResult, GcgtCcResult, GcgtBcResult, GcgtTriangleResult,
+               GcgtCommonNeighborResult, GcgtJaccardResult,
+               GcgtSimilarityTopKResult, GcgtKCoreResult>
+      value_;
   bool degraded_ = false;
 };
 
@@ -321,6 +393,17 @@ class GcgtSession {
                              const CancelToken& cancel);
   Result<QueryResult> RunCpu(const Query& query, const CancelToken& cancel);
 
+  /// Routes the intersection query families (kTriangle..kKCore) through the
+  /// persistent per-backend IntersectEngine (constructed lazily on the first
+  /// intersection query per backend; warp scratch and replay cache are then
+  /// reused across queries, like the traversal engine's).
+  Result<QueryResult> RunIntersect(const Query& query, Backend backend,
+                                   const CancelToken& cancel,
+                                   uint64_t replay_budget_cap);
+  /// Prepared-space eligibility mask for similarity candidates: real nodes
+  /// only (empty span = every node eligible, the no-VNC/no-reorder case).
+  std::span<const uint8_t> RealMask() const;
+
   // Debug tripwire for the single-caller contract on Run/RunBatch: set while
   // a query is in flight; a second concurrent entry asserts. Movable so the
   // session stays movable (moving a session while a query runs is already a
@@ -349,6 +432,12 @@ class GcgtSession {
   std::unique_ptr<CgrTraversalEngine> engine_;
   std::unique_ptr<TraversalPipeline> pipeline_;  // borrows *engine_
   BcBatchScratch bc_scratch_;  // reused across BC sources and queries
+  // Lazy persistent intersection engines, one per backend actually used
+  // (kCpuReference needs none). Per-session like engine_, never shared.
+  std::unique_ptr<intersect::IntersectEngine> isect_cgr_;
+  std::unique_ptr<intersect::IntersectEngine> isect_csr_;
+  std::unique_ptr<intersect::IntersectEngine> isect_gunrock_;
+  mutable std::vector<uint8_t> real_mask_;  // lazy, see RealMask()
   double vnc_reduction_ = 1.0;
   NodeId vnc_virtual_nodes_ = 0;
   CallerCheck busy_;

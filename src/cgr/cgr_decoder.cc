@@ -167,12 +167,18 @@ std::vector<NodeId> DecodeAdjacency(const CgrGraph& g, NodeId u) {
 }
 
 uint64_t DecodeDegree(const CgrGraph& g, NodeId u) {
-  if (g.options().codec != CodecId::kCgr) {
-    uint64_t pos = g.bit_start(u) / 8;
-    return GetLeb128(g.bits().data(), &pos);
+  return g.EncodedDegree(u);
+}
+
+// Defined here (not cgr_graph.cc) because it walks the encoded headers with
+// the decoder machinery.
+uint64_t CgrGraph::EncodedDegree(NodeId u) const {
+  if (options().codec != CodecId::kCgr) {
+    uint64_t pos = bit_start(u) / 8;
+    return GetLeb128(bits().data(), &pos);
   }
-  CgrNodeDecoder dec(g, u);
-  if (!g.options().segment_len_bytes) return dec.ReadDegree();
+  CgrNodeDecoder dec(*this, u);
+  if (!options().segment_len_bytes) return dec.ReadDegree();
   uint64_t deg = 0;
   uint32_t itv_count = dec.ReadIntervalCount();
   for (uint32_t i = 0; i < itv_count; ++i) deg += dec.ReadNextInterval().len;

@@ -221,11 +221,13 @@ Result<CgrGraph> CgrGraph::EncodePartitioned(const Graph& g,
   return cg;
 }
 
-Result<CgrGraph> CgrGraph::Assemble(const CgrOptions& options,
-                                    NodeId num_nodes, EdgeId num_edges,
-                                    std::vector<uint8_t> bits,
-                                    std::vector<uint64_t> bit_start,
-                                    std::vector<CgrPartition> partitions) {
+namespace {
+
+// Structural invariants shared by Assemble and AssembleView.
+Status ValidateAssembledParts(const CgrOptions& options, NodeId num_nodes,
+                              size_t bits_size,
+                              const std::vector<uint64_t>& bit_start,
+                              const std::vector<CgrPartition>& partitions) {
   GCGT_RETURN_NOT_OK(options.Validate());
   if (bit_start.size() != static_cast<size_t>(num_nodes) + 1) {
     return Status::InvalidArgument("bit_start size != num_nodes + 1");
@@ -239,7 +241,7 @@ Result<CgrGraph> CgrGraph::Assemble(const CgrOptions& options,
     }
   }
   const uint64_t total_bits = bit_start.back();
-  if (bits.size() != static_cast<size_t>((total_bits + 7) / 8)) {
+  if (bits_size != static_cast<size_t>((total_bits + 7) / 8)) {
     return Status::InvalidArgument("bits size inconsistent with offsets");
   }
   if (partitions.empty()) {
@@ -261,13 +263,43 @@ Result<CgrGraph> CgrGraph::Assemble(const CgrOptions& options,
   if (expect != num_nodes) {
     return Status::InvalidArgument("partition table does not cover all nodes");
   }
+  return Status::OK();
+}
 
+}  // namespace
+
+Result<CgrGraph> CgrGraph::Assemble(const CgrOptions& options,
+                                    NodeId num_nodes, EdgeId num_edges,
+                                    std::vector<uint8_t> bits,
+                                    std::vector<uint64_t> bit_start,
+                                    std::vector<CgrPartition> partitions) {
+  GCGT_RETURN_NOT_OK(ValidateAssembledParts(options, num_nodes, bits.size(),
+                                            bit_start, partitions));
   CgrGraph cg;
   cg.options_ = options;
   cg.num_nodes_ = num_nodes;
   cg.num_edges_ = num_edges;
-  cg.total_bits_ = total_bits;
+  cg.total_bits_ = bit_start.back();
   cg.bits_ = std::move(bits);
+  cg.bit_start_ = std::move(bit_start);
+  cg.partitions_ = std::move(partitions);
+  return cg;
+}
+
+Result<CgrGraph> CgrGraph::AssembleView(const CgrOptions& options,
+                                        NodeId num_nodes, EdgeId num_edges,
+                                        std::span<const uint8_t> bits,
+                                        std::vector<uint64_t> bit_start,
+                                        std::vector<CgrPartition> partitions) {
+  GCGT_RETURN_NOT_OK(ValidateAssembledParts(options, num_nodes, bits.size(),
+                                            bit_start, partitions));
+  CgrGraph cg;
+  cg.options_ = options;
+  cg.num_nodes_ = num_nodes;
+  cg.num_edges_ = num_edges;
+  cg.total_bits_ = bit_start.back();
+  cg.ext_bits_ = bits.data();
+  cg.ext_bits_size_ = bits.size();
   cg.bit_start_ = std::move(bit_start);
   cg.partitions_ = std::move(partitions);
   return cg;

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -136,6 +137,15 @@ class CgrGraph {
                                    std::vector<uint64_t> bit_start,
                                    std::vector<CgrPartition> partitions);
 
+  /// Like Assemble but borrows `bits` instead of owning a copy — the caller
+  /// guarantees the backing storage (e.g. an mmap'd ooc container payload)
+  /// outlives the graph. Same validation, zero payload copy.
+  static Result<CgrGraph> AssembleView(const CgrOptions& options,
+                                       NodeId num_nodes, EdgeId num_edges,
+                                       std::span<const uint8_t> bits,
+                                       std::vector<uint64_t> bit_start,
+                                       std::vector<CgrPartition> partitions);
+
   /// Process-wide count of successful Encode() runs. The service registry's
   /// contract is "one encode per artifact fingerprint"; tests assert this
   /// counter stays flat when a graph is re-registered or served by many
@@ -146,10 +156,21 @@ class CgrGraph {
   EdgeId num_edges() const { return num_edges_; }
   const CgrOptions& options() const { return options_; }
 
-  const std::vector<uint8_t>& bits() const { return bits_; }
+  /// The encoded bit stream. A view: backed by the owned buffer for
+  /// Encode/Assemble graphs, or by caller-owned storage (e.g. an mmap'd ooc
+  /// container) for AssembleView graphs.
+  std::span<const uint8_t> bits() const {
+    return ext_bits_ ? std::span<const uint8_t>(ext_bits_, ext_bits_size_)
+                     : std::span<const uint8_t>(bits_);
+  }
   uint64_t total_bits() const { return total_bits_; }
   /// Bit offset of node u's encoding.
   uint64_t bit_start(NodeId u) const { return bit_start_[u]; }
+
+  /// Degree of u read from the encoded headers without materializing the
+  /// adjacency: interval lengths plus per-segment residual counts for CGR,
+  /// the LEB128 degree header for the byte codecs. No allocation.
+  uint64_t EncodedDegree(NodeId u) const;
 
   /// Partition table when built by EncodePartitioned / Assemble; empty for
   /// plain Encode() (an unpartitioned graph is "one big partition" only when
@@ -170,7 +191,7 @@ class CgrGraph {
   /// Device footprint: bit array + per-node offsets (the offsets are the CSR
   /// row-offset analog and are reported separately from BitsPerEdge).
   uint64_t DeviceBytes() const {
-    return bits_.size() + bit_start_.size() * sizeof(uint64_t);
+    return bits().size() + bit_start_.size() * sizeof(uint64_t);
   }
 
  private:
@@ -180,7 +201,9 @@ class CgrGraph {
   NodeId num_nodes_ = 0;
   EdgeId num_edges_ = 0;
   uint64_t total_bits_ = 0;
-  std::vector<uint8_t> bits_;
+  std::vector<uint8_t> bits_;        // owned storage; empty for views
+  const uint8_t* ext_bits_ = nullptr;  // borrowed storage (AssembleView)
+  size_t ext_bits_size_ = 0;
   std::vector<uint64_t> bit_start_;  // size num_nodes + 1
   std::vector<CgrPartition> partitions_;  // empty unless partitioned
 };

@@ -1379,7 +1379,7 @@ struct EngineScratch {
         const uint64_t min_degree =
             static_cast<uint64_t>(o.replay_min_degree);
         for (NodeId u = 0; u < g.num_nodes(); ++u) {
-          if (DecodeDegree(g, u) < min_degree) replay.RejectForever(u);
+          if (g.EncodedDegree(u) < min_degree) replay.RejectForever(u);
         }
       }
     }

@@ -65,6 +65,15 @@ struct GcgtOptions {
   /// charges differ. The pager is reset at every query start, so every query
   /// starts cold and metrics stay deterministic.
   uint64_t ooc_resident_bytes = 0;
+  /// Intersection queries (src/intersect) normally intersect the COMPRESSED
+  /// adjacency representations directly (interval-vs-interval run overlap,
+  /// interval-vs-residual membership probes, residual-vs-residual stream
+  /// merge). true forces the full-decode-then-merge baseline instead: decode
+  /// both lists to scratch, then element-merge — the A/B knob bench_intersect
+  /// uses to show the decode-free win. Results are bit-identical either way;
+  /// only modeled metrics move (so the flag participates in artifact
+  /// fingerprints).
+  bool intersect_full_decode = false;
   simt::CostModel cost;
   simt::DeviceSpec device;
 };

@@ -1,0 +1,74 @@
+// Typed results of the compressed set-intersection query families
+// (src/intersect). Kept separate from the engine header so the api layer can
+// embed them in QueryResult without pulling the engine in.
+//
+// Id space: like every driver result, vectors are indexed by (and id values
+// refer to) PREPARED node ids when produced by the engine; GcgtSession remaps
+// them into the caller's id space on the way out (see QueryResult).
+#ifndef GCGT_INTERSECT_INTERSECT_RESULTS_H_
+#define GCGT_INTERSECT_INTERSECT_RESULTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cgr_traversal.h"
+#include "graph/graph.h"
+
+namespace gcgt {
+
+/// Global + per-vertex triangle counts. Triangles are unordered vertex
+/// triples {u, v, w} with all three edges present; on the symmetric graphs
+/// this query is defined for, each is counted exactly once (enumerated as
+/// u < v < w). per_vertex[x] = number of triangles containing x.
+struct GcgtTriangleResult {
+  uint64_t triangles = 0;
+  std::vector<uint64_t> per_vertex;
+  TraversalMetrics metrics;
+};
+
+/// The common neighbors of a node pair, sorted ascending.
+struct GcgtCommonNeighborResult {
+  std::vector<NodeId> common;
+  uint64_t count = 0;
+  TraversalMetrics metrics;
+};
+
+/// Jaccard similarity of a node pair:
+/// |N(u) ∩ N(v)| / (deg(u) + deg(v) - |N(u) ∩ N(v)|); 0 when the union is
+/// empty. Computed with a single double division from integer counts, so the
+/// score is bit-identical across backends.
+struct GcgtJaccardResult {
+  uint64_t common = 0;
+  double jaccard = 0.0;
+  uint64_t degree_u = 0;
+  uint64_t degree_v = 0;
+  TraversalMetrics metrics;
+};
+
+/// Top-k "people you may know": distance-2 candidates of the source (not the
+/// source, not an existing neighbor), scored by Jaccard similarity, ordered
+/// by score descending with ascending-id tie-break.
+struct GcgtSimilarityTopKResult {
+  struct Item {
+    NodeId node = 0;
+    uint64_t common = 0;
+    double jaccard = 0.0;
+    bool operator==(const Item&) const = default;
+  };
+  std::vector<Item> items;
+  TraversalMetrics metrics;
+};
+
+/// k-core membership: in_core[v] != 0 iff v survives iteratively peeling
+/// every vertex of degree < k. The k-core is a unique fixpoint, so
+/// membership is independent of peel order.
+struct GcgtKCoreResult {
+  uint32_t k = 0;
+  std::vector<uint8_t> in_core;
+  NodeId core_size = 0;
+  TraversalMetrics metrics;
+};
+
+}  // namespace gcgt
+
+#endif  // GCGT_INTERSECT_INTERSECT_RESULTS_H_

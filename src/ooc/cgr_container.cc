@@ -301,4 +301,10 @@ Result<CgrGraph> CgrContainer::ToCgrGraph() const {
                             bit_start_, partitions_);
 }
 
+Result<CgrGraph> CgrContainer::ToCgrGraphView() const {
+  if (!mmapped()) return ToCgrGraph();
+  return CgrGraph::AssembleView(options_, num_nodes_, num_edges_, payload_,
+                                bit_start_, partitions_);
+}
+
 }  // namespace gcgt::ooc

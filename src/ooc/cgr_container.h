@@ -94,6 +94,12 @@ class CgrContainer {
   /// re-validates all structural invariants via CgrGraph::Assemble.
   Result<CgrGraph> ToCgrGraph() const;
 
+  /// Like ToCgrGraph but zero-copy when the payload is mmap'd: the graph
+  /// borrows the mapping (CgrGraph::AssembleView), so this container must
+  /// outlive the returned graph. Falls back to the copying path for
+  /// buffered opens, where borrowing would save nothing.
+  Result<CgrGraph> ToCgrGraphView() const;
+
  private:
   CgrContainer() = default;
 

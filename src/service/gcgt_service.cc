@@ -117,7 +117,8 @@ Result<uint64_t> GcgtService::RegisterContainer(
     ooc::CgrContainer::ReadMode mode) {
   Result<ooc::CgrContainer> container = ooc::CgrContainer::Open(path, mode);
   if (!container.ok()) return container.status();
-  const ooc::CgrContainer& c = container.value();
+  ooc::CgrContainer& c = container.value();
+  const NodeId container_nodes = c.num_nodes();
   // Registry key = the header's stored artifact fingerprint folded with the
   // serving options. The stored fingerprint already identifies graph bytes,
   // encode options and partition plan; folding `options` keeps one container
@@ -133,7 +134,7 @@ Result<uint64_t> GcgtService::RegisterContainer(
     std::lock_guard<std::mutex> lock(registry_mu_);
     if (auto it = registry_.find(fingerprint); it != registry_.end()) {
       // Same collision shape guard as RegisterGraph.
-      if (it->second->num_query_nodes() != c.num_nodes()) {
+      if (it->second->num_query_nodes() != container_nodes) {
         return Status::Internal(
             "artifact fingerprint collision: a different graph is already "
             "registered under this fingerprint");
@@ -141,13 +142,15 @@ Result<uint64_t> GcgtService::RegisterContainer(
       return fingerprint;  // container already materialized
     }
   }
-  // Materialize OUTSIDE the lock, same rationale as RegisterGraph.
-  auto built = PreparedGraph::BuildFromContainer(c, options, fingerprint);
+  // Materialize OUTSIDE the lock, same rationale as RegisterGraph. The
+  // artifact takes ownership of the container (zero-copy mmap view).
+  auto built = PreparedGraph::BuildFromContainer(std::move(c), options,
+                                                 fingerprint);
   if (!built.ok()) return built.status();
   std::lock_guard<std::mutex> lock(registry_mu_);
   auto [it, inserted] =
       registry_.try_emplace(fingerprint, std::move(built.value()));
-  if (!inserted && it->second->num_query_nodes() != c.num_nodes()) {
+  if (!inserted && it->second->num_query_nodes() != container_nodes) {
     return Status::Internal(
         "artifact fingerprint collision: a different graph is already "
         "registered under this fingerprint");
@@ -227,6 +230,9 @@ std::shared_ptr<GcgtService::JobState> GcgtService::MakeState(
   if (auto* bc = std::get_if<BcQuery>(&query.query)) {
     bc->sources = CanonicalBcSources(std::move(bc->sources));
   }
+  // Same admission-time canonicalization for the symmetric pair queries:
+  // {u,v} and {v,u} execute and cache as one {min,max} query.
+  CanonicalizePairQuery(query.query);
   auto state = std::make_shared<JobState>();
   state->query = std::move(query);
   state->admitted_at = Clock::now();

@@ -17,9 +17,13 @@ Result<std::shared_ptr<const PreparedGraph>> PreparedGraph::Build(
 }
 
 Result<std::shared_ptr<const PreparedGraph>> PreparedGraph::BuildFromContainer(
-    const ooc::CgrContainer& container, const GcgtOptions& options,
+    ooc::CgrContainer container, const GcgtOptions& options,
     uint64_t fingerprint) {
-  Result<CgrGraph> cgr = container.ToCgrGraph();
+  auto owned =
+      std::make_unique<const ooc::CgrContainer>(std::move(container));
+  // Zero-copy for mmap'd opens: the graph borrows the mapping, which `owned`
+  // keeps alive for the artifact's whole lifetime. Buffered opens copy.
+  Result<CgrGraph> cgr = owned->ToCgrGraphView();
   if (!cgr.ok()) return cgr.status();
   GcgtSession master = GcgtSession::Adopt(
       std::make_unique<const CgrGraph>(std::move(cgr).value()), options,
@@ -27,8 +31,10 @@ Result<std::shared_ptr<const PreparedGraph>> PreparedGraph::BuildFromContainer(
   // Same eager-decode rule as Build(): worker clones must never race on the
   // master's lazy uncompressed view.
   master.graph();
-  return std::shared_ptr<const PreparedGraph>(
-      new PreparedGraph(std::move(master)));
+  auto prepared =
+      std::shared_ptr<PreparedGraph>(new PreparedGraph(std::move(master)));
+  prepared->container_ = std::move(owned);
+  return std::shared_ptr<const PreparedGraph>(std::move(prepared));
 }
 
 }  // namespace gcgt

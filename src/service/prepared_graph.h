@@ -35,12 +35,15 @@ class PreparedGraph {
 
   /// Freezes an artifact materialized from an out-of-core container instead
   /// of running the prepare pipeline: the container's encoded bits become
-  /// the master session's (owned) CgrGraph with zero re-encodes.
+  /// the master session's CgrGraph with zero re-encodes. The artifact takes
+  /// ownership of the container: for mmap'd opens the graph is a zero-copy
+  /// view into the mapping (CgrGraph::AssembleView), so the payload is never
+  /// duplicated in RAM; buffered opens fall back to a copy.
   /// `fingerprint` is the registry key the caller derived from the container
   /// header + serving options (CombineOptionsFingerprint); it is trusted
   /// verbatim so PreparedGraph::fingerprint() matches the registration key.
   static Result<std::shared_ptr<const PreparedGraph>> BuildFromContainer(
-      const ooc::CgrContainer& container, const GcgtOptions& options,
+      ooc::CgrContainer container, const GcgtOptions& options,
       uint64_t fingerprint);
 
   /// Identity: ComputeArtifactFingerprint(input graph, options).
@@ -63,6 +66,10 @@ class PreparedGraph {
  private:
   explicit PreparedGraph(GcgtSession master) : master_(std::move(master)) {}
 
+  // Backing storage for container-built artifacts whose CgrGraph is a view
+  // into the mmap'd payload. Declared before master_ so the mapping is
+  // destroyed after every borrower of its bytes.
+  std::unique_ptr<const ooc::CgrContainer> container_;
   GcgtSession master_;
 };
 

@@ -11,6 +11,16 @@ std::vector<NodeId> CanonicalBcSources(std::vector<NodeId> sources) {
   return sources;
 }
 
+void CanonicalizePairQuery(Query& query) {
+  if (auto* cn = std::get_if<CommonNeighborQuery>(&query)) {
+    if (cn->v < cn->u) std::swap(cn->u, cn->v);
+    return;
+  }
+  if (auto* jc = std::get_if<JaccardQuery>(&query)) {
+    if (jc->v < jc->u) std::swap(jc->u, jc->v);
+  }
+}
+
 ResultCache::ResultCache(size_t max_bytes, size_t num_shards) {
   const size_t n = std::bit_ceil(num_shards < 1 ? size_t{1} : num_shards);
   shards_.reserve(n);
@@ -39,10 +49,37 @@ std::optional<ResultCacheKey> ResultCache::KeyFor(uint64_t fingerprint,
     key.source = 0;
     return key;
   }
-  const auto& bc = std::get<BcQuery>(query);
-  key.kind = QueryKind::kBc;
-  key.source = 0;
-  key.bc_sources = CanonicalBcSources(bc.sources);
+  if (const auto* bc = std::get_if<BcQuery>(&query)) {
+    key.kind = QueryKind::kBc;
+    key.source = 0;
+    key.bc_sources = CanonicalBcSources(bc->sources);
+    return key;
+  }
+  if (std::holds_alternative<TriangleCountQuery>(query)) {
+    key.kind = QueryKind::kTriangle;
+    return key;
+  }
+  if (const auto* cn = std::get_if<CommonNeighborQuery>(&query)) {
+    key.kind = QueryKind::kCommonNeighbor;
+    key.source = std::min(cn->u, cn->v);
+    key.source2 = std::max(cn->u, cn->v);
+    return key;
+  }
+  if (const auto* jc = std::get_if<JaccardQuery>(&query)) {
+    key.kind = QueryKind::kJaccard;
+    key.source = std::min(jc->u, jc->v);
+    key.source2 = std::max(jc->u, jc->v);
+    return key;
+  }
+  if (const auto* topk = std::get_if<SimilarityTopKQuery>(&query)) {
+    key.kind = QueryKind::kSimilarityTopK;
+    key.source = topk->source;
+    key.param = topk->k;
+    return key;
+  }
+  const auto& kc = std::get<KCoreQuery>(query);
+  key.kind = QueryKind::kKCore;
+  key.param = kc.k;
   return key;
 }
 
@@ -59,6 +96,21 @@ size_t ResultCache::ResultBytes(const QueryResult& result) {
       bytes += result.bc().dependency.capacity() * sizeof(double) +
                result.bc().depth.capacity() * sizeof(uint32_t) +
                result.bc().sigma.capacity() * sizeof(double);
+      break;
+    case QueryKind::kTriangle:
+      bytes += result.triangle().per_vertex.capacity() * sizeof(uint64_t);
+      break;
+    case QueryKind::kCommonNeighbor:
+      bytes += result.common_neighbors().common.capacity() * sizeof(NodeId);
+      break;
+    case QueryKind::kJaccard:
+      break;  // scalar payload
+    case QueryKind::kSimilarityTopK:
+      bytes += result.similarity_topk().items.capacity() *
+               sizeof(GcgtSimilarityTopKResult::Item);
+      break;
+    case QueryKind::kKCore:
+      bytes += result.kcore().in_core.capacity();
       break;
   }
   return bytes;

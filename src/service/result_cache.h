@@ -1,12 +1,16 @@
 // Cross-query result cache of the serving tier: a sharded LRU keyed by
 // {artifact fingerprint, backend, query key}.
 //
-// All three query kinds memoize whole results. BFS and CC keys are trivial
+// Every query kind memoizes whole results. BFS and CC keys are trivial
 // (source / nothing); BC keys carry the CANONICAL source set — sorted
 // ascending, duplicates removed — and the service rewrites every BC query to
 // that form before running it (see GcgtService::Serve), so the executed
 // query and the cache key always agree and equivalent submissions ({3,1},
-// {1,3,3}) share one entry. Results are pure functions of the prepared
+// {1,3,3}) share one entry. The pair-shaped intersection queries
+// (CommonNeighbor/Jaccard) are symmetric in their endpoints, so the service
+// rewrites them to canonical {min(u,v), max(u,v)} order the same way and
+// {u,v} / {v,u} share one entry; triangle counts and k-core memoize per
+// artifact (keyed only by kind, plus k for k-core). Results are pure functions of the prepared
 // artifact (which the fingerprint pins, engine options included) and the
 // canonical query, so a hit is bit-identical to a fresh run — result vectors
 // AND metrics, which the engines produce deterministically.
@@ -41,7 +45,9 @@ struct ResultCacheKey {
   uint64_t fingerprint = 0;            ///< artifact (graph + options) id
   Backend backend = Backend::kCgrSimt;
   QueryKind kind = QueryKind::kBfs;
-  NodeId source = 0;                   ///< BFS source; 0 for CC/BC
+  NodeId source = 0;    ///< BFS source / pair min / similarity source
+  NodeId source2 = 0;   ///< pair queries: the canonical max endpoint
+  uint32_t param = 0;   ///< similarity k / k-core k
   /// BC only: the canonical source set (sorted, deduped). Empty otherwise.
   std::vector<NodeId> bc_sources;
 
@@ -50,6 +56,7 @@ struct ResultCacheKey {
   uint64_t Hash() const {
     uint64_t h = Mix64(fingerprint ^ (static_cast<uint64_t>(backend) << 32));
     h = Mix64(h ^ (static_cast<uint64_t>(kind) << 40) ^ source);
+    h = Mix64(h ^ (uint64_t{source2} << 32) ^ param);
     for (NodeId s : bc_sources) h = Mix64(h ^ s);
     return h;
   }
@@ -59,6 +66,11 @@ struct ResultCacheKey {
 /// The service rewrites every BC query to this form before serving it, so
 /// the executed query matches the cache key exactly (bit-identical hits).
 std::vector<NodeId> CanonicalBcSources(std::vector<NodeId> sources);
+
+/// Rewrites a symmetric pair query (CommonNeighbor/Jaccard) to canonical
+/// {min(u, v), max(u, v)} endpoint order in place; other kinds are left
+/// untouched. The service applies this at admission, like BC sources.
+void CanonicalizePairQuery(Query& query);
 
 struct ResultCacheStats {
   uint64_t hits = 0;

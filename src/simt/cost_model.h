@@ -42,6 +42,13 @@ struct CostModel {
   /// cheaper bytes. A separate knob so "what if replay hit L2" stays a
   /// modelable question.
   double cycles_per_replay_txn = 24.0;
+  /// One warp-wide compressed set-intersection operation (src/intersect): an
+  /// interval-pair overlap test, a residual membership probe against an
+  /// interval, or one element-merge / segment-skip step of a
+  /// residual-vs-residual merge. Its own class (like replay/external) so the
+  /// decode-free-vs-full-decode trade-off stays explicit in the model: the
+  /// ops are cheap ALU work, priced well below a decode slot.
+  double cycles_per_intersect_op = 2.0;
   /// External-tier (out-of-core) latency: one line moved by a partition
   /// fault or spill costs cycles_per_mem_txn * this multiplier. 8x models a
   /// CXL/NVLink-class external memory a small integer factor slower than

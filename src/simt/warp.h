@@ -366,6 +366,13 @@ struct WarpStats {
   uint64_t partition_pins = 0;    ///< partitions pinned by a round's frontier
   uint64_t fault_txns = 0;        ///< external-tier lines moved by faults
   uint64_t spill_txns = 0;        ///< external-tier lines moved by spills
+  // Compressed set-intersection charge class (src/intersect): warp-wide
+  // intersection operations — interval-pair overlap tests, residual
+  // membership probes, element-merge and segment-skip steps. A separate
+  // class (priced at cycles_per_intersect_op) so intersection work never
+  // masquerades as decode or memory traffic and the decode-free savings
+  // stay visible in the model.
+  uint64_t intersect_txns = 0;    ///< warp-wide set-intersection operations
 
   double Cycles(const CostModel& m) const {
     // decode/append slots are priced at their own rates.
@@ -377,6 +384,7 @@ struct WarpStats {
            m.cycles_per_mem_txn * static_cast<double>(mem_txns) +
            m.cycles_per_atomic * static_cast<double>(atomics) +
            m.cycles_per_replay_txn * static_cast<double>(replay_txns) +
+           m.cycles_per_intersect_op * static_cast<double>(intersect_txns) +
            m.cycles_per_mem_txn * m.external_latency_multiplier *
                static_cast<double>(fault_txns + spill_txns);
   }
@@ -399,6 +407,7 @@ struct WarpStats {
     partition_pins += o.partition_pins;
     fault_txns += o.fault_txns;
     spill_txns += o.spill_txns;
+    intersect_txns += o.intersect_txns;
     return *this;
   }
 
@@ -568,6 +577,9 @@ class WarpContext {
   void ReplayTxns(uint64_t count) { stats_.replay_txns += count; }
   void ReplayEvictions(uint64_t count) { stats_.replay_evictions += count; }
   void DecodeWords(uint64_t count) { stats_.decode_words += count; }
+  /// Compressed set-intersection operations (priced at
+  /// cycles_per_intersect_op; see WarpStats::intersect_txns).
+  void IntersectOps(uint64_t count) { stats_.intersect_txns += count; }
 
   /// Directly charges `count` memory transactions for lines the caller
   /// guarantees are distinct and not yet touched by this warp. Engines use

@@ -14,6 +14,7 @@ const char* FaultPointName(FaultPoint point) {
     case FaultPoint::kCacheLookup: return "cache_lookup";
     case FaultPoint::kCacheInsert: return "cache_insert";
     case FaultPoint::kHedgeDispatch: return "hedge_dispatch";
+    case FaultPoint::kIntersectKernel: return "intersect_kernel";
     case FaultPoint::kShedDecision: return "shed_decision";
     case FaultPoint::kWatchdogTick: return "watchdog_tick";
     case FaultPoint::kNumPoints: break;

@@ -42,6 +42,7 @@ enum class FaultPoint : int {
   kShedDecision,    ///< worker serve: a spurious overload shed (Unavailable)
   kWatchdogTick,    ///< watchdog: a whole tick (stuck/hedge/brownout
                     ///< scans) is skipped
+  kIntersectKernel, ///< intersect engine kernel loop: Internal error
   kNumPoints,
 };
 

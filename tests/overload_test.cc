@@ -69,6 +69,24 @@ void ExpectSameResult(const QueryResult& got, const QueryResult& want) {
       EXPECT_EQ(got.bc().sigma, want.bc().sigma);
       EXPECT_EQ(got.bc().depth, want.bc().depth);
       break;
+    case QueryKind::kTriangle:
+      EXPECT_EQ(got.triangle().triangles, want.triangle().triangles);
+      EXPECT_EQ(got.triangle().per_vertex, want.triangle().per_vertex);
+      break;
+    case QueryKind::kCommonNeighbor:
+      EXPECT_EQ(got.common_neighbors().common, want.common_neighbors().common);
+      break;
+    case QueryKind::kJaccard:
+      EXPECT_EQ(got.jaccard().common, want.jaccard().common);
+      EXPECT_EQ(got.jaccard().jaccard, want.jaccard().jaccard);
+      break;
+    case QueryKind::kSimilarityTopK:
+      EXPECT_EQ(got.similarity_topk().items, want.similarity_topk().items);
+      break;
+    case QueryKind::kKCore:
+      EXPECT_EQ(got.kcore().in_core, want.kcore().in_core);
+      EXPECT_EQ(got.kcore().core_size, want.kcore().core_size);
+      break;
   }
   EXPECT_EQ(got.metrics().model_ms, want.metrics().model_ms);
   EXPECT_EQ(got.metrics().kernels, want.metrics().kernels);

@@ -86,6 +86,32 @@ void ExpectBitIdentical(const QueryResult& got, const QueryResult& want,
       EXPECT_EQ(got.bc().sigma, want.bc().sigma) << "query " << index;
       EXPECT_EQ(got.bc().depth, want.bc().depth) << "query " << index;
       break;
+    case QueryKind::kTriangle:
+      EXPECT_EQ(got.triangle().triangles, want.triangle().triangles)
+          << "query " << index;
+      EXPECT_EQ(got.triangle().per_vertex, want.triangle().per_vertex)
+          << "query " << index;
+      break;
+    case QueryKind::kCommonNeighbor:
+      EXPECT_EQ(got.common_neighbors().common, want.common_neighbors().common)
+          << "query " << index;
+      break;
+    case QueryKind::kJaccard:
+      EXPECT_EQ(got.jaccard().common, want.jaccard().common)
+          << "query " << index;
+      EXPECT_EQ(got.jaccard().jaccard, want.jaccard().jaccard)
+          << "query " << index;
+      break;
+    case QueryKind::kSimilarityTopK:
+      EXPECT_EQ(got.similarity_topk().items, want.similarity_topk().items)
+          << "query " << index;
+      break;
+    case QueryKind::kKCore:
+      EXPECT_EQ(got.kcore().in_core, want.kcore().in_core)
+          << "query " << index;
+      EXPECT_EQ(got.kcore().core_size, want.kcore().core_size)
+          << "query " << index;
+      break;
   }
   EXPECT_EQ(got.metrics().model_ms, want.metrics().model_ms)
       << "query " << index;
@@ -269,6 +295,27 @@ TEST(GcgtService, StressClientsTimesBackendsTimesWorkersTimesCache) {
                 case QueryKind::kBc:
                   same = have.bc().dependency == want.bc().dependency &&
                          have.bc().sigma == want.bc().sigma;
+                  break;
+                case QueryKind::kTriangle:
+                  same = have.triangle().triangles ==
+                             want.triangle().triangles &&
+                         have.triangle().per_vertex ==
+                             want.triangle().per_vertex;
+                  break;
+                case QueryKind::kCommonNeighbor:
+                  same = have.common_neighbors().common ==
+                         want.common_neighbors().common;
+                  break;
+                case QueryKind::kJaccard:
+                  same = have.jaccard().common == want.jaccard().common &&
+                         have.jaccard().jaccard == want.jaccard().jaccard;
+                  break;
+                case QueryKind::kSimilarityTopK:
+                  same = have.similarity_topk().items ==
+                         want.similarity_topk().items;
+                  break;
+                case QueryKind::kKCore:
+                  same = have.kcore().in_core == want.kcore().in_core;
                   break;
               }
               if (!same || have.metrics().model_ms != want.metrics().model_ms) {

@@ -4,6 +4,8 @@
 // crash or hang).
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "baseline/cpu_bfs.h"
 #include "baseline/cpu_reference.h"
 #include "cgr/cgr_decoder.h"
@@ -94,9 +96,12 @@ TEST(CorruptionRobustness, FlippedBitsNeverCrashTheDecoder) {
   // by the reader's overflow guard and the VLC prefix caps).
   for (int trial = 0; trial < 20; ++trial) {
     CgrGraph copy = cgr.value();
-    auto& bits = const_cast<std::vector<uint8_t>&>(copy.bits());
+    const std::span<const uint8_t> bits = copy.bits();
+    // `copy` owns its buffer (Encode graph), so mutating through the view is
+    // defined; the span itself is just a window.
+    uint8_t* raw = const_cast<uint8_t*>(bits.data());
     for (int f = 0; f < 16; ++f) {
-      bits[rng.Uniform(bits.size())] ^= uint8_t(1) << rng.Uniform(8);
+      raw[rng.Uniform(bits.size())] ^= uint8_t(1) << rng.Uniform(8);
     }
     for (NodeId u = 0; u < g.num_nodes(); u += 17) {
       CgrNodeDecoder dec(copy, u);
